@@ -1,0 +1,74 @@
+"""ABL-VIRTUAL — face-to-face versus virtual plenaries.
+
+The paper holds hackathons at plenaries because face-to-face meetings
+"are considered by different practitioners more efficient compared to
+virtual meetings" (Sec. I, citing Morgan [3]).  This bench runs the same
+hackathon timeline in both modes.  Shape assertions: virtual plenaries
+attract *more* attendees (no travel cost) yet produce *less* — fewer
+convincing demos, less knowledge exchanged, lower engagement — which is
+exactly the efficiency argument.
+"""
+
+from repro.reporting import ascii_table
+from repro.simulation import (
+    LongitudinalRunner,
+    megamart_timeline,
+    virtual_timeline,
+)
+from conftest import banner
+
+SEEDS = range(3)
+
+
+def run_modes():
+    results = {"face_to_face": [], "virtual": []}
+    for seed in SEEDS:
+        results["face_to_face"].append(
+            LongitudinalRunner(megamart_timeline(seed=seed)).run()
+        )
+        results["virtual"].append(
+            LongitudinalRunner(virtual_timeline(seed=seed)).run()
+        )
+    return results
+
+
+def _mean(histories, key):
+    return sum(h.totals[key] for h in histories) / len(histories)
+
+
+def _mean_attendees(histories):
+    return sum(
+        len(h.record_for("Helsinki").meeting.attendee_ids) for h in histories
+    ) / len(histories)
+
+
+def test_ablation_virtual_mode(benchmark):
+    results = benchmark.pedantic(run_modes, rounds=1, iterations=1)
+
+    banner("ABL-VIRTUAL — face-to-face vs virtual plenaries (Sec. I)")
+    rows = []
+    for mode, histories in results.items():
+        rows.append([
+            mode,
+            round(_mean_attendees(histories), 1),
+            round(_mean(histories, "convincing_demos"), 1),
+            round(_mean(histories, "knowledge_transferred"), 1),
+            round(_mean(histories, "mean_meeting_engagement"), 2),
+        ])
+    print(ascii_table(
+        ["mode", "Helsinki attendees", "convincing demos",
+         "knowledge transferred", "mean engagement"],
+        rows,
+    ))
+
+    f2f, virtual = results["face_to_face"], results["virtual"]
+    # Shape: virtual removes the travel barrier -> at least as many attend.
+    assert _mean_attendees(virtual) >= _mean_attendees(f2f)
+    # Shape: ...but face-to-face is more *efficient* on every outcome.
+    assert _mean(f2f, "convincing_demos") > _mean(virtual, "convincing_demos")
+    assert _mean(f2f, "knowledge_transferred") > _mean(
+        virtual, "knowledge_transferred"
+    )
+    assert _mean(f2f, "mean_meeting_engagement") > _mean(
+        virtual, "mean_meeting_engagement"
+    )

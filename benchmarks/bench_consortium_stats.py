@@ -1,0 +1,50 @@
+"""CONS — the published MegaM@Rt2 composition (paper Secs. II-III).
+
+Rebuilds the consortium preset and framework and checks every number the
+paper publishes: 27 beneficiaries (7 universities + 3 research centres +
+8 SMEs + 9 LEs), 6 countries, well over 120 participants, 28 tools and
+9 industrial case studies.
+"""
+
+from repro import RngHub, build_framework, megamart2
+from repro.reporting import ascii_table
+from conftest import banner
+
+
+def build_world(seed: int = 0):
+    hub = RngHub(seed)
+    consortium = megamart2(hub)
+    framework = build_framework(consortium, hub)
+    return consortium, framework
+
+
+def test_consortium_published_stats(benchmark):
+    consortium, framework = benchmark(build_world)
+    comp = consortium.composition()
+
+    banner("CONS — published consortium facts (paper Secs. II-III)")
+    rows = [
+        ["beneficiaries", 27, comp.beneficiaries],
+        ["universities", 7, comp.universities],
+        ["research centres", 3, comp.research_centers],
+        ["SMEs", 8, comp.smes],
+        ["large enterprises", 9, comp.large_enterprises],
+        ["countries", 6, comp.countries],
+        ["participants", "> 120", comp.members],
+        ["tools in framework", 28, len(framework.tools)],
+        ["industrial case studies", 9, len(framework.case_studies)],
+    ]
+    print(ascii_table(["fact", "paper", "reproduced"], rows))
+
+    assert comp.beneficiaries == 27
+    assert comp.universities == 7
+    assert comp.research_centers == 3
+    assert comp.smes == 8
+    assert comp.large_enterprises == 9
+    assert comp.countries == 6
+    assert comp.members > 120
+    assert len(framework.tools) == 28
+    assert len(framework.case_studies) == 9
+    # Named partners the paper cites as case-study providers.
+    for named in ("thales", "volvo-ce", "bombardier", "nokia"):
+        assert consortium.organization(named).is_case_study_owner

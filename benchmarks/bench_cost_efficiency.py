@@ -1,0 +1,92 @@
+"""COST — plenary return on investment (paper Secs. III-B, I).
+
+The pre-intervention economics: partners "apply cost savings and send
+managers only", yet "the output of plenary meetings becomes
+questionable" — money was being spent on meetings that produced little.
+This bench prices each plenary (travel + person-hours + hotels) and
+computes *cost per collaboration outcome*.  Shape assertions: the
+hackathon plenary costs more in absolute terms (more people travel) but
+is dramatically cheaper per new inter-organisation tie and per unit of
+knowledge exchanged; the traditional plenary's cost-per-outcome is
+near-infinite.
+"""
+
+from repro.meetings.costs import price_meeting
+from repro.reporting import ascii_table
+from repro.simulation import (
+    LongitudinalRunner,
+    baseline_timeline,
+    megamart_timeline,
+)
+from conftest import banner
+
+#: Host countries of the paper's plenaries.
+HOSTS = {"Rome": "Italy", "Helsinki": "Finland", "Paris": "France"}
+
+
+def price_timeline(runner):
+    history = runner.run()
+    reports = {}
+    for rec in history.records:
+        hours = 8.0 * rec.spec.days  # meeting hours billed per attendee
+        reports[rec.spec.name] = (
+            price_meeting(
+                rec.meeting, runner.consortium, HOSTS[rec.spec.name],
+                meeting_hours=hours, days=rec.spec.days,
+            ),
+            rec,
+        )
+    return history, reports
+
+
+def run_both():
+    treatment = LongitudinalRunner(megamart_timeline(seed=0))
+    baseline = LongitudinalRunner(baseline_timeline(seed=0))
+    return price_timeline(treatment), price_timeline(baseline)
+
+
+def test_cost_efficiency(benchmark):
+    (t_history, t_reports), (b_history, b_reports) = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+
+    banner("COST — plenary cost per collaboration outcome (Sec. III-B)")
+    rows = []
+    for label, reports in (("hackathon", t_reports),
+                           ("traditional", b_reports)):
+        for name in ("Rome", "Helsinki"):
+            report, rec = reports[name]
+            new_ties = len(rec.meeting.new_inter_org_ties)
+            rows.append([
+                label, name, report.attendees,
+                round(report.total_cost / 1000.0, 1),
+                new_ties,
+                "inf" if new_ties == 0
+                else round(report.cost_per(new_ties) / 1000.0, 2),
+                round(rec.meeting.knowledge_transferred, 1),
+            ])
+    print(ascii_table(
+        ["timeline", "plenary", "attendees", "total cost (kEUR)",
+         "new inter-org ties", "kEUR per tie", "knowledge"],
+        rows,
+    ))
+
+    t_helsinki, t_rec = t_reports["Helsinki"]
+    b_helsinki, b_rec = b_reports["Helsinki"]
+    # Shape: the hackathon plenary is the more expensive event...
+    assert t_helsinki.total_cost > b_helsinki.total_cost
+    # ...but vastly cheaper per outcome.
+    t_ties = len(t_rec.meeting.new_inter_org_ties)
+    b_ties = len(b_rec.meeting.new_inter_org_ties)
+    assert t_ties > 0
+    cost_per_tie_t = t_helsinki.cost_per(t_ties)
+    cost_per_tie_b = b_helsinki.cost_per(max(b_ties, 0))
+    assert cost_per_tie_t < 0.25 * cost_per_tie_b
+    # Shape: knowledge per euro also favours the hackathon.
+    knowledge_per_keur_t = (
+        t_rec.meeting.knowledge_transferred / t_helsinki.total_cost
+    )
+    knowledge_per_keur_b = (
+        b_rec.meeting.knowledge_transferred / b_helsinki.total_cost
+    )
+    assert knowledge_per_keur_t > 3 * knowledge_per_keur_b

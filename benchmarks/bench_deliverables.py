@@ -1,0 +1,81 @@
+"""DELIV — deliverable production and the paper's causal chain.
+
+The paper's motivation chain: technical staff produce the deliverables;
+traditional plenaries disconnect them; the hackathon reconnects them and
+yields "continuation of the hackathon work on new research lines" and
+"easier development progress status tracking" (Sec. VI).  Here the
+chain is executable: work-package production speed depends on partner
+knowledge and on live inter-organisation ties, so the hackathon's
+network effect propagates into deliverables landing on time.
+
+Shape assertions: the hackathon timeline completes more deliverables,
+with a higher on-time rate and lower mean delay, on every tested seed.
+"""
+
+from repro.reporting import ascii_table
+from repro.simulation import (
+    LongitudinalRunner,
+    baseline_timeline,
+    megamart_timeline,
+)
+from conftest import banner
+
+SEEDS = range(3)
+
+
+def run_both():
+    out = {"hackathon": [], "traditional": []}
+    for seed in SEEDS:
+        out["hackathon"].append(
+            LongitudinalRunner(megamart_timeline(seed=seed)).run()
+        )
+        out["traditional"].append(
+            LongitudinalRunner(baseline_timeline(seed=seed)).run()
+        )
+    return out
+
+
+def test_deliverable_production(benchmark):
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    banner("DELIV — deliverable production (Secs. I, VI)")
+    rows = []
+    for label, histories in results.items():
+        n_total = len(histories[0].workplan.deliverables())
+        for history in histories:
+            rows.append([
+                label,
+                history.scenario.seed,
+                f"{history.totals['deliverables_completed']:.0f}/{n_total}",
+                round(history.totals["deliverable_on_time_rate"], 2),
+                round(history.totals["deliverable_mean_delay"], 2),
+            ])
+    print(ascii_table(
+        ["timeline", "seed", "completed", "on-time rate",
+         "mean delay (months)"],
+        rows,
+    ))
+
+    # Example status board from the first treatment run.
+    history = results["hackathon"][0]
+    print("\nDeliverable status board (hackathon, seed 0, month 18):")
+    status = history.workplan.status_rows(as_of_month=18.0)[:8]
+    print(ascii_table(
+        ["deliverable", "WP", "due", "progress", "status"],
+        [[d, w, due, round(p, 2), s] for d, w, due, p, s in status],
+    ))
+
+    # Shape: per-seed dominance on all three KPIs.
+    for t, b in zip(results["hackathon"], results["traditional"]):
+        assert (
+            t.totals["deliverables_completed"]
+            > b.totals["deliverables_completed"]
+        ), t.scenario.seed
+        assert (
+            t.totals["deliverable_on_time_rate"]
+            >= b.totals["deliverable_on_time_rate"]
+        ), t.scenario.seed
+        assert (
+            t.totals["deliverable_mean_delay"]
+            < b.totals["deliverable_mean_delay"]
+        ), t.scenario.seed

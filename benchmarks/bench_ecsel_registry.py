@@ -1,0 +1,48 @@
+"""ECSEL — programme participation statistics (paper Sec. III).
+
+Regenerates the H2020 dashboard numbers the paper quotes (average
+participants per project: 4.69 overall, 5.91 pillar 2, 7.4 ICT, 34.22
+ECSEL) and synthesises the 40-project ECSEL registry ranging 9-109
+participants, then places MegaM@Rt2 (27 beneficiaries) inside it.
+"""
+
+from repro.consortium import (
+    ECSEL_PROJECT_COUNT,
+    ECSEL_SIZE_RANGE,
+    ProjectRegistry,
+)
+from repro.reporting import ascii_table, bar_chart
+from repro.rng import RngHub
+from conftest import banner
+
+
+def build_registry(seed: int = 0):
+    return ProjectRegistry(RngHub(seed))
+
+
+def test_ecsel_registry_statistics(benchmark):
+    registry = benchmark(build_registry)
+
+    banner("ECSEL — programme participation statistics (paper Sec. III)")
+    comparison = registry.programme_comparison()
+    print(bar_chart(sorted(comparison.items(), key=lambda kv: kv[1]),
+                    width=36, title="average participants per project"))
+    lo, hi = registry.size_range()
+    print(f"\nSynthetic ECSEL registry: {registry.count} projects, "
+          f"sizes {lo}-{hi}, mean {registry.mean_size():.2f}")
+    print(f"MegaM@Rt2 (27) percentile within ECSEL: "
+          f"{registry.percentile_of(27):.0%}")
+
+    # Published aggregates hold exactly.
+    assert registry.count == ECSEL_PROJECT_COUNT == 40
+    assert registry.size_range() == ECSEL_SIZE_RANGE == (9, 109)
+    assert abs(registry.mean_size() - 34.22) < 0.02
+    # The paper's ordering of programmes by consortium size.
+    assert (
+        comparison["H2020 overall"]
+        < comparison["H2020 second pillar"]
+        < comparison["H2020 ICT"]
+        < comparison["ECSEL"]
+    )
+    # "Slightly below the average ECSEL project" (Sec. III-A).
+    assert 27 < registry.mean_size()

@@ -1,0 +1,52 @@
+"""FIG1 — the Hofstede country-comparison chart (paper Fig. 1).
+
+Regenerates the six-country, six-dimension chart from the published
+scores and the pairwise cultural-distance matrix derived from it.
+Shape assertions: every dimension separates the countries, Sweden is
+the Masculinity outlier and France the Power-Distance maximum (the
+visually dominant features of the paper's chart).
+"""
+
+import numpy as np
+
+from repro.culture import (
+    Dimension,
+    MEGAMART_COUNTRIES,
+    comparison_chart,
+    extreme_scores,
+    pairwise_matrix,
+    render_ascii_chart,
+)
+from conftest import banner
+
+
+def build_fig1():
+    series = comparison_chart(MEGAMART_COUNTRIES)
+    matrix = pairwise_matrix(list(MEGAMART_COUNTRIES), metric="kogut_singh")
+    extremes = extreme_scores(MEGAMART_COUNTRIES)
+    return series, matrix, extremes
+
+
+def test_fig1_hofstede_chart(benchmark):
+    series, matrix, extremes = benchmark(build_fig1)
+
+    banner("FIG1 — Hofstede country comparison (paper Fig. 1)")
+    print(render_ascii_chart(MEGAMART_COUNTRIES, width=36))
+    print("Per-dimension extremes (low -> high):")
+    for dim in Dimension:
+        low, high = extremes[dim]
+        print(f"  {dim.value.upper():>3}: {low} -> {high}")
+
+    # Shape: six series of six values, all on the 0-100 scale.
+    assert len(series) == 6
+    assert all(len(s.values) == 6 for s in series)
+    # Shape: the chart separates countries on every dimension.
+    for dim in Dimension:
+        low, high = extremes[dim]
+        assert low != high
+    # Shape: the paper chart's anchors.
+    assert extremes[Dimension.MASCULINITY][0] == "Sweden"
+    assert extremes[Dimension.POWER_DISTANCE][1] == "France"
+    # Shape: nonzero cultural distance between every pair of countries.
+    off_diagonal = matrix[~np.eye(6, dtype=bool)]
+    assert (off_diagonal > 0).all()

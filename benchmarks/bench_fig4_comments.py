@@ -1,0 +1,59 @@
+"""FIG4 — participant comments on the first hackathon (paper Fig. 4).
+
+Regenerates the comment stream of the first hackathon plenary, scores
+it with the sentiment lexicon, and compares its distribution against
+the traditional counterfactual.  Shape assertions: hackathon comments
+are majority-positive (the paper shows overwhelmingly positive
+feedback); the traditional plenary's distribution is visibly worse.
+"""
+
+from repro.reporting import histogram
+from repro.simulation import (
+    LongitudinalRunner,
+    baseline_timeline,
+    megamart_timeline,
+)
+from conftest import banner
+
+
+def collect_sentiments(seeds=range(3)):
+    hack, trad = [], []
+    for seed in seeds:
+        t = LongitudinalRunner(megamart_timeline(seed=seed)).run()
+        b = LongitudinalRunner(baseline_timeline(seed=seed)).run()
+        hack.append(t.record_for("Helsinki"))
+        trad.append(b.record_for("Helsinki"))
+    return hack, trad
+
+
+def test_fig4_comment_sentiment(benchmark):
+    hack_records, trad_records = benchmark.pedantic(
+        collect_sentiments, rounds=1, iterations=1
+    )
+
+    banner("FIG4 — comments on the first hackathon (paper Fig. 4)")
+    agg_hack = {"positive": 0, "neutral": 0, "negative": 0}
+    agg_trad = dict(agg_hack)
+    for rec in hack_records:
+        for k, v in rec.sentiment.items():
+            agg_hack[k] += v
+    for rec in trad_records:
+        for k, v in rec.sentiment.items():
+            agg_trad[k] += v
+
+    print("Hackathon plenary comments (3 seeds pooled):")
+    print(histogram(agg_hack, width=36))
+    print("\nSample comments:")
+    for comment in hack_records[0].comments[:6]:
+        print(f'  - "{comment.text}"')
+    print("\nTraditional counterfactual comments:")
+    print(histogram(agg_trad, width=36))
+
+    # Shape: hackathon comments are majority-positive on every seed.
+    for rec in hack_records:
+        assert rec.sentiment["positive"] > rec.sentiment["negative"]
+    # Shape: the hackathon's positive share beats the traditional one's.
+    hack_share = agg_hack["positive"] / sum(agg_hack.values())
+    trad_share = agg_trad["positive"] / sum(agg_trad.values())
+    assert hack_share > trad_share
+    assert hack_share > 0.5

@@ -1,0 +1,63 @@
+"""FUND — national funding-rate structure (paper Sec. III-A).
+
+Regenerates the funding table: EC covers 25-35 %; national support for
+LEs is 0 % in France, 10 % in Italy, 25 % in Finland; SMEs span
+15-35 %; academia may reach 60 % of total budget.  Also checks the
+derived behavioural quantity — cost pressure — that drives the
+managers-only attendance failure mode.
+"""
+
+from repro import RngHub, megamart2
+from repro.consortium import OrgType, default_ecsel_scheme
+from repro.reporting import ascii_table
+from conftest import banner
+
+
+def build_scheme_rows():
+    scheme = default_ecsel_scheme()
+    consortium = megamart2(RngHub(0))
+    rows = scheme.summary_rows(consortium.organizations)
+    return scheme, consortium, rows
+
+
+def test_funding_rate_structure(benchmark):
+    scheme, consortium, rows = benchmark(build_scheme_rows)
+
+    banner("FUND — funding-rate structure (paper Sec. III-A)")
+    print(ascii_table(
+        ["org", "country", "type", "EC", "national", "total"],
+        rows[:12], float_digits=2,
+        title="per-organisation funding rates (first 12 shown)",
+    ))
+
+    le, sme = OrgType.LARGE_ENTERPRISE, OrgType.SME
+    uni = OrgType.UNIVERSITY
+    # The published LE rates.
+    assert scheme.national_rate("France", le) == 0.0
+    assert abs(scheme.national_rate("Italy", le) - 0.10) < 1e-9
+    assert abs(scheme.national_rate("Finland", le) - 0.25) < 1e-9
+    # EC share within the published 25-35 % band.
+    assert 0.25 <= scheme.ec_rate <= 0.35
+    # SME national rates span the published 15-35 % band.
+    sme_rates = [
+        scheme.national_rate(c, sme)
+        for c in ("France", "Italy", "Finland", "Sweden", "Spain",
+                  "Czech Republic")
+    ]
+    assert min(sme_rates) >= 0.15 and max(sme_rates) <= 0.35
+    # Academia can reach 60 % total.
+    uni_totals = [
+        scheme.ec_rate + scheme.national_rate(c, uni)
+        for c in ("Finland", "Sweden", "Czech Republic")
+    ]
+    assert max(uni_totals) == 0.60
+    # Derived ordering: in every country SMEs out-fund LEs, and academia
+    # out-funds LEs — so LEs feel the most cost pressure (the paper's
+    # managers-only attendance driver).
+    for country in ("France", "Italy", "Finland"):
+        assert scheme.national_rate(country, sme) > scheme.national_rate(
+            country, le
+        )
+        assert scheme.national_rate(country, uni) > scheme.national_rate(
+            country, le
+        )

@@ -1,0 +1,86 @@
+"""HEAD — the headline claim: hackathon plenaries boost collaboration.
+
+"Obtained results demonstrate that the hackathon approach stimulated
+knowledge exchanges among project partners and triggered new
+collaborations, notably between tool providers and use case owners"
+(Abstract; also Secs. I, V, VI).
+
+Replays the Rome -> Helsinki -> Paris timeline against the
+all-traditional counterfactual over multiple seeds on the full
+consortium, and tests each collaboration KPI with Mann-Whitney +
+Cliff's delta.  Shape assertions: the treatment wins every KPI with a
+large effect, and the provider<->owner tie count — the paper's
+"notably" — shows the strongest relative gain.
+"""
+
+import pytest
+
+from repro.reporting import ascii_table
+from repro.simulation import (
+    baseline_timeline,
+    compare_scenarios,
+    megamart_timeline,
+)
+from conftest import banner
+
+SEEDS = range(5)
+
+KPIS = (
+    "new_inter_org_ties",
+    "knowledge_transferred",
+    "applications_started",
+    "final_provider_owner_ties",
+    "final_inter_org_ties",
+    "convincing_demos",
+)
+
+
+def run_comparison():
+    return compare_scenarios(
+        megamart_timeline(), baseline_timeline(), seeds=SEEDS
+    )
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return run_comparison()
+
+
+def test_headline_collaboration_gain(benchmark, comparison):
+    # Time a single-seed pair of runs; statistics use the module fixture.
+    benchmark.pedantic(
+        lambda: compare_scenarios(
+            megamart_timeline(), baseline_timeline(), seeds=[0]
+        ),
+        rounds=1, iterations=1,
+    )
+
+    banner("HEAD — hackathon vs traditional plenaries "
+           f"({len(list(SEEDS))} seeds, full consortium)")
+    rows = []
+    for kpi in KPIS:
+        c = comparison.comparison(kpi)
+        rows.append([
+            kpi,
+            round(c.summary_a.mean, 1),
+            round(c.summary_b.mean, 1),
+            "inf" if c.ratio == float("inf") else round(c.ratio, 1),
+            round(c.test.p_value, 4),
+            c.test.magnitude,
+        ])
+    print(ascii_table(
+        ["KPI", "hackathon", "traditional", "ratio", "p (MWU)", "effect"],
+        rows,
+    ))
+
+    for kpi in KPIS:
+        c = comparison.comparison(kpi)
+        assert c.a_wins, f"{kpi}: treatment does not win"
+        assert c.test.delta == 1.0, f"{kpi}: seeds overlap"
+        assert c.test.magnitude == "large"
+    # "Notably between tool providers and use case owners": the
+    # provider-owner tie gain is at least as strong as the overall gain.
+    po = comparison.comparison("final_provider_owner_ties")
+    assert po.ratio >= 2.0
+    # Knowledge exchange is the single most amplified KPI.
+    assert comparison.comparison("knowledge_transferred").ratio > 5.0

@@ -1,0 +1,87 @@
+"""ROBUST — sensitivity of the headline claim to model calibration.
+
+DESIGN.md commits to "calibration, not curve-fitting": behavioural
+parameters were chosen a priori and only *ordinal* paper claims are
+asserted.  This bench stress-tests that commitment by perturbing the two
+most influential behavioural models — tie dynamics (strengthen rate,
+decay) and the learning model (transfer rate) — by ±50 % and re-running
+the headline comparison.  Shape assertion: the hackathon timeline beats
+the traditional counterfactual on new inter-organisation ties and
+knowledge exchanged under *every* perturbation, i.e. the reproduction
+is not an artefact of one lucky parameter set.
+"""
+
+from repro.cognition.learning import LearningModel
+from repro.network.dynamics import TieDynamics
+from repro.reporting import ascii_table
+from repro.simulation import (
+    LongitudinalRunner,
+    baseline_timeline,
+    megamart_timeline,
+)
+from conftest import banner
+
+#: (label, TieDynamics kwargs, LearningModel kwargs) perturbations.
+PERTURBATIONS = (
+    ("nominal", {}, {}),
+    ("weak ties (-50% strengthen)", {"strengthen_rate": 0.125}, {}),
+    ("strong ties (+50% strengthen)", {"strengthen_rate": 0.375}, {}),
+    ("fast decay", {"monthly_decay": 0.7, "followup_decay": 0.9}, {}),
+    ("slow decay", {"monthly_decay": 0.95, "followup_decay": 0.99}, {}),
+    ("slow learning (-50%)", {}, {"max_transfer_rate": 0.06}),
+    ("fast learning (+50%)", {}, {"max_transfer_rate": 0.18}),
+)
+
+
+def run_perturbation(dyn_kwargs, learn_kwargs, seed=0):
+    def make_runner(scenario):
+        return LongitudinalRunner(
+            scenario,
+            dynamics=TieDynamics(**dyn_kwargs),
+            learning=LearningModel(**learn_kwargs),
+        )
+
+    treatment = make_runner(megamart_timeline(seed=seed)).run()
+    baseline = make_runner(baseline_timeline(seed=seed)).run()
+    return treatment, baseline
+
+
+def sweep():
+    results = {}
+    for label, dyn_kwargs, learn_kwargs in PERTURBATIONS:
+        results[label] = run_perturbation(dyn_kwargs, learn_kwargs)
+    return results
+
+
+def test_headline_robust_to_calibration(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    banner("ROBUST — headline claim under +-50% parameter perturbation")
+    rows = []
+    for label, (treatment, baseline) in results.items():
+        t_ties = treatment.totals["new_inter_org_ties"]
+        b_ties = baseline.totals["new_inter_org_ties"]
+        t_know = treatment.totals["knowledge_transferred"]
+        b_know = baseline.totals["knowledge_transferred"]
+        rows.append([
+            label,
+            int(t_ties), int(b_ties),
+            round(t_know, 1), round(b_know, 1),
+            round(t_ties / max(b_ties, 1), 1),
+        ])
+    print(ascii_table(
+        ["perturbation", "ties (hack)", "ties (trad)",
+         "knowledge (hack)", "knowledge (trad)", "tie ratio"],
+        rows,
+    ))
+
+    # Shape: the ordinal claim survives every perturbation, with margin.
+    for label, (treatment, baseline) in results.items():
+        assert (
+            treatment.totals["new_inter_org_ties"]
+            > 3 * max(baseline.totals["new_inter_org_ties"], 1)
+        ), label
+        assert (
+            treatment.totals["knowledge_transferred"]
+            > 3 * baseline.totals["knowledge_transferred"]
+        ), label

@@ -1,0 +1,77 @@
+"""TRAJ — the long-term effect trajectory (paper Sec. VI).
+
+"The long-term effects are still under observation and need to be
+quantified in a more formal way."  The simulator quantifies them: the
+monthly trajectory of inter-organisation ties shows the saw-tooth the
+process implies — a jump at each hackathon plenary, decay in between
+(slowed by follow-up), and a cumulative upward trend.
+
+Shape assertions: jumps at Helsinki and Paris; monotone decay between
+events; the post-Paris level exceeds the post-Helsinki level
+(cumulative effect); the baseline trajectory stays flat near zero.
+"""
+
+from repro.reporting import ascii_table
+from repro.simulation import (
+    LongitudinalRunner,
+    baseline_timeline,
+    megamart_timeline,
+)
+from conftest import banner
+
+
+def run_trajectories(seed: int = 0):
+    treatment = LongitudinalRunner(megamart_timeline(seed=seed)).run()
+    baseline = LongitudinalRunner(baseline_timeline(seed=seed)).run()
+    return treatment, baseline
+
+
+def test_long_term_trajectory(benchmark):
+    treatment, baseline = benchmark.pedantic(
+        run_trajectories, rounds=1, iterations=1
+    )
+
+    banner("TRAJ — long-term tie trajectory (Sec. VI)")
+    t_series = dict(treatment.trajectory.series("inter_org_ties"))
+    b_series = dict(baseline.trajectory.series("inter_org_ties"))
+    rows = []
+    for month in sorted(set(t_series)):
+        event = next(
+            (p.event for p in treatment.trajectory.points
+             if p.month == month and p.event), ""
+        )
+        rows.append([
+            f"M{month:g}", event, int(t_series[month]),
+            int(b_series.get(month, 0)),
+        ])
+    print(ascii_table(
+        ["month", "event", "hackathon inter-org ties",
+         "traditional inter-org ties"],
+        rows,
+    ))
+
+    def at_event(history, name):
+        return next(
+            p.inter_org_ties
+            for p in history.trajectory.points
+            if p.event == name
+        )
+
+    # Shape: jumps at each hackathon plenary.
+    helsinki = at_event(treatment, "Helsinki")
+    paris = at_event(treatment, "Paris")
+    pre_helsinki = treatment.trajectory.value_at(5.0, "inter_org_ties")
+    assert helsinki > 10 * max(pre_helsinki, 1)
+    # Shape: decay between Helsinki and Paris is monotone non-increasing.
+    between = [
+        p.inter_org_ties
+        for p in treatment.trajectory.points
+        if 6.0 < p.month < 12.0 and p.event is None
+    ]
+    assert all(a >= b for a, b in zip(between, between[1:]))
+    # Shape: cumulative growth — Paris peak above Helsinki peak.
+    assert paris > helsinki
+    # Shape: substantial survival at the 18-month horizon.
+    assert treatment.trajectory.survival_fraction() > 0.5
+    # Shape: the baseline trajectory never takes off.
+    assert max(b_series.values()) < 0.1 * paris

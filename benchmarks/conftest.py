@@ -1,0 +1,36 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every bench regenerates one paper artefact (figure or quantitative
+claim), prints the paper-shaped rows/series, and asserts the *shape* the
+paper reports.  Timings come from pytest-benchmark; heavy longitudinal
+runs use ``benchmark.pedantic`` with a single round.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consortium.presets import small_consortium
+from repro.framework.catalog import build_framework
+from repro.simulation.runner import LongitudinalRunner
+
+
+def small_runner(scenario) -> LongitudinalRunner:
+    """Runner over the small consortium — fast, for sweeps."""
+    return LongitudinalRunner(
+        scenario,
+        consortium_factory=lambda hub: small_consortium(hub),
+        framework_factory=lambda c, hub: build_framework(c, hub, n_tools=8),
+    )
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture
+def print_banner():
+    return banner

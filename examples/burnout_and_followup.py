@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""The paper's two dynamic risks, simulated (Sec. VI).
+
+1. "Hackathons cannot be used as a day-to-day practice... the team may
+   easily burn out": sweep the hackathon cadence and watch consortium
+   energy and output collapse at high frequency.
+2. "The longer-term focus can be missed without proper follow-up":
+   compare post-hackathon tie survival with and without follow-up plans.
+
+Run with:  python examples/burnout_and_followup.py
+"""
+
+from repro.reporting import ascii_table
+from repro.simulation import (
+    LongitudinalRunner,
+    PlenarySpec,
+    Scenario,
+    hackathon_everywhere_timeline,
+)
+
+
+def cadence_sweep() -> None:
+    print("Risk 3 — cadence sweep (10 hackathons at each interval):")
+    rows = []
+    for interval in (0.25, 0.5, 1.0, 2.0, 6.0):
+        scenario = hackathon_everywhere_timeline(
+            seed=0, interval_months=interval, count=10
+        )
+        history = LongitudinalRunner(scenario).run()
+        rows.append([
+            f"every {interval} months",
+            round(min(r.mean_energy for r in history.records), 2),
+            round(max(r.burnout_rate for r in history.records), 2),
+            history.totals["convincing_demos"],
+            round(history.totals["knowledge_transferred"], 1),
+        ])
+    print(ascii_table(
+        ["cadence", "min mean energy", "peak burnout rate",
+         "convincing demos", "knowledge transferred"],
+        rows,
+    ))
+    print(
+        "Expected shape: below ~monthly cadence, energy collapses and the "
+        "convincing-demo yield drops — the paper's burnout warning.\n"
+    )
+
+
+def followup_comparison() -> None:
+    print("Risk 2 — follow-up on/off after a single hackathon:")
+    rows = []
+    for followup in (True, False):
+        scenario = Scenario(
+            name=f"followup-{followup}",
+            seed=0,
+            plenaries=(PlenarySpec("kickoff", 0.0, "hackathon"),),
+            followup_enabled=followup,
+            horizon_months=18.0,
+        )
+        history = LongitudinalRunner(scenario).run()
+        rows.append([
+            "with follow-up" if followup else "without follow-up",
+            history.records[0].network_metrics.inter_org_ties,
+            history.totals["final_inter_org_ties"],
+        ])
+    print(ascii_table(
+        ["condition", "inter-org ties at event", "ties 18 months later"],
+        rows,
+    ))
+    print(
+        "Expected shape: without follow-up the hackathon's ties decay back "
+        "toward nothing; follow-up preserves a substantial fraction."
+    )
+
+
+def main() -> None:
+    cadence_sweep()
+    followup_comparison()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Deliverable tracking: the paper's causal chain made visible.
+
+"The technical persons is actually producing the deliverables and would
+stronger benefit from tighter links with colleagues in other
+organizations working on the same deliverables" (Sec. III-B).
+
+This example runs the hackathon timeline and the all-traditional
+counterfactual over the same work plan and prints the deliverable
+status boards side by side, plus the per-work-package production rates
+that explain the difference.
+
+Run with:  python examples/deliverable_tracking.py [seed]
+"""
+
+import sys
+
+from repro.reporting import ascii_table
+from repro.simulation import (
+    LongitudinalRunner,
+    baseline_timeline,
+    megamart_timeline,
+)
+
+
+def main(seed: int = 0) -> None:
+    treatment = LongitudinalRunner(megamart_timeline(seed=seed))
+    t_history = treatment.run()
+    baseline = LongitudinalRunner(baseline_timeline(seed=seed))
+    b_history = baseline.run()
+    horizon = t_history.scenario.end_month
+
+    for label, runner, history in (
+        ("HACKATHON TIMELINE", treatment, t_history),
+        ("TRADITIONAL COUNTERFACTUAL", baseline, b_history),
+    ):
+        print(f"\n=== {label} ===")
+        plan = history.workplan
+        rows = [
+            [d, wp, f"M{due:.1f}", f"{progress:.0%}", status]
+            for d, wp, due, progress, status in plan.status_rows(horizon)
+        ]
+        print(ascii_table(
+            ["deliverable", "WP", "due", "progress", "status"], rows,
+        ))
+        print(
+            f"completed: {sum(1 for d in plan.deliverables() if d.is_complete)}"
+            f"/{len(plan.deliverables())} | on-time rate: "
+            f"{plan.on_time_rate():.0%} | mean delay: "
+            f"{plan.mean_delay(horizon):.1f} months"
+        )
+
+        print("\nWork-package production rates at project end:")
+        wp_rows = []
+        org_pairs = runner.network.org_tie_pairs()
+        for wp in plan.work_packages:
+            wp_rows.append([
+                wp.wp_id,
+                wp.name,
+                len(wp.partner_org_ids),
+                round(wp.knowledge_coverage(runner.consortium), 2),
+                round(wp.collaboration_factor(
+                    runner.consortium, runner.network, org_pairs), 2),
+                round(wp.monthly_progress_rate(
+                    runner.consortium, runner.network, plan.base_rate,
+                    org_pairs), 3),
+            ])
+        print(ascii_table(
+            ["WP", "scope", "partners", "knowledge", "collaboration",
+             "rate/month"],
+            wp_rows,
+        ))
+
+    print(
+        "\nExpected shape: the hackathon's inter-organisation ties raise "
+        "every technical WP's collaboration factor, so the same work plan "
+        "ships more deliverables, more of them on time."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 0)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Compare team-formation policies on identical hackathon worlds.
+
+The paper's process forms teams from subscriptions (owner members +
+subscribed providers + volunteers).  This example pits that policy
+against an organiser-balanced assignment and a random baseline, holding
+everything else fixed, and reports demo quality and owner/provider
+mixing — the ABL-TEAM ablation as a runnable script.
+
+Run with:  python examples/team_formation_policies.py [replicates]
+"""
+
+import sys
+
+from repro import RngHub, build_framework, megamart2
+from repro.core import (
+    BalancedFormation,
+    HackathonConfig,
+    HackathonEvent,
+    RandomFormation,
+    SubscriptionBasedFormation,
+)
+from repro.reporting import ascii_table
+from repro.stats import describe
+
+POLICIES = (SubscriptionBasedFormation, BalancedFormation, RandomFormation)
+
+
+def run_once(policy_cls, seed: int) -> dict:
+    hub = RngHub(seed)
+    consortium = megamart2(hub)
+    framework = build_framework(consortium, hub)
+    event = HackathonEvent(
+        consortium, framework, hub,
+        HackathonConfig(event_id=f"evt-{policy_cls.name}-{seed}"),
+        team_policy=policy_cls(),
+    )
+    outcome = event.run(consortium.members)
+    mixed = [
+        t for t in outcome.teams
+        if t.has_owner_member() and t.has_provider_member()
+    ]
+    return {
+        "mean_quality": (
+            sum(d.overall_quality for d in outcome.demos) / len(outcome.demos)
+            if outcome.demos else 0.0
+        ),
+        "mean_completion": outcome.mean_completion(),
+        "convincing": len(outcome.convincing_demos()),
+        "mixed_teams_fraction": len(mixed) / len(outcome.teams)
+        if outcome.teams else 0.0,
+    }
+
+
+def main(replicates: int = 5) -> None:
+    rows = []
+    for policy_cls in POLICIES:
+        runs = [run_once(policy_cls, seed) for seed in range(replicates)]
+        quality = describe([r["mean_quality"] for r in runs])
+        completion = describe([r["mean_completion"] for r in runs])
+        convincing = describe([float(r["convincing"]) for r in runs])
+        mixing = describe([r["mixed_teams_fraction"] for r in runs])
+        rows.append([
+            policy_cls.name,
+            round(quality.mean, 3),
+            round(completion.mean, 3),
+            round(convincing.mean, 1),
+            round(mixing.mean, 2),
+        ])
+    print(ascii_table(
+        ["policy", "demo quality", "completion", "convincing demos",
+         "owner+provider teams"],
+        rows,
+        title=f"Team-formation policies over {replicates} seeds "
+              "(full MegaM@Rt2 consortium)",
+    ))
+    print(
+        "\nExpected shape: the paper's subscription policy maximises "
+        "owner+provider mixing and demo quality; random is the floor."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 5)

@@ -1,0 +1,52 @@
+"""repro — collaboration dynamics in large collaborative projects.
+
+A simulation framework reproducing the MegaM@Rt2 internal-hackathon
+case study (Sadovykh et al., DATE 2019).  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for the paper-vs-measured record.
+
+Typical entry points:
+
+>>> from repro import megamart2, RngHub
+>>> consortium = megamart2(RngHub(42))
+>>> consortium.composition().beneficiaries
+27
+
+Run a full hackathon-vs-traditional comparison:
+
+>>> from repro.simulation import (megamart_timeline, baseline_timeline,
+...                               compare_scenarios)
+>>> result = compare_scenarios(megamart_timeline(), baseline_timeline(),
+...                            seeds=range(5))  # doctest: +SKIP
+"""
+
+from repro.consortium import Consortium, megamart2, small_consortium
+from repro.core import HackathonConfig, HackathonEvent
+from repro.errors import ReproError
+from repro.framework import build_framework
+from repro.rng import RngHub
+from repro.simulation import (
+    LongitudinalRunner,
+    Scenario,
+    baseline_timeline,
+    compare_scenarios,
+    megamart_timeline,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Consortium",
+    "HackathonConfig",
+    "HackathonEvent",
+    "LongitudinalRunner",
+    "ReproError",
+    "RngHub",
+    "Scenario",
+    "__version__",
+    "baseline_timeline",
+    "build_framework",
+    "compare_scenarios",
+    "megamart2",
+    "megamart_timeline",
+    "small_consortium",
+]

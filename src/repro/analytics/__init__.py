@@ -1,0 +1,32 @@
+"""Analytics substrate: knowledge flow, inequality, trajectories.
+
+Public API:
+
+* :func:`gini`, :func:`engagement_gini`, :func:`participation_counts`
+* :func:`org_knowledge_totals`, :func:`domain_coverage`,
+  :class:`KnowledgeFlowTracker`
+* :class:`Trajectory`, :class:`TrajectoryPoint`
+"""
+
+from repro.analytics.inequality import (
+    engagement_gini,
+    gini,
+    participation_counts,
+)
+from repro.analytics.knowledge_flow import (
+    KnowledgeFlowTracker,
+    domain_coverage,
+    org_knowledge_totals,
+)
+from repro.analytics.trajectory import Trajectory, TrajectoryPoint
+
+__all__ = [
+    "KnowledgeFlowTracker",
+    "Trajectory",
+    "TrajectoryPoint",
+    "domain_coverage",
+    "engagement_gini",
+    "gini",
+    "org_knowledge_totals",
+    "participation_counts",
+]

@@ -1,0 +1,59 @@
+"""Inequality measures over participation and engagement.
+
+Prerequisite 5 of the paper's hackathon is "an inclusive environment
+where everybody feels concerned".  A direct quantitative reading: the
+distribution of engagement (or of interaction counts) across attendees
+should not be concentrated in a few people.  The Gini coefficient is the
+standard scalar for that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.dynamics import Interaction
+
+__all__ = ["gini", "participation_counts", "engagement_gini"]
+
+
+def gini(values: Sequence[float]) -> float:
+    """Gini coefficient in [0, 1]; 0 = perfectly equal.
+
+    Uses the standard mean-absolute-difference formulation.  All values
+    must be non-negative; an all-zero sample is perfectly equal (0.0).
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ConfigurationError("cannot compute Gini of an empty sample")
+    if (data < 0).any():
+        raise ConfigurationError("Gini requires non-negative values")
+    total = data.sum()
+    if total == 0.0:
+        return 0.0
+    data = np.sort(data)
+    n = data.size
+    index = np.arange(1, n + 1)
+    return float((2.0 * (index * data).sum() - (n + 1) * total) / (n * total))
+
+
+def participation_counts(
+    interactions: Iterable[Interaction], member_ids: Iterable[str]
+) -> Dict[str, int]:
+    """Interactions per member, including zero-interaction members."""
+    counts = {mid: 0 for mid in member_ids}
+    for interaction in interactions:
+        if interaction.member_a in counts:
+            counts[interaction.member_a] += 1
+        if interaction.member_b in counts:
+            counts[interaction.member_b] += 1
+    return counts
+
+
+def engagement_gini(engagement_by_member: Dict[str, float]) -> float:
+    """Gini of per-member engagement — the inclusiveness scalar."""
+    if not engagement_by_member:
+        raise ConfigurationError("no engagement values")
+    return gini(list(engagement_by_member.values()))

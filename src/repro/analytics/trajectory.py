@@ -1,0 +1,99 @@
+"""Monthly trajectories of project state.
+
+The longitudinal runner samples the collaboration network and consortium
+energy once per simulated month, producing time series that benches and
+examples plot as tie-survival curves — the quantitative face of the
+paper's "long-term effects are still under observation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TrajectoryPoint", "Trajectory"]
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """Project state sampled at one month."""
+
+    month: float
+    inter_org_ties: int
+    total_tie_strength: float
+    mean_energy: float
+    event: Optional[str] = None  # plenary name when sampled at an event
+
+
+class Trajectory:
+    """An append-only, time-ordered series of :class:`TrajectoryPoint`."""
+
+    def __init__(self) -> None:
+        self._points: List[TrajectoryPoint] = []
+
+    def record(self, point: TrajectoryPoint) -> None:
+        if self._points and point.month < self._points[-1].month:
+            raise ConfigurationError(
+                f"trajectory must be time-ordered: month {point.month} after "
+                f"{self._points[-1].month}"
+            )
+        self._points.append(point)
+
+    @property
+    def points(self) -> List[TrajectoryPoint]:
+        return list(self._points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def months(self) -> List[float]:
+        return [p.month for p in self._points]
+
+    def series(self, attribute: str) -> List[Tuple[float, float]]:
+        """(month, value) pairs for one point attribute."""
+        if attribute not in ("inter_org_ties", "total_tie_strength",
+                             "mean_energy"):
+            raise ConfigurationError(f"unknown trajectory attribute {attribute!r}")
+        return [(p.month, float(getattr(p, attribute))) for p in self._points]
+
+    def event_points(self) -> List[TrajectoryPoint]:
+        """Points sampled at plenary events."""
+        return [p for p in self._points if p.event is not None]
+
+    def peak(self, attribute: str) -> TrajectoryPoint:
+        """The point where ``attribute`` is maximal (earliest on ties)."""
+        series = self.series(attribute)
+        if not series:
+            raise ConfigurationError("trajectory is empty")
+        best_idx = max(range(len(series)), key=lambda i: (series[i][1], -i))
+        return self._points[best_idx]
+
+    def value_at(self, month: float, attribute: str) -> float:
+        """Last sampled value at or before ``month``.
+
+        Raises if the trajectory has no point that early.
+        """
+        series = self.series(attribute)
+        value = None
+        for m, v in series:
+            if m <= month:
+                value = v
+            else:
+                break
+        if value is None:
+            raise ConfigurationError(
+                f"no trajectory point at or before month {month}"
+            )
+        return value
+
+    def survival_fraction(
+        self, attribute: str = "inter_org_ties"
+    ) -> float:
+        """Final value as a fraction of the peak (1.0 if peak is zero)."""
+        peak_value = float(getattr(self.peak(attribute), attribute))
+        if peak_value == 0.0:
+            return 1.0
+        final_value = float(getattr(self._points[-1], attribute))
+        return final_value / peak_value

@@ -1,0 +1,272 @@
+"""Command-line interface.
+
+Four subcommands, all seeded and deterministic:
+
+* ``repro-sim run`` — run one timeline and print the per-plenary table.
+* ``repro-sim compare`` — hackathon vs traditional over N seeds.
+* ``repro-sim figures`` — regenerate the paper's Figs. 1-4 as text.
+* ``repro-sim hackathon`` — one standalone hackathon event.
+* ``repro-sim sweep`` — sweep hackathon cadence or session length.
+* ``repro-sim export`` — run a timeline and export the full history.
+
+Usage (installed via the ``repro-sim`` console script, or
+``python -m repro.cli``)::
+
+    repro-sim run --timeline hackathon --seed 3
+    repro-sim compare --seeds 5
+    repro-sim figures --seed 0
+    repro-sim hackathon --variant tghl --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro import RngHub, build_framework, megamart2
+from repro.core.variants import ALL_VARIANTS, build_variant_event
+from repro.culture import MEGAMART_COUNTRIES, render_ascii_chart
+from repro.reporting import (
+    ascii_table,
+    bar_chart,
+    export_history_json,
+    export_trajectory_csv,
+    histogram,
+    to_json,
+)
+from repro.simulation import (
+    LongitudinalRunner,
+    PlenarySpec,
+    Scenario,
+    baseline_timeline,
+    compare_scenarios,
+    hackathon_everywhere_timeline,
+    interleaved_timeline,
+    megamart_timeline,
+    run_sweep,
+    virtual_timeline,
+)
+
+__all__ = ["main", "build_parser"]
+
+TIMELINES: Dict[str, Callable[[int], Scenario]] = {
+    "hackathon": lambda seed: megamart_timeline(seed=seed),
+    "traditional": lambda seed: baseline_timeline(seed=seed),
+    "interleaved": lambda seed: interleaved_timeline(seed=seed),
+    "virtual": lambda seed: virtual_timeline(seed=seed),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Simulate collaboration dynamics in large collaborative "
+        "projects (MegaM@Rt2 hackathon case study, DATE 2019).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one timeline end to end")
+    run.add_argument("--timeline", choices=sorted(TIMELINES), default="hackathon")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--json", metavar="PATH", default=None,
+                     help="also export totals as JSON")
+
+    compare = sub.add_parser("compare",
+                             help="hackathon vs traditional over N seeds")
+    compare.add_argument("--seeds", type=int, default=3,
+                         help="number of replicate seeds (default 3)")
+
+    figures = sub.add_parser("figures", help="regenerate Figs. 1-4 as text")
+    figures.add_argument("--seed", type=int, default=0)
+
+    hack = sub.add_parser("hackathon", help="run one standalone hackathon")
+    hack.add_argument("--variant", choices=sorted(ALL_VARIANTS),
+                      default="megamart")
+    hack.add_argument("--seed", type=int, default=0)
+    hack.add_argument("--json", metavar="PATH", default=None)
+
+    sweep = sub.add_parser("sweep",
+                           help="sweep hackathon cadence or session length")
+    sweep.add_argument("--parameter", choices=("cadence", "session-hours"),
+                       default="cadence")
+    sweep.add_argument("--seeds", type=int, default=2)
+
+    export = sub.add_parser("export",
+                            help="run a timeline and export the history")
+    export.add_argument("--timeline", choices=sorted(TIMELINES),
+                        default="hackathon")
+    export.add_argument("--seed", type=int, default=0)
+    export.add_argument("--json", metavar="PATH", required=True)
+    export.add_argument("--trajectory-csv", metavar="PATH", default=None)
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = TIMELINES[args.timeline](args.seed)
+    history = LongitudinalRunner(scenario).run()
+    rows = [
+        [r.spec.name, r.spec.kind, len(r.meeting.attendee_ids),
+         round(r.meeting.technical_share, 2),
+         r.network_metrics.inter_org_ties, r.applications_started]
+        for r in history.records
+    ]
+    print(ascii_table(
+        ["plenary", "kind", "attendees", "tech share", "inter-org ties",
+         "tool apps"],
+        rows, title=f"timeline {scenario.name!r} (seed {args.seed})",
+    ))
+    print("\ntotals:")
+    for key in sorted(history.totals):
+        print(f"  {key}: {history.totals[key]:.2f}")
+    if args.json:
+        to_json(args.json, history.totals)
+        print(f"\ntotals written to {args.json}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.seeds < 1:
+        print("error: --seeds must be >= 1", file=sys.stderr)
+        return 2
+    result = compare_scenarios(
+        megamart_timeline(), baseline_timeline(), seeds=range(args.seeds)
+    )
+    rows = []
+    for comparison in result.all_comparisons():
+        rows.append([
+            comparison.metric,
+            round(comparison.summary_a.mean, 1),
+            round(comparison.summary_b.mean, 1),
+            "inf" if comparison.ratio == float("inf")
+            else round(comparison.ratio, 1),
+            round(comparison.test.p_value, 4),
+        ])
+    print(ascii_table(
+        ["KPI", "hackathon", "traditional", "ratio", "p (MWU)"],
+        rows, title=f"hackathon vs traditional over {args.seeds} seeds",
+    ))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    history = LongitudinalRunner(megamart_timeline(seed=args.seed)).run()
+    helsinki = history.record_for("Helsinki")
+
+    print("FIG1 — Hofstede country comparison")
+    print(render_ascii_chart(MEGAMART_COUNTRIES, width=30))
+
+    print("FIG2 — challenge evaluation (criterion means, 0-5)")
+    for challenge_id, means in helsinki.outcome.score_table()[:3]:
+        print(f"  {challenge_id}")
+        for criterion, mean in means.items():
+            print(f"    {criterion:<26} {mean:.2f}")
+
+    print("\nFIG3 — best parts of the plenary")
+    print(bar_chart(helsinki.survey.best_parts_ranked(), width=30))
+
+    print("\nFIG4 — comment sentiment")
+    print(histogram(helsinki.sentiment, width=30))
+    return 0
+
+
+def _cmd_hackathon(args: argparse.Namespace) -> int:
+    hub = RngHub(args.seed)
+    consortium = megamart2(hub)
+    framework = build_framework(consortium, hub)
+    variant = ALL_VARIANTS[args.variant]()
+    event = build_variant_event(variant, consortium, framework, hub)
+    outcome = event.run(consortium.members)
+
+    print(f"variant: {variant.key} — {variant.description}")
+    rows = [
+        [score.challenge_id, round(score.overall, 2),
+         outcome.demo_for(score.challenge_id).is_convincing]
+        for score in outcome.scores
+    ]
+    print(ascii_table(["challenge", "overall score", "convincing"], rows))
+    print(f"showcases: {', '.join(outcome.showcase_ids)}")
+    if args.json:
+        payload = {
+            "variant": variant.key,
+            "scores": {s.challenge_id: s.overall for s in outcome.scores},
+            "showcases": outcome.showcase_ids,
+            "convincing": len(outcome.convincing_demos()),
+        }
+        to_json(args.json, payload)
+        print(f"outcome written to {args.json}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.seeds < 1:
+        print("error: --seeds must be >= 1", file=sys.stderr)
+        return 2
+    if args.parameter == "cadence":
+        values = [1.0, 2.0, 6.0]
+        factory = lambda interval, seed: hackathon_everywhere_timeline(
+            seed=seed, interval_months=interval, count=6
+        )
+        label_fn = lambda v: f"every {v:g} months"
+    else:
+        values = [2.0, 4.0, 8.0]
+
+        def factory(hours, seed):
+            return Scenario(
+                name=f"session-{hours}",
+                seed=seed,
+                plenaries=(
+                    PlenarySpec("Rome", 0.0, "traditional"),
+                    PlenarySpec("Helsinki", 6.0, "hackathon",
+                                session_hours=hours),
+                    PlenarySpec("Paris", 12.0, "hackathon",
+                                session_hours=hours),
+                ),
+                horizon_months=18.0,
+            )
+
+        label_fn = lambda v: f"2 x {v:g} h"
+
+    result = run_sweep(
+        args.parameter, values, factory, seeds=range(args.seeds),
+        label_fn=label_fn,
+    )
+    metrics = ("convincing_demos", "knowledge_transferred",
+               "final_burnout_rate")
+    print(ascii_table(
+        [args.parameter] + list(metrics),
+        result.table_rows(metrics),
+        title=f"sweep of {args.parameter} over {args.seeds} seed(s)",
+    ))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    scenario = TIMELINES[args.timeline](args.seed)
+    history = LongitudinalRunner(scenario).run()
+    path = export_history_json(history, args.json)
+    print(f"history written to {path}")
+    if args.trajectory_csv:
+        csv_path = export_trajectory_csv(history, args.trajectory_csv)
+        print(f"trajectory written to {csv_path}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "figures": _cmd_figures,
+    "hackathon": _cmd_hackathon,
+    "sweep": _cmd_sweep,
+    "export": _cmd_export,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Cognitive-distance substrate (Nooteboom inverted-U learning).
+
+Public API re-exported here:
+
+* :class:`KnowledgeVector` — member expertise profiles.
+* :func:`cognitive_distance`, :func:`team_diversity` — distance metrics.
+* :class:`LearningModel` — inverted-U learning and knowledge transfer.
+"""
+
+from repro.cognition.distance import (
+    cognitive_distance,
+    distance_report,
+    mean_distance_to_group,
+    novelty,
+    pairwise_distance_matrix,
+    team_diversity,
+    understanding,
+)
+from repro.cognition.knowledge import DEFAULT_DOMAINS, KnowledgeVector
+from repro.cognition.learning import LearningModel, optimal_distance
+
+__all__ = [
+    "DEFAULT_DOMAINS",
+    "KnowledgeVector",
+    "LearningModel",
+    "cognitive_distance",
+    "distance_report",
+    "mean_distance_to_group",
+    "novelty",
+    "optimal_distance",
+    "pairwise_distance_matrix",
+    "team_diversity",
+    "understanding",
+]

@@ -1,0 +1,168 @@
+"""Knowledge profiles of project members.
+
+A :class:`KnowledgeVector` maps *knowledge domains* (model-based design,
+runtime verification, avionics, telecoms...) to proficiency levels in
+[0, 1].  The cognitive-distance machinery of Nooteboom — which the paper
+cites as the theoretical ground for why large consortia struggle — is
+built on top of these profiles in :mod:`repro.cognition.distance`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Mapping, Tuple
+
+__all__ = ["KnowledgeVector", "DEFAULT_DOMAINS"]
+
+#: Knowledge domains used by the MegaM@Rt2 preset.  They mirror the
+#: project's technical scope (Sec. II): scalable model-based methods,
+#: runtime V&V, traceability, plus the industrial application domains.
+DEFAULT_DOMAINS: Tuple[str, ...] = (
+    "model_based_design",
+    "runtime_verification",
+    "static_analysis",
+    "traceability",
+    "requirements_engineering",
+    "performance_analysis",
+    "embedded_systems",
+    "telecom",
+    "transportation",
+    "logistics",
+    "avionics",
+    "testing",
+)
+
+
+class KnowledgeVector:
+    """A sparse mapping from knowledge domain to proficiency in [0, 1].
+
+    The class behaves like a read-mostly mapping with vector-space
+    helpers (cosine similarity, blending, transfer).  Missing domains
+    read as 0.0 proficiency.
+
+    Examples
+    --------
+    >>> kv = KnowledgeVector({"testing": 0.8, "telecom": 0.3})
+    >>> kv["testing"]
+    0.8
+    >>> kv["avionics"]
+    0.0
+    """
+
+    __slots__ = ("_levels",)
+
+    def __init__(self, levels: Mapping[str, float] = ()) -> None:
+        self._levels: Dict[str, float] = {}
+        for domain, level in dict(levels).items():
+            self._set(domain, level)
+
+    def _set(self, domain: str, level: float) -> None:
+        if not isinstance(domain, str) or not domain:
+            raise ValueError(f"domain must be a non-empty string, got {domain!r}")
+        if not 0.0 <= level <= 1.0:
+            raise ValueError(
+                f"proficiency for {domain!r} must be in [0,1], got {level}"
+            )
+        if level > 0.0:
+            self._levels[domain] = float(level)
+        else:
+            self._levels.pop(domain, None)
+
+    def __getitem__(self, domain: str) -> float:
+        return self._levels.get(domain, 0.0)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._levels
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._levels))
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KnowledgeVector):
+            return NotImplemented
+        return self._levels == other._levels
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{d}={v:.2f}" for d, v in sorted(self._levels.items()))
+        return f"KnowledgeVector({inner})"
+
+    def domains(self) -> List[str]:
+        """Domains with non-zero proficiency, sorted."""
+        return sorted(self._levels)
+
+    def items(self) -> List[Tuple[str, float]]:
+        return sorted(self._levels.items())
+
+    def as_dict(self) -> Dict[str, float]:
+        """A plain-dict copy of the non-zero levels."""
+        return dict(self._levels)
+
+    def norm(self) -> float:
+        """Euclidean norm of the proficiency vector."""
+        return math.sqrt(sum(v * v for v in self._levels.values()))
+
+    def total(self) -> float:
+        """Sum of proficiencies — a scalar "amount of knowledge"."""
+        return sum(self._levels.values())
+
+    def cosine_similarity(self, other: "KnowledgeVector") -> float:
+        """Cosine similarity in [0, 1]; 0.0 if either vector is empty."""
+        na, nb = self.norm(), other.norm()
+        if na == 0.0 or nb == 0.0:
+            return 0.0
+        dot = sum(v * other[d] for d, v in self._levels.items())
+        return min(1.0, max(0.0, dot / (na * nb)))
+
+    def overlap(self, other: "KnowledgeVector") -> float:
+        """Jaccard overlap of the supported domains, in [0, 1]."""
+        mine, theirs = set(self._levels), set(other._levels)
+        if not mine and not theirs:
+            return 0.0
+        return len(mine & theirs) / len(mine | theirs)
+
+    def coverage_of(self, required: Iterable[str]) -> float:
+        """Mean proficiency over ``required`` domains (0.0 if empty).
+
+        Used to score how well a member (or a pooled team vector)
+        covers a challenge's required domains.
+        """
+        req = list(required)
+        if not req:
+            return 0.0
+        return sum(self[d] for d in req) / len(req)
+
+    def updated(self, domain: str, level: float) -> "KnowledgeVector":
+        """Return a copy with ``domain`` set to ``level``."""
+        levels = dict(self._levels)
+        new = KnowledgeVector(levels)
+        new._set(domain, level)
+        return new
+
+    def absorb(self, other: "KnowledgeVector", rate: float) -> "KnowledgeVector":
+        """Learn from ``other``: move each domain toward the max of the two.
+
+        ``rate`` in [0, 1] is the fraction of the gap closed; it is the
+        output of the learning model (inverted-U in cognitive distance).
+        Returns a new vector; proficiency never decreases.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"absorb rate must be in [0,1], got {rate}")
+        levels = dict(self._levels)
+        for domain, theirs in other._levels.items():
+            mine = levels.get(domain, 0.0)
+            if theirs > mine:
+                levels[domain] = mine + rate * (theirs - mine)
+        return KnowledgeVector(levels)
+
+    @staticmethod
+    def pooled(vectors: Iterable["KnowledgeVector"]) -> "KnowledgeVector":
+        """Domain-wise maximum over ``vectors`` — a team's joint profile."""
+        levels: Dict[str, float] = {}
+        for vec in vectors:
+            for domain, level in vec._levels.items():
+                if level > levels.get(domain, 0.0):
+                    levels[domain] = level
+        return KnowledgeVector(levels)

@@ -1,0 +1,63 @@
+"""Consortium substrate: organisations, members, funding, presets.
+
+Public API:
+
+* :class:`Organization`, :class:`OrgType`, :class:`ProjectRole`
+* :class:`Member`, :class:`StaffRole`, :class:`Seniority`
+* :class:`Consortium`, :class:`CompositionSummary`
+* :class:`FundingScheme`, :func:`default_ecsel_scheme`
+* :class:`StaffGenerator`, :class:`StaffingProfile`
+* :class:`ProjectRegistry` and the published ECSEL statistics
+* :func:`megamart2`, :func:`small_consortium` presets
+"""
+
+from repro.consortium.builder import DEFAULT_PROFILES, StaffGenerator, StaffingProfile
+from repro.consortium.consortium import CompositionSummary, Consortium
+from repro.consortium.funding import FundingRate, FundingScheme, default_ecsel_scheme
+from repro.consortium.member import Member, Seniority, StaffRole
+from repro.consortium.organization import (
+    Organization,
+    OrgType,
+    ProjectRole,
+    make_org,
+)
+from repro.consortium.presets import (
+    MEGAMART_SPECIALITIES,
+    megamart2,
+    megamart2_organizations,
+    small_consortium,
+)
+from repro.consortium.registry import (
+    ECSEL_PROJECT_COUNT,
+    ECSEL_SIZE_RANGE,
+    PUBLISHED_PROGRAMME_STATS,
+    ProgrammeStats,
+    ProjectRegistry,
+)
+
+__all__ = [
+    "DEFAULT_PROFILES",
+    "CompositionSummary",
+    "Consortium",
+    "ECSEL_PROJECT_COUNT",
+    "ECSEL_SIZE_RANGE",
+    "FundingRate",
+    "FundingScheme",
+    "MEGAMART_SPECIALITIES",
+    "Member",
+    "Organization",
+    "OrgType",
+    "ProgrammeStats",
+    "ProjectRegistry",
+    "ProjectRole",
+    "PUBLISHED_PROGRAMME_STATS",
+    "Seniority",
+    "StaffGenerator",
+    "StaffRole",
+    "StaffingProfile",
+    "default_ecsel_scheme",
+    "make_org",
+    "megamart2",
+    "megamart2_organizations",
+    "small_consortium",
+]

@@ -1,0 +1,176 @@
+"""The consortium container: organisations plus their members.
+
+:class:`Consortium` is the central directory every other subsystem
+queries: who owns case studies, who provides tools, which members are
+technical, what countries are represented, and the composition counts
+the paper publishes for MegaM@Rt2.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.consortium.member import Member, StaffRole
+from repro.consortium.organization import Organization, OrgType, ProjectRole
+from repro.errors import ConsortiumError
+
+__all__ = ["Consortium", "CompositionSummary"]
+
+
+@dataclass(frozen=True)
+class CompositionSummary:
+    """The headline composition numbers (paper Sec. III-A)."""
+
+    beneficiaries: int
+    universities: int
+    research_centers: int
+    smes: int
+    large_enterprises: int
+    countries: int
+    members: int
+    technical_members: int
+
+    @property
+    def academia(self) -> int:
+        return self.universities + self.research_centers
+
+
+class Consortium:
+    """A registry of organisations and members with integrity checks."""
+
+    def __init__(self, name: str = "consortium") -> None:
+        self.name = name
+        self._orgs: Dict[str, Organization] = {}
+        self._members: Dict[str, Member] = {}
+        self._members_by_org: Dict[str, List[str]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_organization(self, org: Organization) -> None:
+        if org.org_id in self._orgs:
+            raise ConsortiumError(f"duplicate organisation id {org.org_id!r}")
+        self._orgs[org.org_id] = org
+        self._members_by_org.setdefault(org.org_id, [])
+
+    def add_member(self, member: Member) -> None:
+        if member.member_id in self._members:
+            raise ConsortiumError(f"duplicate member id {member.member_id!r}")
+        if member.org_id not in self._orgs:
+            raise ConsortiumError(
+                f"member {member.member_id!r} references unknown "
+                f"organisation {member.org_id!r}"
+            )
+        self._members[member.member_id] = member
+        self._members_by_org[member.org_id].append(member.member_id)
+
+    # -- lookups ----------------------------------------------------------
+
+    def organization(self, org_id: str) -> Organization:
+        try:
+            return self._orgs[org_id]
+        except KeyError:
+            raise ConsortiumError(f"unknown organisation id {org_id!r}") from None
+
+    def member(self, member_id: str) -> Member:
+        try:
+            return self._members[member_id]
+        except KeyError:
+            raise ConsortiumError(f"unknown member id {member_id!r}") from None
+
+    def organization_of(self, member: Member) -> Organization:
+        return self.organization(member.org_id)
+
+    def country_of(self, member_id: str) -> str:
+        return self.organization_of(self.member(member_id)).country
+
+    # -- collections ------------------------------------------------------
+
+    @property
+    def organizations(self) -> List[Organization]:
+        return [self._orgs[k] for k in sorted(self._orgs)]
+
+    @property
+    def members(self) -> List[Member]:
+        return [self._members[k] for k in sorted(self._members)]
+
+    def members_of(self, org_id: str) -> List[Member]:
+        self.organization(org_id)  # raise on unknown id
+        return [self._members[m] for m in sorted(self._members_by_org[org_id])]
+
+    def organizations_by_type(self, org_type: OrgType) -> List[Organization]:
+        return [o for o in self.organizations if o.org_type is org_type]
+
+    def organizations_with_role(self, role: ProjectRole) -> List[Organization]:
+        return [o for o in self.organizations if role in o.roles]
+
+    @property
+    def case_study_owners(self) -> List[Organization]:
+        return self.organizations_with_role(ProjectRole.CASE_STUDY_OWNER)
+
+    @property
+    def tool_providers(self) -> List[Organization]:
+        return self.organizations_with_role(ProjectRole.TOOL_PROVIDER)
+
+    def technical_members(
+        self, org_id: Optional[str] = None
+    ) -> List[Member]:
+        pool = self.members_of(org_id) if org_id else self.members
+        return [m for m in pool if m.is_technical]
+
+    def managers(self, org_id: Optional[str] = None) -> List[Member]:
+        pool = self.members_of(org_id) if org_id else self.members
+        return [m for m in pool if m.role is StaffRole.MANAGER]
+
+    @property
+    def countries(self) -> List[str]:
+        return sorted({o.country for o in self.organizations})
+
+    # -- summaries --------------------------------------------------------
+
+    def composition(self) -> CompositionSummary:
+        by_type = Counter(o.org_type for o in self.organizations)
+        return CompositionSummary(
+            beneficiaries=len(self._orgs),
+            universities=by_type[OrgType.UNIVERSITY],
+            research_centers=by_type[OrgType.RESEARCH_CENTER],
+            smes=by_type[OrgType.SME],
+            large_enterprises=by_type[OrgType.LARGE_ENTERPRISE],
+            countries=len(self.countries),
+            members=len(self._members),
+            technical_members=len(self.technical_members()),
+        )
+
+    def validate(self) -> None:
+        """Check cross-references and minimal viability.
+
+        Raises :class:`ConsortiumError` when the consortium cannot host
+        a hackathon: no case-study owner, no tool provider, or an
+        organisation without members.
+        """
+        if not self.case_study_owners:
+            raise ConsortiumError(
+                f"{self.name}: no case-study owner organisation"
+            )
+        if not self.tool_providers:
+            raise ConsortiumError(f"{self.name}: no tool-provider organisation")
+        empty = [o.org_id for o in self.organizations if not self._members_by_org[o.org_id]]
+        if empty:
+            raise ConsortiumError(
+                f"{self.name}: organisations without members: {empty}"
+            )
+
+    def __len__(self) -> int:
+        return len(self._orgs)
+
+    def __repr__(self) -> str:
+        c = self.composition()
+        return (
+            f"Consortium({self.name!r}, orgs={c.beneficiaries}, "
+            f"members={c.members}, countries={c.countries})"
+        )
+
+    def subset_members(self, member_ids: Iterable[str]) -> List[Member]:
+        """Resolve a list of member ids, raising on unknowns."""
+        return [self.member(mid) for mid in member_ids]

@@ -1,0 +1,177 @@
+"""National funding schemes for ECSEL-style projects.
+
+The paper (Sec. III-A, "National clusters") reports that the European
+Commission covers 25–35 % of the total budget, while national top-ups
+vary wildly: large enterprises get nothing in France and only 10 % in
+Italy but 25 % in Finland; SMEs span 15–35 %; academia and research
+centres may receive up to 60 % of total budget.  These asymmetries
+"may impact the planning and the level of participants expertise
+engaged by each organisation" — which the attendance model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.consortium.organization import Organization, OrgType
+from repro.errors import ConfigurationError
+
+__all__ = ["FundingRate", "FundingScheme", "default_ecsel_scheme"]
+
+
+@dataclass(frozen=True)
+class FundingRate:
+    """EC + national funding rates (fractions of total budget)."""
+
+    ec_rate: float
+    national_rate: float
+
+    def __post_init__(self) -> None:
+        for label, rate in (("ec", self.ec_rate), ("national", self.national_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"{label} funding rate must be in [0,1], got {rate}"
+                )
+        if self.ec_rate + self.national_rate > 1.0:
+            raise ConfigurationError(
+                "combined funding rate cannot exceed 100 %: "
+                f"ec={self.ec_rate}, national={self.national_rate}"
+            )
+
+    @property
+    def total_rate(self) -> float:
+        """Combined public funding fraction."""
+        return self.ec_rate + self.national_rate
+
+    @property
+    def own_contribution(self) -> float:
+        """Fraction of the budget the organisation must self-fund."""
+        return 1.0 - self.total_rate
+
+
+class FundingScheme:
+    """Funding rates keyed by (country, organisation type).
+
+    The scheme answers two questions the simulator needs:
+
+    * what fraction of an organisation's budget is publicly covered
+      (:meth:`rate_for`), and
+    * how strongly cost pressure pushes an organisation toward sending
+      only managers to plenaries (:meth:`cost_pressure`) — the paper's
+      observed failure mode of traditional plenaries.
+    """
+
+    def __init__(self, ec_rate: float = 0.30) -> None:
+        if not 0.0 <= ec_rate <= 1.0:
+            raise ConfigurationError(f"ec_rate must be in [0,1], got {ec_rate}")
+        self._ec_rate = ec_rate
+        self._national: Dict[Tuple[str, OrgType], float] = {}
+
+    @property
+    def ec_rate(self) -> float:
+        return self._ec_rate
+
+    def set_national_rate(
+        self, country: str, org_type: OrgType, rate: float
+    ) -> None:
+        """Register the national top-up for ``(country, org_type)``."""
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(
+                f"national rate must be in [0,1], got {rate} "
+                f"for ({country}, {org_type.value})"
+            )
+        self._national[(country, org_type)] = rate
+
+    def national_rate(self, country: str, org_type: OrgType) -> float:
+        """National top-up, 0.0 if the pair was never registered."""
+        return self._national.get((country, org_type), 0.0)
+
+    def rate_for(self, org: Organization) -> FundingRate:
+        """Combined rate for an organisation."""
+        return FundingRate(
+            ec_rate=self._ec_rate,
+            national_rate=self.national_rate(org.country, org.org_type),
+        )
+
+    def funded_budget_keur(self, org: Organization) -> float:
+        """Publicly covered budget of ``org``, in kEUR."""
+        return org.annual_budget_keur * self.rate_for(org).total_rate
+
+    def cost_pressure(self, org: Organization) -> float:
+        """Pressure in [0, 1] to cut travel costs (send managers only).
+
+        Equal to the organisation's own-contribution fraction: a French
+        LE (0 % national support) feels maximal pressure; a 60 %-funded
+        university feels little.
+        """
+        return self.rate_for(org).own_contribution
+
+    def summary_rows(
+        self, orgs: List[Organization]
+    ) -> List[Tuple[str, str, str, float, float, float]]:
+        """Per-organisation funding summary for reporting.
+
+        Rows of ``(org_id, country, org_type, ec, national, total)``.
+        """
+        rows = []
+        for org in sorted(orgs, key=lambda o: o.org_id):
+            rate = self.rate_for(org)
+            rows.append(
+                (
+                    org.org_id,
+                    org.country,
+                    org.org_type.value,
+                    rate.ec_rate,
+                    rate.national_rate,
+                    rate.total_rate,
+                )
+            )
+        return rows
+
+
+def default_ecsel_scheme() -> FundingScheme:
+    """The funding structure reported in the paper, as a scheme.
+
+    EC covers 30 % (mid of the reported 25–35 % band).  National rates
+    follow Sec. III-A: LE — France 0 %, Italy 10 %, Finland 25 %;
+    SME — 15 % to 35 % depending on country; academia and research
+    centres up to 30 % national top-up (so that, combined with the EC
+    share, academia "may receive up to 60 % of total budget").
+    """
+    scheme = FundingScheme(ec_rate=0.30)
+    le, sme = OrgType.LARGE_ENTERPRISE, OrgType.SME
+    uni, rc = OrgType.UNIVERSITY, OrgType.RESEARCH_CENTER
+
+    national_le = {
+        "France": 0.00,
+        "Italy": 0.10,
+        "Finland": 0.25,
+        "Sweden": 0.15,
+        "Spain": 0.10,
+        "Czech Republic": 0.15,
+    }
+    national_sme = {
+        "France": 0.15,
+        "Italy": 0.20,
+        "Finland": 0.35,
+        "Sweden": 0.25,
+        "Spain": 0.20,
+        "Czech Republic": 0.25,
+    }
+    national_academia = {
+        "France": 0.25,
+        "Italy": 0.25,
+        "Finland": 0.30,
+        "Sweden": 0.30,
+        "Spain": 0.25,
+        "Czech Republic": 0.30,
+    }
+    for country, rate in national_le.items():
+        scheme.set_national_rate(country, le, rate)
+    for country, rate in national_sme.items():
+        scheme.set_national_rate(country, sme, rate)
+    for country, rate in national_academia.items():
+        scheme.set_national_rate(country, uni, rate)
+        scheme.set_national_rate(country, rc, rate)
+    return scheme

@@ -1,0 +1,140 @@
+"""Project members (the people, not the organisations).
+
+The paper's "distance" analysis (Sec. III) stresses differences in
+*expertise and seniority*: "business managers and technical persons...
+the latter are the ones who develop and deliver the actual results".
+:class:`Member` models a participant with a role, a seniority level, a
+knowledge profile (see :mod:`repro.cognition`) and an energy level used
+by the burnout risk model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cognition.knowledge import KnowledgeVector
+from repro.errors import ConsortiumError
+
+__all__ = ["StaffRole", "Seniority", "Member"]
+
+
+class StaffRole(enum.Enum):
+    """What a member does in the project (paper Sec. III / III-A)."""
+
+    MANAGER = "manager"
+    ADMINISTRATOR = "administrator"
+    ENGINEER = "engineer"
+    RESEARCHER = "researcher"
+    DEVELOPER = "developer"
+    PROFESSOR = "professor"
+    ENTREPRENEUR = "entrepreneur"
+
+    @property
+    def is_technical(self) -> bool:
+        """Technical staff are the "actual doers" of Sec. V.
+
+        Managers, administrators and entrepreneurs coordinate; engineers,
+        researchers, developers and professors produce deliverables.
+        """
+        return self in (
+            StaffRole.ENGINEER,
+            StaffRole.RESEARCHER,
+            StaffRole.DEVELOPER,
+            StaffRole.PROFESSOR,
+        )
+
+
+class Seniority(enum.Enum):
+    """Career stage, ordered from junior to senior."""
+
+    JUNIOR = 1
+    MID = 2
+    SENIOR = 3
+    PRINCIPAL = 4
+
+    def __lt__(self, other: "Seniority") -> bool:  # pragma: no cover - trivial
+        if not isinstance(other, Seniority):
+            return NotImplemented
+        return self.value < other.value
+
+
+@dataclass
+class Member:
+    """A person participating in the project.
+
+    Attributes
+    ----------
+    member_id:
+        Unique id within the consortium.
+    org_id:
+        Id of the employing :class:`~repro.consortium.organization.Organization`.
+    role:
+        :class:`StaffRole`; only technical members join hackathon teams.
+    seniority:
+        :class:`Seniority`; seniors present better pitches and transfer
+        more knowledge per interaction.
+    knowledge:
+        :class:`~repro.cognition.knowledge.KnowledgeVector` expertise
+        profile over the project's knowledge domains.
+    presentation_skill:
+        In [0, 1]; feeds the "fun" vote criterion.
+    energy:
+        In [0, 1]; drained by intense hackathon work, restored between
+        events (burnout risk model, paper Sec. VI).
+    """
+
+    member_id: str
+    org_id: str
+    role: StaffRole
+    seniority: Seniority = Seniority.MID
+    knowledge: KnowledgeVector = field(default_factory=KnowledgeVector)
+    presentation_skill: float = 0.5
+    energy: float = 1.0
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.member_id:
+            raise ConsortiumError("member id must be non-empty")
+        if not 0.0 <= self.presentation_skill <= 1.0:
+            raise ConsortiumError(
+                f"{self.member_id}: presentation_skill must be in [0,1], "
+                f"got {self.presentation_skill}"
+            )
+        if not 0.0 <= self.energy <= 1.0:
+            raise ConsortiumError(
+                f"{self.member_id}: energy must be in [0,1], got {self.energy}"
+            )
+        if self.name is None:
+            self.name = self.member_id
+
+    @property
+    def is_technical(self) -> bool:
+        return self.role.is_technical
+
+    def drain_energy(self, amount: float) -> None:
+        """Reduce energy by ``amount``, clamped at zero."""
+        if amount < 0:
+            raise ValueError(f"drain amount must be non-negative, got {amount}")
+        self.energy = max(0.0, self.energy - amount)
+
+    def recover_energy(self, amount: float) -> None:
+        """Restore energy by ``amount``, clamped at one."""
+        if amount < 0:
+            raise ValueError(f"recovery amount must be non-negative, got {amount}")
+        self.energy = min(1.0, self.energy + amount)
+
+    @property
+    def is_burned_out(self) -> bool:
+        """A member below 15 % energy is considered burned out.
+
+        Burned-out members contribute almost nothing to team work and
+        do not volunteer for extra challenges — the failure mode the
+        paper warns about when hackathons become a day-to-day practice.
+        """
+        return self.energy < 0.15
+
+    def seniority_factor(self) -> float:
+        """Multiplier in [0.7, 1.3] applied to knowledge-transfer rates."""
+        return 0.7 + 0.2 * (self.seniority.value - 1)

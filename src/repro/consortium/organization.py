@@ -1,0 +1,130 @@
+"""Partner organisations of a collaborative project.
+
+The paper (Sec. III-A) classifies MegaM@Rt2 beneficiaries into academia
+(universities and research centres), SMEs and large enterprises (LEs),
+spread over six countries.  :class:`Organization` captures exactly the
+attributes those arguments depend on: type, country and project role.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from repro.errors import ConsortiumError
+
+__all__ = ["OrgType", "ProjectRole", "Organization"]
+
+
+class OrgType(enum.Enum):
+    """Kind of beneficiary organisation (paper Sec. III-A)."""
+
+    UNIVERSITY = "university"
+    RESEARCH_CENTER = "research_center"
+    SME = "sme"
+    LARGE_ENTERPRISE = "large_enterprise"
+
+    @property
+    def is_academic(self) -> bool:
+        """Universities and research centres count as academia."""
+        return self in (OrgType.UNIVERSITY, OrgType.RESEARCH_CENTER)
+
+    @property
+    def is_industrial(self) -> bool:
+        return not self.is_academic
+
+
+class ProjectRole(enum.Enum):
+    """Function an organisation plays in the project.
+
+    The hackathon process distinguishes *case-study owners* (who submit
+    challenges) from *tool/method providers* (who subscribe to them);
+    other partners contribute researchers/developers to teams.
+    """
+
+    CASE_STUDY_OWNER = "case_study_owner"
+    TOOL_PROVIDER = "tool_provider"
+    RESEARCH_PARTNER = "research_partner"
+    COORDINATOR = "coordinator"
+
+
+@dataclass(frozen=True)
+class Organization:
+    """A project beneficiary.
+
+    Parameters
+    ----------
+    org_id:
+        Unique identifier within the consortium.
+    name:
+        Human-readable name.
+    org_type:
+        One of :class:`OrgType`.
+    country:
+        ISO-like country name used by the culture dataset
+        (e.g. ``"Finland"``).
+    roles:
+        Set of :class:`ProjectRole` the organisation plays.  An
+        organisation can be both a case-study owner and a tool provider.
+    annual_budget_keur:
+        Project budget in kEUR, used by the funding model.
+    """
+
+    org_id: str
+    name: str
+    org_type: OrgType
+    country: str
+    roles: FrozenSet[ProjectRole] = field(default_factory=frozenset)
+    annual_budget_keur: float = 500.0
+
+    def __post_init__(self) -> None:
+        if not self.org_id:
+            raise ConsortiumError("organisation id must be non-empty")
+        if self.annual_budget_keur < 0:
+            raise ConsortiumError(
+                f"{self.org_id}: budget must be non-negative, "
+                f"got {self.annual_budget_keur}"
+            )
+
+    @property
+    def is_case_study_owner(self) -> bool:
+        return ProjectRole.CASE_STUDY_OWNER in self.roles
+
+    @property
+    def is_tool_provider(self) -> bool:
+        return ProjectRole.TOOL_PROVIDER in self.roles
+
+    @property
+    def is_academic(self) -> bool:
+        return self.org_type.is_academic
+
+    def with_role(self, role: ProjectRole) -> "Organization":
+        """Return a copy of this organisation with ``role`` added."""
+        return Organization(
+            org_id=self.org_id,
+            name=self.name,
+            org_type=self.org_type,
+            country=self.country,
+            roles=self.roles | {role},
+            annual_budget_keur=self.annual_budget_keur,
+        )
+
+
+def make_org(
+    org_id: str,
+    org_type: OrgType,
+    country: str,
+    *roles: ProjectRole,
+    name: Optional[str] = None,
+    budget: float = 500.0,
+) -> Organization:
+    """Shorthand constructor used by presets and tests."""
+    return Organization(
+        org_id=org_id,
+        name=name or org_id,
+        org_type=org_type,
+        country=country,
+        roles=frozenset(roles),
+        annual_budget_keur=budget,
+    )

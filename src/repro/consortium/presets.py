@@ -1,0 +1,198 @@
+"""Consortium presets, headlined by the MegaM@Rt2 roster.
+
+The paper publishes the exact composition of MegaM@Rt2 (Sec. III-A):
+27 beneficiaries — 7 universities, 3 research centres, 8 SMEs and
+9 large enterprises — from 6 countries (Finland, Sweden, Czech
+Republic, Italy, Spain and France), with well over 120 participants.
+
+Partners named in the paper (Thales, Volvo Construction Equipment,
+Bombardier Transportation, Nokia, Intecs, Softeam, and the authors'
+universities) appear under their own names; the remaining slots are
+filled with clearly synthetic placeholder organisations so the
+published type/country counts are met exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.consortium.builder import StaffGenerator
+from repro.consortium.consortium import Consortium
+from repro.consortium.organization import (
+    Organization,
+    OrgType,
+    ProjectRole,
+    make_org,
+)
+from repro.rng import RngHub
+
+__all__ = ["megamart2", "megamart2_organizations", "small_consortium"]
+
+_OWN = ProjectRole.CASE_STUDY_OWNER
+_TOOL = ProjectRole.TOOL_PROVIDER
+_RES = ProjectRole.RESEARCH_PARTNER
+_COORD = ProjectRole.COORDINATOR
+
+_UNI = OrgType.UNIVERSITY
+_RC = OrgType.RESEARCH_CENTER
+_SME = OrgType.SME
+_LE = OrgType.LARGE_ENTERPRISE
+
+
+def megamart2_organizations() -> Tuple[Organization, ...]:
+    """The 27 MegaM@Rt2 beneficiary organisations.
+
+    Counts match the paper exactly: 7 universities + 3 research centres
+    + 8 SMEs + 9 large enterprises over the 6 consortium countries.
+    The 9 LEs own the 9 industrial case studies; academia and SMEs
+    provide the 28 tools.
+    """
+    return (
+        # 7 universities (tool/method providers and research partners).
+        make_org("aabo", _UNI, "Finland", _TOOL, _RES, name="Åbo Akademi University"),
+        make_org("mdh", _UNI, "Sweden", _TOOL, _RES, name="Mälardalen University"),
+        make_org("but", _UNI, "Czech Republic", _TOOL, _RES,
+                 name="Brno University of Technology"),
+        make_org("imta", _UNI, "France", _TOOL, _RES, name="IMT Atlantique"),
+        make_org("uni-fi2", _UNI, "Finland", _TOOL, _RES,
+                 name="University of Oulu (placeholder)"),
+        make_org("uni-se2", _UNI, "Sweden", _TOOL, _RES,
+                 name="KTH Stockholm (placeholder)"),
+        make_org("uni-es1", _UNI, "Spain", _TOOL, _RES,
+                 name="UP Madrid (placeholder)"),
+        # 3 research centres.
+        make_org("rc-es1", _RC, "Spain", _TOOL, _RES,
+                 name="Tecnalia (placeholder)"),
+        make_org("rc-fr1", _RC, "France", _TOOL, _RES,
+                 name="CEA List (placeholder)"),
+        make_org("rc-cz1", _RC, "Czech Republic", _TOOL, _RES,
+                 name="CIIRC Prague (placeholder)"),
+        # 8 SMEs (tool vendors; Softeam coordinates).
+        make_org("intecs", _SME, "Italy", _TOOL, name="Intecs Solutions",
+                 budget=700.0),
+        make_org("softeam", _SME, "France", _TOOL, _COORD,
+                 name="Softeam", budget=900.0),
+        make_org("sme-fi1", _SME, "Finland", _TOOL,
+                 name="Space Systems Finland (placeholder)"),
+        make_org("sme-se1", _SME, "Sweden", _TOOL,
+                 name="Westermo R&D (placeholder)"),
+        make_org("sme-es1", _SME, "Spain", _TOOL,
+                 name="The Reuse Company (placeholder)"),
+        make_org("sme-es2", _SME, "Spain", _TOOL,
+                 name="Atos Research SME arm (placeholder)"),
+        make_org("sme-it1", _SME, "Italy", _TOOL,
+                 name="Ro Technology (placeholder)"),
+        make_org("sme-cz1", _SME, "Czech Republic", _TOOL,
+                 name="Honeywell spin-off (placeholder)"),
+        # 9 large enterprises — the industrial case-study owners named in
+        # the paper plus placeholders to reach the published count.
+        make_org("thales", _LE, "France", _OWN, name="Thales", budget=1200.0),
+        make_org("volvo-ce", _LE, "Sweden", _OWN,
+                 name="Volvo Construction Equipment", budget=1100.0),
+        make_org("bombardier", _LE, "Sweden", _OWN,
+                 name="Bombardier Transportation", budget=1100.0),
+        make_org("nokia", _LE, "Finland", _OWN, name="Nokia", budget=1200.0),
+        make_org("le-es1", _LE, "Spain", _OWN,
+                 name="Thales Alenia Space España (placeholder)"),
+        make_org("le-it1", _LE, "Italy", _OWN,
+                 name="Rail signalling LE (placeholder)"),
+        make_org("le-fr2", _LE, "France", _OWN,
+                 name="ClearSy Systems LE arm (placeholder)"),
+        make_org("le-fi2", _LE, "Finland", _OWN,
+                 name="Telecom infrastructure LE (placeholder)"),
+        make_org("le-cz2", _LE, "Czech Republic", _OWN,
+                 name="Automotive LE (placeholder)"),
+    )
+
+
+#: Speciality knowledge domains per organisation, used to bias the
+#: generated members' profiles: owners know their application domain,
+#: providers know their methods.
+MEGAMART_SPECIALITIES: Dict[str, Tuple[str, ...]] = {
+    "aabo": ("testing", "model_based_design", "requirements_engineering"),
+    "mdh": ("testing", "performance_analysis", "embedded_systems"),
+    "but": ("runtime_verification", "static_analysis"),
+    "imta": ("model_based_design", "traceability"),
+    "uni-fi2": ("performance_analysis", "telecom"),
+    "uni-se2": ("embedded_systems", "static_analysis"),
+    "uni-es1": ("requirements_engineering", "traceability"),
+    "rc-es1": ("runtime_verification", "performance_analysis"),
+    "rc-fr1": ("static_analysis", "model_based_design"),
+    "rc-cz1": ("runtime_verification", "embedded_systems"),
+    "intecs": ("model_based_design", "avionics", "testing"),
+    "softeam": ("model_based_design", "traceability", "requirements_engineering"),
+    "sme-fi1": ("embedded_systems", "testing"),
+    "sme-se1": ("embedded_systems", "runtime_verification"),
+    "sme-es1": ("requirements_engineering", "traceability"),
+    "sme-es2": ("performance_analysis", "logistics"),
+    "sme-it1": ("avionics", "static_analysis"),
+    "sme-cz1": ("runtime_verification", "testing"),
+    "thales": ("avionics", "embedded_systems"),
+    "volvo-ce": ("transportation", "embedded_systems"),
+    "bombardier": ("transportation", "requirements_engineering"),
+    "nokia": ("telecom", "performance_analysis"),
+    "le-es1": ("avionics", "telecom"),
+    "le-it1": ("transportation", "testing"),
+    "le-fr2": ("embedded_systems", "static_analysis"),
+    "le-fi2": ("telecom", "embedded_systems"),
+    "le-cz2": ("transportation", "runtime_verification"),
+}
+
+
+def megamart2(
+    hub: Optional[RngHub] = None,
+    populate: bool = True,
+) -> Consortium:
+    """Build the MegaM@Rt2 consortium.
+
+    Parameters
+    ----------
+    hub:
+        RNG hub used for staff generation; defaults to ``RngHub(0)``.
+    populate:
+        When True (default), generate the member roster; otherwise the
+        consortium contains only the 27 organisations.
+    """
+    consortium = Consortium(name="MegaM@Rt2")
+    for org in megamart2_organizations():
+        consortium.add_organization(org)
+    if populate:
+        hub = hub or RngHub(0)
+        StaffGenerator(hub).populate(consortium, MEGAMART_SPECIALITIES)
+        consortium.validate()
+    return consortium
+
+
+def small_consortium(
+    hub: Optional[RngHub] = None,
+    owners: int = 2,
+    providers: int = 3,
+    countries: Sequence[str] = ("Finland", "Sweden", "France"),
+) -> Consortium:
+    """A small synthetic consortium for tests and quick examples.
+
+    ``owners`` LEs own case studies; ``providers`` SMEs provide tools;
+    one university research partner is always included.
+    """
+    hub = hub or RngHub(0)
+    consortium = Consortium(name="small")
+    for i in range(owners):
+        consortium.add_organization(
+            make_org(
+                f"owner{i}", _LE, countries[i % len(countries)], _OWN,
+                name=f"Owner {i}",
+            )
+        )
+    for i in range(providers):
+        consortium.add_organization(
+            make_org(
+                f"provider{i}", _SME, countries[(i + 1) % len(countries)], _TOOL,
+                name=f"Provider {i}",
+            )
+        )
+    consortium.add_organization(
+        make_org("uni0", _UNI, countries[0], _TOOL, _RES, name="University 0")
+    )
+    StaffGenerator(hub).populate(consortium)
+    consortium.validate()
+    return consortium

@@ -1,0 +1,153 @@
+"""Registry of collaborative-project participation statistics.
+
+Sec. III of the paper quotes H2020 dashboard numbers: the average number
+of participants per project is 4.69 across Horizon 2020, 5.91 in the
+second pillar, 7.4 in ICT, and 34.22 in ECSEL; the ECSEL JU website
+lists 40 projects ranging from 9 to 109 participants.
+
+The real dashboard is not available offline, so :class:`ProjectRegistry`
+carries those published aggregates as ground truth and can *synthesise*
+a project-size population consistent with them, which examples use to
+place MegaM@Rt2 (27 beneficiaries) within the ECSEL distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import RngHub
+
+__all__ = [
+    "ProgrammeStats",
+    "PUBLISHED_PROGRAMME_STATS",
+    "ECSEL_PROJECT_COUNT",
+    "ECSEL_SIZE_RANGE",
+    "ProjectRegistry",
+]
+
+
+@dataclass(frozen=True)
+class ProgrammeStats:
+    """Published average consortium size for a funding programme."""
+
+    programme: str
+    mean_participants: float
+
+    def __post_init__(self) -> None:
+        if self.mean_participants <= 0:
+            raise ConfigurationError(
+                f"mean participants must be positive, got {self.mean_participants}"
+            )
+
+
+#: The four averages quoted in Sec. III (H2020 dashboard, 2018-10-09).
+PUBLISHED_PROGRAMME_STATS: Tuple[ProgrammeStats, ...] = (
+    ProgrammeStats("H2020 overall", 4.69),
+    ProgrammeStats("H2020 second pillar", 5.91),
+    ProgrammeStats("H2020 ICT", 7.4),
+    ProgrammeStats("ECSEL", 34.22),
+)
+
+#: "At the web page of ECSEL JU are 40 projects listed ranging from 9 to
+#: 109 participants" (Sec. III).
+ECSEL_PROJECT_COUNT: int = 40
+ECSEL_SIZE_RANGE: Tuple[int, int] = (9, 109)
+
+
+class ProjectRegistry:
+    """A synthetic population of ECSEL-like project sizes.
+
+    The population is constructed to satisfy the published constraints
+    exactly: ``count`` projects, min and max participants matching the
+    published range, and mean participants within ``tolerance`` of the
+    published ECSEL average.
+    """
+
+    def __init__(
+        self,
+        hub: RngHub,
+        count: int = ECSEL_PROJECT_COUNT,
+        size_range: Tuple[int, int] = ECSEL_SIZE_RANGE,
+        target_mean: float = 34.22,
+    ) -> None:
+        lo, hi = size_range
+        if count < 2:
+            raise ConfigurationError(f"need at least 2 projects, got {count}")
+        if not lo < target_mean < hi:
+            raise ConfigurationError(
+                f"target mean {target_mean} outside size range {size_range}"
+            )
+        self._count = count
+        self._range = size_range
+        self._target_mean = target_mean
+        self._sizes = self._synthesise(hub.stream("registry"))
+
+    def _synthesise(self, rng: np.random.Generator) -> List[int]:
+        lo, hi = self._range
+        # Draw from a right-skewed lognormal (few very large consortia),
+        # clip into range, then pin the extremes and adjust to the mean.
+        mu = np.log(self._target_mean) - 0.25
+        sizes = np.clip(
+            np.round(rng.lognormal(mean=mu, sigma=0.6, size=self._count)),
+            lo,
+            hi,
+        ).astype(int)
+        sizes[0], sizes[1] = lo, hi  # published extremes must exist
+        sizes = self._adjust_mean(sizes)
+        return sorted(int(s) for s in sizes)
+
+    def _adjust_mean(self, sizes: np.ndarray) -> np.ndarray:
+        """Nudge interior sizes until the mean matches the target.
+
+        Deterministic greedy adjustment: repeatedly increment/decrement
+        the interior element with the most slack.  Terminates because
+        each step moves the sum one unit toward the target sum.
+        """
+        lo, hi = self._range
+        target_sum = round(self._target_mean * self._count)
+        sizes = sizes.copy()
+        guard = 10 * self._count * (hi - lo)
+        while sizes.sum() != target_sum and guard > 0:
+            guard -= 1
+            interior = np.arange(2, self._count)
+            if sizes.sum() < target_sum:
+                candidates = interior[sizes[interior] < hi]
+                idx = candidates[int(np.argmin(sizes[candidates]))]
+                sizes[idx] += 1
+            else:
+                candidates = interior[sizes[interior] > lo]
+                idx = candidates[int(np.argmax(sizes[candidates]))]
+                sizes[idx] -= 1
+        return sizes
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def sizes(self) -> List[int]:
+        """Project sizes, ascending."""
+        return list(self._sizes)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def mean_size(self) -> float:
+        return sum(self._sizes) / len(self._sizes)
+
+    def size_range(self) -> Tuple[int, int]:
+        return min(self._sizes), max(self._sizes)
+
+    def percentile_of(self, size: int) -> float:
+        """Fraction of registry projects strictly smaller than ``size``."""
+        smaller = sum(1 for s in self._sizes if s < size)
+        return smaller / len(self._sizes)
+
+    def programme_comparison(self) -> Dict[str, float]:
+        """Published programme means plus this registry's realised mean."""
+        out = {s.programme: s.mean_participants for s in PUBLISHED_PROGRAMME_STATS}
+        out["ECSEL (synthetic registry)"] = self.mean_size()
+        return out

@@ -1,0 +1,83 @@
+"""The paper's core contribution: the internal-hackathon process.
+
+Public API:
+
+* :class:`Challenge`, :class:`ChallengeCall`, :func:`generate_challenges`
+* :class:`Subscription`, :class:`SubscriptionBook`, :func:`auto_subscribe`
+* :class:`Team` and the formation policies
+* :class:`WorkSession`, :class:`SessionResult`
+* :class:`Demo`, :class:`Pitch`, :class:`HackathonOutcome`
+* :class:`PrerequisiteChecker` (the five prerequisites of Sec. V-A)
+* :class:`BurnoutModel`, :func:`assess_risks` (the risks of Sec. VI)
+* :class:`FollowUpPlan`, :class:`FollowUpRegistry`
+* :class:`HackathonEvent`, :class:`HackathonConfig` — the orchestrator
+"""
+
+from repro.core.challenge import Challenge, ChallengeCall, generate_challenges
+from repro.core.event import HackathonConfig, HackathonEvent
+from repro.core.followup import FollowUpPlan, FollowUpRegistry
+from repro.core.outcomes import Demo, HackathonOutcome, Pitch, build_demo
+from repro.core.prerequisites import (
+    PREREQUISITE_NAMES,
+    PrerequisiteChecker,
+    PrerequisiteReport,
+)
+from repro.core.scoping import ChallengeScoper, ScopingAssessment
+from repro.core.variants import (
+    ALL_VARIANTS,
+    InclusiveFormation,
+    VariantSpec,
+    build_variant_event,
+)
+from repro.core.risks import (
+    BurnoutModel,
+    RiskAssessment,
+    assess_risks,
+    prototype_warnings,
+)
+from repro.core.session import SessionResult, WorkSession
+from repro.core.subscription import Subscription, SubscriptionBook, auto_subscribe
+from repro.core.teams import (
+    BalancedFormation,
+    RandomFormation,
+    SubscriptionBasedFormation,
+    Team,
+    TeamFormationPolicy,
+)
+
+__all__ = [
+    "ALL_VARIANTS",
+    "BalancedFormation",
+    "ChallengeScoper",
+    "InclusiveFormation",
+    "ScopingAssessment",
+    "VariantSpec",
+    "build_variant_event",
+    "BurnoutModel",
+    "Challenge",
+    "ChallengeCall",
+    "Demo",
+    "FollowUpPlan",
+    "FollowUpRegistry",
+    "HackathonConfig",
+    "HackathonEvent",
+    "HackathonOutcome",
+    "PREREQUISITE_NAMES",
+    "Pitch",
+    "PrerequisiteChecker",
+    "PrerequisiteReport",
+    "RandomFormation",
+    "RiskAssessment",
+    "SessionResult",
+    "Subscription",
+    "SubscriptionBasedFormation",
+    "SubscriptionBook",
+    "Team",
+    "TeamFormationPolicy",
+    "WorkSession",
+    "assess_risks",
+    "auto_subscribe",
+    "build_demo",
+    "generate_challenges",
+    "prototype_warnings",
+]

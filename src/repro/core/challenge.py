@@ -1,0 +1,227 @@
+"""Hackathon challenges and the call for challenges (the *before* phase).
+
+Paper Sec. V-A: "case study providers are required to prepare hackathon
+challenges (i.e. a well-defined and limited experiment related to use
+cases that can be explored in a half day work) and announce them to the
+rest of the participants".  :class:`ChallengeCall` enforces exactly
+that: every submitted :class:`Challenge` must reference a case study,
+declare its required domains and artefacts, and fit the time box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.consortium.consortium import Consortium
+from repro.errors import ChallengeError
+from repro.framework.catalog import FrameworkModel
+from repro.rng import RngHub
+
+__all__ = ["Challenge", "ChallengeCall", "generate_challenges"]
+
+
+@dataclass(frozen=True)
+class Challenge:
+    """A well-defined, time-boxed experiment proposed by a case-study owner.
+
+    Attributes
+    ----------
+    challenge_id:
+        Unique id within the event.
+    case_id:
+        The case study the challenge belongs to — challenges must be
+        "related to the project goals and their use cases".
+    owner_org_id:
+        The submitting case-study owner.
+    required_domains:
+        Knowledge domains a team needs to address the challenge.
+    estimated_hours:
+        Owner's effort estimate; the call rejects submissions exceeding
+        the time box ("concise enough to be experimented within
+        approximately 4 hours").
+    difficulty:
+        In [0, 1]; scales how fast a team makes progress.
+    artifacts:
+        Concrete material announced in advance (models, code, traces) —
+        the paper stresses challenges come with "realistic concrete
+        material".  More artefacts means a better-prepared challenge.
+    """
+
+    challenge_id: str
+    case_id: str
+    owner_org_id: str
+    title: str
+    required_domains: FrozenSet[str]
+    estimated_hours: float = 4.0
+    difficulty: float = 0.5
+    artifacts: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.challenge_id:
+            raise ChallengeError("challenge id must be non-empty")
+        if not self.required_domains:
+            raise ChallengeError(
+                f"{self.challenge_id}: challenge must require at least one domain"
+            )
+        if self.estimated_hours <= 0:
+            raise ChallengeError(
+                f"{self.challenge_id}: estimated hours must be positive, "
+                f"got {self.estimated_hours}"
+            )
+        if not 0.0 <= self.difficulty <= 1.0:
+            raise ChallengeError(
+                f"{self.challenge_id}: difficulty must be in [0,1], "
+                f"got {self.difficulty}"
+            )
+
+    @property
+    def preparedness(self) -> float:
+        """Preparation quality in [0, 1] from the announced artefacts."""
+        return min(1.0, 0.4 + 0.2 * len(self.artifacts))
+
+
+class ChallengeCall:
+    """The call for challenges issued before a plenary.
+
+    Parameters
+    ----------
+    event_id:
+        Id of the hackathon event the call belongs to.
+    time_box_hours:
+        Maximum effort estimate accepted per challenge (default 4 h,
+        the paper's rule).
+    max_challenges:
+        Optional cap on accepted challenges (room/team constraints).
+    """
+
+    def __init__(
+        self,
+        event_id: str,
+        time_box_hours: float = 4.0,
+        max_challenges: Optional[int] = None,
+    ) -> None:
+        if time_box_hours <= 0:
+            raise ChallengeError(
+                f"time box must be positive, got {time_box_hours}"
+            )
+        if max_challenges is not None and max_challenges < 1:
+            raise ChallengeError(
+                f"max_challenges must be >= 1, got {max_challenges}"
+            )
+        self.event_id = event_id
+        self.time_box_hours = time_box_hours
+        self.max_challenges = max_challenges
+        self._challenges: Dict[str, Challenge] = {}
+        self._closed = False
+
+    @property
+    def is_closed(self) -> bool:
+        return self._closed
+
+    def submit(self, challenge: Challenge) -> None:
+        """Accept a challenge into the call, enforcing the process rules."""
+        if self._closed:
+            raise ChallengeError(
+                f"call for {self.event_id!r} is closed; submit earlier"
+            )
+        if challenge.challenge_id in self._challenges:
+            raise ChallengeError(
+                f"duplicate challenge id {challenge.challenge_id!r}"
+            )
+        if challenge.estimated_hours > self.time_box_hours:
+            raise ChallengeError(
+                f"{challenge.challenge_id}: estimate {challenge.estimated_hours} h "
+                f"exceeds the {self.time_box_hours} h time box — challenges "
+                "must be concise enough for a half-day experiment"
+            )
+        if (
+            self.max_challenges is not None
+            and len(self._challenges) >= self.max_challenges
+        ):
+            raise ChallengeError(
+                f"call is full ({self.max_challenges} challenges)"
+            )
+        self._challenges[challenge.challenge_id] = challenge
+
+    def close(self) -> List[Challenge]:
+        """Close the call and return the accepted challenges."""
+        if not self._challenges:
+            raise ChallengeError(
+                f"cannot close call {self.event_id!r} with no challenges"
+            )
+        self._closed = True
+        return self.challenges
+
+    @property
+    def challenges(self) -> List[Challenge]:
+        return [self._challenges[k] for k in sorted(self._challenges)]
+
+    def challenge(self, challenge_id: str) -> Challenge:
+        try:
+            return self._challenges[challenge_id]
+        except KeyError:
+            raise ChallengeError(f"unknown challenge {challenge_id!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._challenges)
+
+
+def generate_challenges(
+    consortium: Consortium,
+    framework: FrameworkModel,
+    hub: RngHub,
+    call: ChallengeCall,
+    per_owner: int = 1,
+) -> List[Challenge]:
+    """Have every case-study owner draft challenges into ``call``.
+
+    Each challenge mixes the case study's application domains with the
+    method domains of its open requirements, so tool matching is
+    meaningful.  Returns the submitted challenges.
+    """
+    if per_owner < 1:
+        raise ChallengeError(f"per_owner must be >= 1, got {per_owner}")
+    rng = hub.stream("challenges")
+    submitted: List[Challenge] = []
+    for owner in consortium.case_study_owners:
+        for case in framework.cases_of(owner.org_id):
+            open_reqs = [
+                r for r in framework.requirements.for_case(case.case_id)
+                if not r.satisfied
+            ]
+            for k in range(per_owner):
+                if (
+                    call.max_challenges is not None
+                    and len(call) >= call.max_challenges
+                ):
+                    return submitted
+                domains = set()
+                # One application domain from the case study.
+                case_domains = sorted(case.domains)
+                domains.add(case_domains[int(rng.integers(0, len(case_domains)))])
+                # One or two method domains from open requirements.
+                if open_reqs:
+                    for _ in range(int(rng.integers(1, 3))):
+                        req = open_reqs[int(rng.integers(0, len(open_reqs)))]
+                        method = sorted(req.domains - case.domains)
+                        if method:
+                            domains.add(method[int(rng.integers(0, len(method)))])
+                n_artifacts = int(rng.integers(1, 4))
+                challenge = Challenge(
+                    challenge_id=f"{call.event_id}.{case.case_id}.c{k}",
+                    case_id=case.case_id,
+                    owner_org_id=owner.org_id,
+                    title=f"{case.name} challenge {k}",
+                    required_domains=frozenset(domains),
+                    estimated_hours=float(
+                        min(call.time_box_hours, 2.0 + 2.0 * rng.random())
+                    ),
+                    difficulty=float(0.3 + 0.5 * rng.random()),
+                    artifacts=tuple(
+                        f"{case.case_id}-artifact-{i}" for i in range(n_artifacts)
+                    ),
+                )
+                call.submit(challenge)
+                submitted.append(challenge)
+    return submitted

@@ -1,0 +1,117 @@
+"""Follow-up plans for hackathon results.
+
+"After the hackathon sessions, each challenge provider gives in plenum a
+short overview of the main outcomes of the work and plans for future
+collaboration" (Sec. V-A), and the paper warns that without "proper
+follow-up and monitoring of the related activities" the longer-term
+focus is lost.  A :class:`FollowUpPlan` protects the ties a team formed
+from the normal inter-event decay (see
+:meth:`repro.network.dynamics.TieDynamics.decay_period`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.core.outcomes import Demo
+from repro.core.teams import Team
+from repro.errors import ConfigurationError
+
+__all__ = ["FollowUpPlan", "FollowUpRegistry"]
+
+
+@dataclass(frozen=True)
+class FollowUpPlan:
+    """Continued collaboration on one challenge after the event."""
+
+    challenge_id: str
+    member_pairs: FrozenSet[Tuple[str, str]]
+    horizon_months: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.horizon_months <= 0:
+            raise ConfigurationError(
+                f"{self.challenge_id}: horizon must be > 0, "
+                f"got {self.horizon_months}"
+            )
+        for a, b in self.member_pairs:
+            if a >= b:
+                raise ConfigurationError(
+                    f"{self.challenge_id}: pairs must be sorted 2-tuples, "
+                    f"got ({a!r}, {b!r})"
+                )
+
+
+class FollowUpRegistry:
+    """Active follow-up plans across the project timeline."""
+
+    def __init__(self) -> None:
+        self._plans: List[FollowUpPlan] = []
+        self._elapsed: Dict[int, float] = {}
+
+    def open_for_team(
+        self, team: Team, demo: Demo, horizon_months: float = 6.0
+    ) -> FollowUpPlan:
+        """Open a plan covering all cross-organisation pairs of a team.
+
+        Only convincing demos get follow-up — a team whose experiment
+        went nowhere does not plan future collaboration.
+        """
+        if not demo.is_convincing:
+            raise ConfigurationError(
+                f"demo for {demo.challenge_id} is not convincing enough "
+                "to justify a follow-up plan"
+            )
+        pairs = set()
+        members = team.members
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                a, b = members[i], members[j]
+                if a.org_id != b.org_id:
+                    pair = tuple(sorted((a.member_id, b.member_id)))
+                    pairs.add(pair)
+        plan = FollowUpPlan(
+            challenge_id=team.challenge.challenge_id,
+            member_pairs=frozenset(pairs),
+            horizon_months=horizon_months,
+        )
+        self.add(plan)
+        return plan
+
+    def add(self, plan: FollowUpPlan) -> None:
+        self._plans.append(plan)
+        self._elapsed[id(plan)] = 0.0
+
+    @property
+    def plans(self) -> List[FollowUpPlan]:
+        return list(self._plans)
+
+    def active_plans(self) -> List[FollowUpPlan]:
+        return [
+            p for p in self._plans if self._elapsed[id(p)] < p.horizon_months
+        ]
+
+    def protected_pairs(self) -> FrozenSet[Tuple[str, str]]:
+        """All member pairs currently protected from decay."""
+        pairs = set()
+        for plan in self.active_plans():
+            pairs.update(plan.member_pairs)
+        return frozenset(pairs)
+
+    def advance(self, months: float) -> None:
+        """Age every plan by ``months``; expired plans stop protecting."""
+        if months < 0:
+            raise ConfigurationError(f"months must be >= 0, got {months}")
+        for plan in self._plans:
+            self._elapsed[id(plan)] += months
+
+    def coverage(self, demos: Sequence[Demo]) -> float:
+        """Fraction of convincing demos that have any plan (ever opened)."""
+        convincing = [d for d in demos if d.is_convincing]
+        if not convincing:
+            return 1.0
+        covered = {p.challenge_id for p in self._plans}
+        return sum(1 for d in convincing if d.challenge_id in covered) / len(
+            convincing
+        )

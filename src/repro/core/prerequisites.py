@@ -1,0 +1,150 @@
+"""The five prerequisites of the MegaM@Rt2 internal hackathon.
+
+Paper Sec. V-A lists them verbatim:
+
+1. Technical staff must be involved;
+2. For each challenge proposed by a use-case owner, there should be at
+   least one technology provider subscribed;
+3. Defined time boxes for the work;
+4. Competition, entertainment and small prizes;
+5. Inclusive environment where everybody feels concerned.
+
+:class:`PrerequisiteChecker` evaluates all five against a configured
+event and either reports or raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.consortium.member import Member
+from repro.core.challenge import ChallengeCall
+from repro.core.subscription import SubscriptionBook
+from repro.core.teams import Team
+from repro.errors import PrerequisiteViolation
+
+__all__ = ["PrerequisiteReport", "PrerequisiteChecker", "PREREQUISITE_NAMES"]
+
+PREREQUISITE_NAMES = (
+    "technical_staff_involved",
+    "provider_per_challenge",
+    "defined_time_boxes",
+    "competition_and_prizes",
+    "inclusive_environment",
+)
+
+
+@dataclass(frozen=True)
+class PrerequisiteReport:
+    """Outcome of checking one prerequisite."""
+
+    name: str
+    satisfied: bool
+    detail: str
+
+
+class PrerequisiteChecker:
+    """Checks the five prerequisites of an event configuration.
+
+    Parameters
+    ----------
+    min_technical_share:
+        Minimum fraction of attendees that must be technical staff for
+        prerequisite 1.
+    min_team_assignment_share:
+        Minimum fraction of technical attendees placed in teams for the
+        inclusiveness prerequisite 5.
+    """
+
+    def __init__(
+        self,
+        min_technical_share: float = 0.3,
+        min_team_assignment_share: float = 0.5,
+    ) -> None:
+        self.min_technical_share = min_technical_share
+        self.min_team_assignment_share = min_team_assignment_share
+
+    def check_all(
+        self,
+        attendees: Sequence[Member],
+        call: ChallengeCall,
+        book: SubscriptionBook,
+        teams: Sequence[Team],
+        has_prizes: bool,
+        time_box_hours: Optional[float] = None,
+    ) -> List[PrerequisiteReport]:
+        """Evaluate the five prerequisites and return their reports."""
+        return [
+            self._technical_staff(attendees),
+            self._provider_per_challenge(book),
+            self._time_boxes(time_box_hours or call.time_box_hours),
+            self._prizes(has_prizes),
+            self._inclusive(attendees, teams),
+        ]
+
+    def enforce(self, reports: Sequence[PrerequisiteReport]) -> None:
+        """Raise :class:`PrerequisiteViolation` on the first failure."""
+        for report in reports:
+            if not report.satisfied:
+                raise PrerequisiteViolation(report.name, report.detail)
+
+    # -- individual checks --------------------------------------------------
+
+    def _technical_staff(self, attendees: Sequence[Member]) -> PrerequisiteReport:
+        if not attendees:
+            return PrerequisiteReport(
+                PREREQUISITE_NAMES[0], False, "no attendees at all"
+            )
+        share = sum(1 for m in attendees if m.is_technical) / len(attendees)
+        return PrerequisiteReport(
+            PREREQUISITE_NAMES[0],
+            share >= self.min_technical_share,
+            f"technical share {share:.2f} "
+            f"(minimum {self.min_technical_share:.2f})",
+        )
+
+    def _provider_per_challenge(self, book: SubscriptionBook) -> PrerequisiteReport:
+        missing = book.unsubscribed_challenges()
+        return PrerequisiteReport(
+            PREREQUISITE_NAMES[1],
+            not missing,
+            "every challenge has a subscribed provider"
+            if not missing
+            else f"challenges without provider: {missing}",
+        )
+
+    def _time_boxes(self, hours: float) -> PrerequisiteReport:
+        ok = 0.0 < hours <= 8.0
+        return PrerequisiteReport(
+            PREREQUISITE_NAMES[2],
+            ok,
+            f"time box of {hours} h"
+            + ("" if ok else " is not a defined half/full-day box"),
+        )
+
+    def _prizes(self, has_prizes: bool) -> PrerequisiteReport:
+        return PrerequisiteReport(
+            PREREQUISITE_NAMES[3],
+            has_prizes,
+            "competition with small prizes configured"
+            if has_prizes
+            else "no competition/prizes configured",
+        )
+
+    def _inclusive(
+        self, attendees: Sequence[Member], teams: Sequence[Team]
+    ) -> PrerequisiteReport:
+        technical = [m for m in attendees if m.is_technical]
+        if not technical:
+            return PrerequisiteReport(
+                PREREQUISITE_NAMES[4], False, "no technical attendees"
+            )
+        assigned = {mid for team in teams for mid in team.member_ids}
+        share = sum(1 for m in technical if m.member_id in assigned) / len(technical)
+        return PrerequisiteReport(
+            PREREQUISITE_NAMES[4],
+            share >= self.min_team_assignment_share,
+            f"{share:.2f} of technical attendees placed in teams "
+            f"(minimum {self.min_team_assignment_share:.2f})",
+        )

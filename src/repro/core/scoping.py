@@ -1,0 +1,148 @@
+"""Challenge scoping assistant.
+
+The hardest part of the paper's *before* phase is writing challenges
+that are "a well-defined and limited experiment related to use cases
+that can be explored in a half day work".  :class:`ChallengeScoper`
+estimates the effort a draft challenge actually needs — from its domain
+breadth, difficulty and preparation — and either certifies it for the
+time box or proposes a descoped version that fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from repro.core.challenge import Challenge
+from repro.errors import ChallengeError
+
+__all__ = ["ScopingAssessment", "ChallengeScoper"]
+
+
+@dataclass(frozen=True)
+class ScopingAssessment:
+    """The scoper's verdict on one draft challenge."""
+
+    challenge_id: str
+    estimated_hours: float
+    fits_time_box: bool
+    bottleneck: str
+    descoped: Optional[Challenge] = None
+
+
+class ChallengeScoper:
+    """Estimates and repairs challenge scope.
+
+    The effort model: each required domain costs ``hours_per_domain``,
+    scaled up by difficulty (a hard experiment needs more iterations)
+    and scaled down by preparation (announced artefacts save setup
+    time).
+
+    Parameters
+    ----------
+    time_box_hours:
+        The target box (the paper's 4 hours).
+    hours_per_domain:
+        Base effort per required knowledge domain.
+    """
+
+    def __init__(
+        self, time_box_hours: float = 4.0, hours_per_domain: float = 1.4
+    ) -> None:
+        if time_box_hours <= 0:
+            raise ChallengeError(
+                f"time_box_hours must be > 0, got {time_box_hours}"
+            )
+        if hours_per_domain <= 0:
+            raise ChallengeError(
+                f"hours_per_domain must be > 0, got {hours_per_domain}"
+            )
+        self.time_box_hours = time_box_hours
+        self.hours_per_domain = hours_per_domain
+
+    # -- estimation -----------------------------------------------------------
+
+    def estimate_hours(self, challenge: Challenge) -> float:
+        """Model-based effort estimate (independent of the owner's guess)."""
+        breadth = len(challenge.required_domains)
+        difficulty_factor = 1.0 + challenge.difficulty
+        preparation_factor = 1.5 - 0.5 * challenge.preparedness
+        return (
+            breadth * self.hours_per_domain
+            * difficulty_factor
+            * preparation_factor
+        )
+
+    def assess(self, challenge: Challenge) -> ScopingAssessment:
+        """Estimate effort and identify the scope bottleneck."""
+        hours = self.estimate_hours(challenge)
+        fits = hours <= self.time_box_hours
+        if fits:
+            bottleneck = "none"
+        elif len(challenge.required_domains) > 2:
+            bottleneck = "too many domains"
+        elif challenge.preparedness < 0.8:
+            bottleneck = "insufficient preparation material"
+        else:
+            bottleneck = "too difficult for a half-day experiment"
+        descoped = None if fits else self.descope(challenge)
+        return ScopingAssessment(
+            challenge_id=challenge.challenge_id,
+            estimated_hours=hours,
+            fits_time_box=fits,
+            bottleneck=bottleneck,
+            descoped=descoped,
+        )
+
+    # -- repair ----------------------------------------------------------------
+
+    def descope(self, challenge: Challenge) -> Challenge:
+        """Shrink a challenge until it fits the time box.
+
+        Applies, in order: drop surplus domains (keep the two most
+        central to the case study), add preparation artefacts, and
+        finally lower the ambition (difficulty).  Raises if even the
+        minimal version cannot fit — the challenge should be split
+        instead.
+        """
+        candidate = challenge
+        # 1. Narrow the domain scope to at most two domains.
+        if len(candidate.required_domains) > 2:
+            kept = tuple(sorted(candidate.required_domains))[:2]
+            candidate = replace(candidate, required_domains=frozenset(kept))
+        # 2. Prepare better: pad artefacts up to the preparedness cap.
+        if self.estimate_hours(candidate) > self.time_box_hours:
+            extra_needed = 3 - len(candidate.artifacts)
+            if extra_needed > 0:
+                new_artifacts = candidate.artifacts + tuple(
+                    f"{candidate.challenge_id}-prep-{i}"
+                    for i in range(extra_needed)
+                )
+                candidate = replace(candidate, artifacts=new_artifacts)
+        # 3. Lower ambition step by step.
+        guard = 20
+        while self.estimate_hours(candidate) > self.time_box_hours and guard:
+            guard -= 1
+            if candidate.difficulty <= 0.05:
+                break
+            candidate = replace(
+                candidate, difficulty=max(0.0, candidate.difficulty - 0.1)
+            )
+        estimated = self.estimate_hours(candidate)
+        if estimated > self.time_box_hours:
+            raise ChallengeError(
+                f"{challenge.challenge_id}: cannot descope below "
+                f"{estimated:.1f} h — split the challenge instead"
+            )
+        return replace(candidate, estimated_hours=estimated)
+
+    def assess_all(
+        self, challenges: List[Challenge]
+    ) -> Tuple[List[ScopingAssessment], List[Challenge]]:
+        """Assess a batch; returns (assessments, time-box-ready versions)."""
+        assessments = [self.assess(c) for c in challenges]
+        ready = [
+            a.descoped if a.descoped is not None else c
+            for a, c in zip(assessments, challenges)
+        ]
+        return assessments, ready

@@ -1,0 +1,180 @@
+"""Tool-provider subscriptions to challenges (still the *before* phase).
+
+Paper Sec. V-A: "Tool and technology providers subscribe to these
+hackathon challenges proposing methods and tools that can solve the
+challenge."  Prerequisite 2 requires at least one subscribed provider
+per challenge; :class:`SubscriptionBook` records subscriptions, checks
+tool/provider consistency, and runs the automatic matching used when
+simulating the before phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.consortium.consortium import Consortium
+from repro.core.challenge import ChallengeCall
+from repro.errors import SubscriptionError
+from repro.framework.catalog import FrameworkModel
+from repro.rng import RngHub
+
+__all__ = ["Subscription", "SubscriptionBook", "auto_subscribe"]
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """A provider's offer to tackle a challenge with specific tools."""
+
+    challenge_id: str
+    provider_org_id: str
+    tool_ids: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.tool_ids:
+            raise SubscriptionError(
+                f"{self.provider_org_id} must propose at least one tool for "
+                f"{self.challenge_id}"
+            )
+
+
+class SubscriptionBook:
+    """All subscriptions of one hackathon event."""
+
+    def __init__(self, call: ChallengeCall, framework: FrameworkModel) -> None:
+        self._call = call
+        self._framework = framework
+        self._by_challenge: Dict[str, List[Subscription]] = {}
+
+    @property
+    def call(self) -> ChallengeCall:
+        return self._call
+
+    def subscribe(
+        self, provider_org_id: str, challenge_id: str, tool_ids: List[str]
+    ) -> Subscription:
+        """Record a subscription after validating it.
+
+        The challenge must exist in the call, every tool must exist and
+        belong to the subscribing provider, and a provider may subscribe
+        to a given challenge only once.
+        """
+        challenge = self._call.challenge(challenge_id)  # raises if unknown
+        for tool_id in tool_ids:
+            tool = self._framework.tool(tool_id)
+            if tool.provider_org_id != provider_org_id:
+                raise SubscriptionError(
+                    f"tool {tool_id!r} belongs to {tool.provider_org_id!r}, "
+                    f"not to subscriber {provider_org_id!r}"
+                )
+        existing = self._by_challenge.get(challenge_id, [])
+        if any(s.provider_org_id == provider_org_id for s in existing):
+            raise SubscriptionError(
+                f"{provider_org_id!r} already subscribed to {challenge_id!r}"
+            )
+        sub = Subscription(
+            challenge_id=challenge.challenge_id,
+            provider_org_id=provider_org_id,
+            tool_ids=tuple(tool_ids),
+        )
+        self._by_challenge.setdefault(challenge_id, []).append(sub)
+        return sub
+
+    def subscriptions_for(self, challenge_id: str) -> List[Subscription]:
+        self._call.challenge(challenge_id)
+        return list(self._by_challenge.get(challenge_id, []))
+
+    def providers_for(self, challenge_id: str) -> List[str]:
+        return sorted(
+            s.provider_org_id for s in self.subscriptions_for(challenge_id)
+        )
+
+    def tools_for(self, challenge_id: str) -> List[str]:
+        """All tool ids proposed for a challenge, sorted and deduplicated."""
+        tools = set()
+        for sub in self.subscriptions_for(challenge_id):
+            tools.update(sub.tool_ids)
+        return sorted(tools)
+
+    def unsubscribed_challenges(self) -> List[str]:
+        """Challenges with no provider yet — prerequisite-2 violations."""
+        return [
+            c.challenge_id
+            for c in self._call.challenges
+            if not self._by_challenge.get(c.challenge_id)
+        ]
+
+    def total_subscriptions(self) -> int:
+        return sum(len(v) for v in self._by_challenge.values())
+
+
+def auto_subscribe(
+    consortium: Consortium,
+    framework: FrameworkModel,
+    book: SubscriptionBook,
+    hub: RngHub,
+    match_threshold: float = 0.34,
+    max_subscriptions_per_provider: int = 3,
+) -> int:
+    """Simulate providers reading the call and subscribing.
+
+    A provider subscribes to a challenge when one of its tools matches
+    at least ``match_threshold`` of the challenge's required domains,
+    proposing its best-matching tools.  If a challenge ends up with no
+    subscriber (prerequisite 2 at risk), the globally best-matching
+    provider is asked directly — mirroring how organisers nudge partners
+    in practice.  Returns the number of subscriptions recorded.
+    """
+    rng = hub.stream("subscriptions")
+    count = 0
+    per_provider: Dict[str, int] = {}
+    challenges = book.call.challenges
+    for provider in consortium.tool_providers:
+        tools = framework.tools_of(provider.org_id)
+        if not tools:
+            continue
+        # Consider challenges in a provider-specific random order so the
+        # per-provider cap doesn't always starve the same challenges.
+        order = list(range(len(challenges)))
+        rng.shuffle(order)
+        for idx in order:
+            challenge = challenges[idx]
+            if per_provider.get(provider.org_id, 0) >= max_subscriptions_per_provider:
+                break
+            matching = [
+                t
+                for t in tools
+                if t.domain_match(challenge.required_domains) >= match_threshold
+            ]
+            if not matching:
+                continue
+            matching.sort(
+                key=lambda t: (-t.domain_match(challenge.required_domains), t.tool_id)
+            )
+            book.subscribe(
+                provider.org_id,
+                challenge.challenge_id,
+                [t.tool_id for t in matching[:2]],
+            )
+            per_provider[provider.org_id] = per_provider.get(provider.org_id, 0) + 1
+            count += 1
+
+    # Organiser nudge: ensure every challenge has at least one provider.
+    for challenge_id in book.unsubscribed_challenges():
+        challenge = book.call.challenge(challenge_id)
+        best: Optional[Tuple[float, str, List[str]]] = None
+        for provider in consortium.tool_providers:
+            tools = framework.tools_of(provider.org_id)
+            if not tools:
+                continue
+            tools.sort(
+                key=lambda t: (-t.domain_match(challenge.required_domains), t.tool_id)
+            )
+            score = tools[0].domain_match(challenge.required_domains)
+            candidate = (score, provider.org_id, [tools[0].tool_id])
+            if best is None or candidate[:2] > best[:2]:
+                best = candidate
+        if best is not None:
+            book.subscribe(best[1], challenge_id, best[2])
+            count += 1
+    return count

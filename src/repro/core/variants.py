@@ -1,0 +1,202 @@
+"""Hackathon format variants from the paper's related work (Sec. IV).
+
+The paper surveys five format families before designing its own.  Each
+factory below configures :class:`~repro.core.event.HackathonEvent` (and,
+where needed, the work-session and team-policy knobs) to approximate one
+family, so the format space can be swept on identical worlds:
+
+* :func:`megamart_format` — the paper's internal challenge contest
+  (the reference configuration).
+* :func:`datathon_format` — Anslow et al. [10]: data-analytics focus,
+  exploratory teams, relaxed competition.
+* :func:`tghl_format` — Decker et al. [11] "Think Global Hack Local":
+  non-competitive, community-based, maximally inclusive.
+* :func:`internal_innovation_format` — Rosell et al. [14]: open to
+  non-technical staff, strong preparation emphasis.
+* :func:`innovation_driven_format` — Frey and Luks [15]: compact 1-3 day
+  events with time-boxed iterations and a jury selecting winners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.consortium.consortium import Consortium
+from repro.consortium.member import Member
+from repro.core.event import HackathonConfig, HackathonEvent
+from repro.core.teams import (
+    BalancedFormation,
+    SubscriptionBasedFormation,
+    TeamFormationPolicy,
+)
+from repro.core.session import WorkSession
+from repro.errors import ConfigurationError
+from repro.framework.catalog import FrameworkModel
+from repro.rng import RngHub
+
+__all__ = [
+    "VariantSpec",
+    "megamart_format",
+    "datathon_format",
+    "tghl_format",
+    "internal_innovation_format",
+    "innovation_driven_format",
+    "ALL_VARIANTS",
+    "build_variant_event",
+]
+
+
+class InclusiveFormation(SubscriptionBasedFormation):
+    """TGHL/Rosell-style formation: non-technical members may join too.
+
+    Rosell et al. report 48 % of internal-hackathon participants coming
+    from non-development departments; Decker et al. stress inclusivity.
+    This policy widens the candidate pool beyond technical staff (still
+    excluding the burned-out), keeping the subscription skeleton.
+    """
+
+    name = "inclusive"
+
+    @staticmethod
+    def _technical_pool(attendees: Sequence[Member]) -> List[Member]:
+        pool = [m for m in attendees if not m.is_burned_out]
+        pool.sort(key=lambda m: m.member_id)
+        return pool
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """A fully specified hackathon format."""
+
+    key: str
+    description: str
+    config_overrides: Dict[str, object]
+    team_policy_factory: Callable[[], TeamFormationPolicy]
+    #: Multiplier on work-session productivity capturing the format's
+    #: preparation emphasis (Rosell: "special attention was given to
+    #: the preparation of the participants").
+    preparation_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ConfigurationError("variant key must be non-empty")
+        if self.preparation_factor <= 0:
+            raise ConfigurationError(
+                f"{self.key}: preparation_factor must be > 0, "
+                f"got {self.preparation_factor}"
+            )
+
+
+def megamart_format() -> VariantSpec:
+    """The paper's own format: challenge contest, 2 x 4 h, prizes."""
+    return VariantSpec(
+        key="megamart",
+        description="MegaM@Rt2 internal challenge contest (Sec. V)",
+        config_overrides={},
+        team_policy_factory=SubscriptionBasedFormation,
+    )
+
+
+def datathon_format() -> VariantSpec:
+    """Anslow et al.: exploratory datathon.
+
+    Longer single session, exploratory scope (more challenges, smaller
+    ones), competition retained but secondary.
+    """
+    return VariantSpec(
+        key="datathon",
+        description="datathon (Anslow et al. [10])",
+        config_overrides={
+            "sessions": 1,
+            "time_box_hours": 6.0,
+            "per_owner_challenges": 2,
+            "showcase_count": 2,
+        },
+        team_policy_factory=BalancedFormation,
+    )
+
+
+def tghl_format() -> VariantSpec:
+    """Decker et al.: non-competitive, community-based, inclusive."""
+    return VariantSpec(
+        key="tghl",
+        description="Think Global Hack Local (Decker et al. [11])",
+        config_overrides={
+            "has_prizes": False,  # deliberately non-competitive
+            "strict_prerequisites": False,
+        },
+        team_policy_factory=InclusiveFormation,
+    )
+
+
+def internal_innovation_format() -> VariantSpec:
+    """Rosell et al.: internal hackathon, heavy preparation, wide funnel."""
+    return VariantSpec(
+        key="internal",
+        description="internal innovation hackathon (Rosell et al. [14])",
+        config_overrides={
+            "per_owner_challenges": 1,
+        },
+        team_policy_factory=InclusiveFormation,
+        preparation_factor=1.25,
+    )
+
+
+def innovation_driven_format() -> VariantSpec:
+    """Frey and Luks: time-boxed iterations with a jury.
+
+    Modelled as more, shorter sessions (the four-phase iteration) and a
+    single jury-selected winner instead of audience showcases.
+    """
+    return VariantSpec(
+        key="innovation",
+        description="innovation-driven hackathon (Frey and Luks [15])",
+        config_overrides={
+            "sessions": 4,
+            "time_box_hours": 2.0,
+            "showcase_count": 1,
+        },
+        team_policy_factory=SubscriptionBasedFormation,
+    )
+
+
+ALL_VARIANTS: Dict[str, Callable[[], VariantSpec]] = {
+    "megamart": megamart_format,
+    "datathon": datathon_format,
+    "tghl": tghl_format,
+    "internal": internal_innovation_format,
+    "innovation": innovation_driven_format,
+}
+
+
+def build_variant_event(
+    variant: VariantSpec,
+    consortium: Consortium,
+    framework: FrameworkModel,
+    hub: RngHub,
+    event_id: Optional[str] = None,
+) -> HackathonEvent:
+    """Instantiate a configured event for ``variant`` on a given world."""
+    config_kwargs: Dict[str, object] = {
+        "event_id": event_id or f"{variant.key}-event",
+    }
+    config_kwargs.update(variant.config_overrides)
+    config = HackathonConfig(**config_kwargs)
+
+    work_session = WorkSession(hub)
+    if variant.preparation_factor != 1.0:
+        work_session = WorkSession(
+            hub,
+            productivity_per_hour=(
+                work_session.productivity_per_hour * variant.preparation_factor
+            ),
+        )
+    return HackathonEvent(
+        consortium,
+        framework,
+        hub,
+        config,
+        team_policy=variant.team_policy_factory(),
+        work_session=work_session,
+    )

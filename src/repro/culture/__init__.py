@@ -1,0 +1,55 @@
+"""Cultural-distance substrate (Hofstede model, paper Fig. 1).
+
+Public API:
+
+* :class:`HofstedeProfile`, :data:`COUNTRY_SCORES`, :func:`profile_for`
+* :func:`kogut_singh_index`, :func:`normalized_distance`,
+  :class:`CulturalDistanceModel`
+* :func:`comparison_chart`, :func:`render_ascii_chart` (Fig. 1)
+"""
+
+from repro.culture.charts import (
+    ChartSeries,
+    comparison_chart,
+    extreme_scores,
+    render_ascii_chart,
+)
+from repro.culture.distance import (
+    CulturalDistanceModel,
+    euclidean_distance,
+    kogut_singh_index,
+    most_distant_pair,
+    normalized_distance,
+    pairwise_matrix,
+)
+from repro.culture.hofstede import (
+    COUNTRY_SCORES,
+    MEGAMART_COUNTRIES,
+    Dimension,
+    HofstedeProfile,
+    comparison_table,
+    dimension_variance,
+    known_countries,
+    profile_for,
+)
+
+__all__ = [
+    "COUNTRY_SCORES",
+    "MEGAMART_COUNTRIES",
+    "ChartSeries",
+    "CulturalDistanceModel",
+    "Dimension",
+    "HofstedeProfile",
+    "comparison_chart",
+    "comparison_table",
+    "dimension_variance",
+    "euclidean_distance",
+    "extreme_scores",
+    "known_countries",
+    "kogut_singh_index",
+    "most_distant_pair",
+    "normalized_distance",
+    "pairwise_matrix",
+    "profile_for",
+    "render_ascii_chart",
+]

@@ -1,0 +1,89 @@
+"""Country-comparison chart data (the paper's Fig. 1).
+
+Fig. 1 of the paper reproduces a Hofstede Insights comparison chart: a
+grouped bar chart with one group per dimension and one bar per country.
+:func:`comparison_chart` returns that chart as structured data, and
+:func:`render_ascii_chart` renders it as text for benches and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.culture.hofstede import (
+    MEGAMART_COUNTRIES,
+    Dimension,
+    profile_for,
+)
+
+__all__ = ["ChartSeries", "comparison_chart", "render_ascii_chart"]
+
+#: Short labels used on the Hofstede Insights chart axes.
+DIMENSION_LABELS: Dict[Dimension, str] = {
+    Dimension.POWER_DISTANCE: "Power Distance",
+    Dimension.INDIVIDUALISM: "Individualism",
+    Dimension.MASCULINITY: "Masculinity",
+    Dimension.UNCERTAINTY_AVOIDANCE: "Uncertainty Avoidance",
+    Dimension.LONG_TERM_ORIENTATION: "Long Term Orientation",
+    Dimension.INDULGENCE: "Indulgence",
+}
+
+
+@dataclass(frozen=True)
+class ChartSeries:
+    """One country's bar series across the six dimension groups."""
+
+    country: str
+    values: Tuple[int, ...]  # in canonical Dimension order
+
+    def value_for(self, dimension: Dimension) -> int:
+        return self.values[list(Dimension).index(dimension)]
+
+
+def comparison_chart(
+    countries: Sequence[str] = MEGAMART_COUNTRIES,
+) -> List[ChartSeries]:
+    """Structured Fig. 1 data: one series per country."""
+    return [
+        ChartSeries(country=c, values=profile_for(c).as_vector())
+        for c in countries
+    ]
+
+
+def render_ascii_chart(
+    countries: Sequence[str] = MEGAMART_COUNTRIES, width: int = 40
+) -> str:
+    """Render the comparison chart as ASCII horizontal bars.
+
+    One block per dimension, one bar per country, bar length
+    proportional to the 0–100 score.
+    """
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    series = comparison_chart(countries)
+    name_width = max(len(s.country) for s in series)
+    lines: List[str] = []
+    for dim in Dimension:
+        lines.append(f"{DIMENSION_LABELS[dim]} ({dim.value.upper()})")
+        for s in series:
+            value = s.value_for(dim)
+            bar = "#" * max(1, round(value / 100 * width))
+            lines.append(f"  {s.country:<{name_width}} |{bar:<{width}}| {value:3d}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def extreme_scores(
+    countries: Sequence[str] = MEGAMART_COUNTRIES,
+) -> Dict[Dimension, Tuple[str, str]]:
+    """Per dimension, the (lowest-scoring, highest-scoring) country.
+
+    Benches use this to assert the chart's qualitative shape, e.g. that
+    Sweden scores lowest on Masculinity among the consortium countries.
+    """
+    out: Dict[Dimension, Tuple[str, str]] = {}
+    for dim in Dimension:
+        scored = sorted(countries, key=lambda c: (profile_for(c).score(dim), c))
+        out[dim] = (scored[0], scored[-1])
+    return out

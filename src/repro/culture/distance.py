@@ -1,0 +1,161 @@
+"""Cultural distance indices over Hofstede profiles.
+
+Two standard operationalisations are provided:
+
+* the **Kogut–Singh index** — mean of variance-normalised squared score
+  differences (the canonical composite in international-business
+  research), and
+* a normalised **Euclidean distance** in [0, 1] for use as an
+  attenuation factor in the learning model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.culture.hofstede import (
+    MEGAMART_COUNTRIES,
+    Dimension,
+    dimension_variance,
+    profile_for,
+)
+
+__all__ = [
+    "kogut_singh_index",
+    "euclidean_distance",
+    "normalized_distance",
+    "pairwise_matrix",
+    "most_distant_pair",
+    "CulturalDistanceModel",
+]
+
+
+def kogut_singh_index(
+    country_a: str,
+    country_b: str,
+    reference_countries: Iterable[str] = MEGAMART_COUNTRIES,
+) -> float:
+    """Kogut–Singh composite distance between two countries.
+
+    ``KS(a,b) = (1/6) * sum_d (score_a_d - score_b_d)^2 / var_d`` where
+    the per-dimension variance is computed over ``reference_countries``.
+    Zero iff the two profiles are identical.
+    """
+    pa, pb = profile_for(country_a), profile_for(country_b)
+    variances = dimension_variance(reference_countries)
+    total = 0.0
+    for dim in Dimension:
+        var = variances[dim]
+        if var <= 0.0:
+            continue
+        total += (pa.score(dim) - pb.score(dim)) ** 2 / var
+    return total / len(Dimension)
+
+
+def euclidean_distance(country_a: str, country_b: str) -> float:
+    """Plain Euclidean distance between the two 6-d score vectors."""
+    va = np.array(profile_for(country_a).as_vector(), dtype=float)
+    vb = np.array(profile_for(country_b).as_vector(), dtype=float)
+    return float(np.linalg.norm(va - vb))
+
+
+#: Maximum possible Euclidean distance between two profiles (all six
+#: dimensions differing by the full 0-100 range).
+_MAX_EUCLIDEAN = math.sqrt(6 * 100.0**2)
+
+
+def normalized_distance(country_a: str, country_b: str) -> float:
+    """Euclidean distance scaled to [0, 1] — the learning model's input."""
+    return euclidean_distance(country_a, country_b) / _MAX_EUCLIDEAN
+
+
+def pairwise_matrix(
+    countries: Sequence[str],
+    metric: str = "kogut_singh",
+) -> np.ndarray:
+    """Symmetric distance matrix over ``countries``.
+
+    Parameters
+    ----------
+    metric:
+        ``"kogut_singh"``, ``"euclidean"`` or ``"normalized"``.
+    """
+    metrics = {
+        "kogut_singh": lambda a, b: kogut_singh_index(a, b, countries)
+        if len(countries) >= 2
+        else 0.0,
+        "euclidean": euclidean_distance,
+        "normalized": normalized_distance,
+    }
+    if metric not in metrics:
+        raise ValueError(
+            f"unknown metric {metric!r}; expected one of {sorted(metrics)}"
+        )
+    fn = metrics[metric]
+    n = len(countries)
+    matrix = np.zeros((n, n), dtype=float)
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = fn(countries[i], countries[j])
+            matrix[i, j] = d
+            matrix[j, i] = d
+    return matrix
+
+
+def most_distant_pair(
+    countries: Sequence[str], metric: str = "kogut_singh"
+) -> Tuple[str, str, float]:
+    """The pair of countries with the largest distance under ``metric``."""
+    if len(countries) < 2:
+        raise ValueError("need at least two countries")
+    matrix = pairwise_matrix(countries, metric)
+    flat_idx = int(np.argmax(matrix))
+    i, j = divmod(flat_idx, len(countries))
+    return countries[i], countries[j], float(matrix[i, j])
+
+
+class CulturalDistanceModel:
+    """Cached normalised distances, keyed by unordered country pair.
+
+    The simulator queries cultural distance for every interacting pair of
+    members; caching avoids recomputing profile lookups in the hot loop.
+    Same-country pairs have distance zero by definition.
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[str, str], float] = {}
+
+    def distance(self, country_a: str, country_b: str) -> float:
+        """Normalised [0, 1] distance between two countries."""
+        if country_a == country_b:
+            return 0.0
+        key = (min(country_a, country_b), max(country_a, country_b))
+        if key not in self._cache:
+            self._cache[key] = normalized_distance(*key)
+        return self._cache[key]
+
+    def mean_distance(self, countries: Sequence[str]) -> float:
+        """Mean pairwise distance over a group of countries."""
+        if len(countries) < 2:
+            return 0.0
+        total, count = 0.0, 0
+        for i in range(len(countries)):
+            for j in range(i + 1, len(countries)):
+                total += self.distance(countries[i], countries[j])
+                count += 1
+        return total / count
+
+    def ranked_pairs(
+        self, countries: Sequence[str]
+    ) -> List[Tuple[str, str, float]]:
+        """All pairs sorted by distance descending."""
+        rows = []
+        for i in range(len(countries)):
+            for j in range(i + 1, len(countries)):
+                a, b = countries[i], countries[j]
+                rows.append((a, b, self.distance(a, b)))
+        rows.sort(key=lambda row: (-row[2], row[0], row[1]))
+        return rows

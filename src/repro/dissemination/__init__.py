@@ -1,0 +1,29 @@
+"""Dissemination substrate: showcases, channels, the EC review meeting.
+
+Public API:
+
+* :class:`Showcase`, :class:`DisseminationRegistry`,
+  :class:`DisseminationRecord`
+* :class:`Channel`, :class:`ChannelProfile`
+* :class:`ReviewMeeting`, :class:`ReviewVerdict`, :class:`ReviewerScore`
+"""
+
+from repro.dissemination.channels import CHANNEL_PROFILES, Channel, ChannelProfile
+from repro.dissemination.review import ReviewMeeting, ReviewVerdict, ReviewerScore
+from repro.dissemination.showcase import (
+    DisseminationRecord,
+    DisseminationRegistry,
+    Showcase,
+)
+
+__all__ = [
+    "CHANNEL_PROFILES",
+    "Channel",
+    "ChannelProfile",
+    "DisseminationRecord",
+    "DisseminationRegistry",
+    "ReviewMeeting",
+    "ReviewVerdict",
+    "ReviewerScore",
+    "Showcase",
+]

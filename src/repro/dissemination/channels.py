@@ -1,0 +1,71 @@
+"""Dissemination channels for hackathon showcases.
+
+Paper Sec. V-B / VI: "The best demos/presentations voted by the audience
+are selected as showcases for different project dissemination
+activities" and "the best hackathon results of each plenary meeting have
+been selected for dissemination activities".
+
+Channels differ in audience reach and in how much a showcase's quality
+matters (a conference talk lives or dies on content; a newsletter blurb
+mostly on reach).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Channel", "ChannelProfile", "CHANNEL_PROFILES"]
+
+
+class Channel(enum.Enum):
+    """Where a showcase can be disseminated."""
+
+    PROJECT_WEBSITE = "project_website"
+    NEWSLETTER = "newsletter"
+    CONFERENCE = "conference"
+    REVIEW_MEETING = "review_meeting"
+    SOCIAL_MEDIA = "social_media"
+
+
+@dataclass(frozen=True)
+class ChannelProfile:
+    """Audience model of one channel.
+
+    ``base_reach`` is the expected audience; ``quality_elasticity`` is
+    how strongly showcase quality scales that reach (0 = reach is fixed,
+    1 = reach fully proportional to quality).
+    """
+
+    base_reach: int
+    quality_elasticity: float
+
+    def __post_init__(self) -> None:
+        if self.base_reach < 1:
+            raise ConfigurationError(
+                f"base_reach must be >= 1, got {self.base_reach}"
+            )
+        if not 0.0 <= self.quality_elasticity <= 1.0:
+            raise ConfigurationError(
+                f"quality_elasticity must be in [0,1], "
+                f"got {self.quality_elasticity}"
+            )
+
+    def expected_reach(self, quality: float) -> float:
+        """Expected audience for a showcase of the given quality."""
+        if not 0.0 <= quality <= 1.0:
+            raise ConfigurationError(f"quality must be in [0,1], got {quality}")
+        return self.base_reach * (
+            (1.0 - self.quality_elasticity) + self.quality_elasticity * quality
+        )
+
+
+CHANNEL_PROFILES = {
+    Channel.PROJECT_WEBSITE: ChannelProfile(base_reach=400, quality_elasticity=0.3),
+    Channel.NEWSLETTER: ChannelProfile(base_reach=250, quality_elasticity=0.2),
+    Channel.CONFERENCE: ChannelProfile(base_reach=120, quality_elasticity=0.8),
+    Channel.REVIEW_MEETING: ChannelProfile(base_reach=15, quality_elasticity=0.5),
+    Channel.SOCIAL_MEDIA: ChannelProfile(base_reach=600, quality_elasticity=0.6),
+}

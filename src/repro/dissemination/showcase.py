@@ -1,0 +1,142 @@
+"""Showcase registry: from winning demos to dissemination records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.outcomes import HackathonOutcome
+from repro.dissemination.channels import CHANNEL_PROFILES, Channel
+from repro.errors import ConfigurationError
+from repro.rng import RngHub
+
+__all__ = ["Showcase", "DisseminationRecord", "DisseminationRegistry"]
+
+
+@dataclass(frozen=True)
+class Showcase:
+    """A demo selected for dissemination."""
+
+    showcase_id: str
+    event_id: str
+    challenge_id: str
+    quality: float
+    readiness: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.quality <= 1.0:
+            raise ConfigurationError(
+                f"{self.showcase_id}: quality must be in [0,1], "
+                f"got {self.quality}"
+            )
+
+
+@dataclass(frozen=True)
+class DisseminationRecord:
+    """One publication of a showcase through one channel."""
+
+    showcase_id: str
+    channel: Channel
+    reach: int
+
+
+class DisseminationRegistry:
+    """Tracks showcases and their dissemination across the project."""
+
+    def __init__(self, hub: RngHub) -> None:
+        self._rng = hub.stream("dissemination")
+        self._showcases: Dict[str, Showcase] = {}
+        self._records: List[DisseminationRecord] = []
+
+    # -- intake ------------------------------------------------------------
+
+    def register_outcome(self, outcome: HackathonOutcome) -> List[Showcase]:
+        """Register an event's audience-voted showcases.
+
+        Mirrors the paper's rule: the best demos, as ranked by the
+        anonymous vote (``outcome.showcase_ids``), become showcases.
+        """
+        registered = []
+        for challenge_id in outcome.showcase_ids:
+            demo = outcome.demo_for(challenge_id)
+            if demo is None:
+                continue
+            showcase = Showcase(
+                showcase_id=f"{outcome.event_id}:{challenge_id}",
+                event_id=outcome.event_id,
+                challenge_id=challenge_id,
+                quality=demo.overall_quality,
+                readiness=demo.readiness,
+            )
+            self.add(showcase)
+            registered.append(showcase)
+        return registered
+
+    def add(self, showcase: Showcase) -> None:
+        if showcase.showcase_id in self._showcases:
+            raise ConfigurationError(
+                f"duplicate showcase {showcase.showcase_id!r}"
+            )
+        self._showcases[showcase.showcase_id] = showcase
+
+    # -- publication ---------------------------------------------------------
+
+    def publish(
+        self, showcase_id: str, channel: Channel
+    ) -> DisseminationRecord:
+        """Publish one showcase through one channel; returns the record.
+
+        Reach is Poisson-distributed around the channel's
+        quality-adjusted expectation.
+        """
+        showcase = self.showcase(showcase_id)
+        profile = CHANNEL_PROFILES[channel]
+        reach = int(self._rng.poisson(profile.expected_reach(showcase.quality)))
+        record = DisseminationRecord(
+            showcase_id=showcase_id, channel=channel, reach=reach
+        )
+        self._records.append(record)
+        return record
+
+    def publish_everywhere(
+        self, showcase_id: str, channels: Optional[Iterable[Channel]] = None
+    ) -> List[DisseminationRecord]:
+        """Publish one showcase through every (or the given) channel."""
+        return [
+            self.publish(showcase_id, channel)
+            for channel in (channels if channels is not None else Channel)
+        ]
+
+    # -- queries ----------------------------------------------------------
+
+    def showcase(self, showcase_id: str) -> Showcase:
+        try:
+            return self._showcases[showcase_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown showcase {showcase_id!r}"
+            ) from None
+
+    @property
+    def showcases(self) -> List[Showcase]:
+        return [self._showcases[k] for k in sorted(self._showcases)]
+
+    @property
+    def records(self) -> List[DisseminationRecord]:
+        return list(self._records)
+
+    def total_reach(self) -> int:
+        return sum(r.reach for r in self._records)
+
+    def reach_by_channel(self) -> Dict[Channel, int]:
+        out = {channel: 0 for channel in Channel}
+        for record in self._records:
+            out[record.channel] += record.reach
+        return out
+
+    def best_showcase(self) -> Optional[Showcase]:
+        if not self._showcases:
+            return None
+        return max(
+            self.showcases, key=lambda s: (s.quality, s.showcase_id)
+        )

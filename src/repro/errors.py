@@ -1,0 +1,62 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario, model or builder was configured with invalid values."""
+
+
+class ConsortiumError(ReproError):
+    """Invalid consortium structure (duplicate ids, unknown references...)."""
+
+
+class UnknownCountryError(ReproError):
+    """A country code has no data in the requested dataset."""
+
+    def __init__(self, country: str, dataset: str = "hofstede") -> None:
+        self.country = country
+        self.dataset = dataset
+        super().__init__(f"no {dataset!r} data for country {country!r}")
+
+
+class ChallengeError(ReproError):
+    """A hackathon challenge violates the process rules."""
+
+
+class SubscriptionError(ReproError):
+    """A tool-provider subscription is invalid (unknown challenge/tool...)."""
+
+
+class PrerequisiteViolation(ReproError):
+    """One of the five hackathon prerequisites does not hold.
+
+    The paper (Sec. V-A) lists five prerequisites for the internal
+    hackathon; :class:`repro.core.prerequisites.PrerequisiteChecker`
+    raises this when asked to enforce them strictly.
+    """
+
+    def __init__(self, prerequisite: str, detail: str) -> None:
+        self.prerequisite = prerequisite
+        self.detail = detail
+        super().__init__(f"prerequisite {prerequisite!r} violated: {detail}")
+
+
+class VotingError(ReproError):
+    """Invalid ballot or vote aggregation request."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or with an invalid payload."""

@@ -1,0 +1,55 @@
+"""Evaluation substrate: challenge voting, surveys, comments.
+
+Public API:
+
+* :class:`VotingSystem`, :class:`Criterion`, :class:`Ballot`,
+  :class:`ChallengeScore` (Fig. 2)
+* :class:`PlenarySurvey`, :class:`SurveyOutcome` (Fig. 3 + acceptance)
+* :class:`CommentGenerator`, :class:`SentimentLexicon`, :class:`Comment`,
+  :func:`sentiment_histogram` (Fig. 4)
+"""
+
+from repro.evaluation.comments import (
+    Comment,
+    CommentGenerator,
+    NEGATIVE_TEMPLATES,
+    NEUTRAL_TEMPLATES,
+    POSITIVE_TEMPLATES,
+    SentimentLexicon,
+    sentiment_histogram,
+)
+from repro.evaluation.questionnaire import (
+    LikertItem,
+    Questionnaire,
+    QuestionnaireResult,
+    plenary_acceptance_items,
+)
+from repro.evaluation.survey import PlenarySurvey, SurveyOutcome
+from repro.evaluation.voting import (
+    MAX_SCORE,
+    Ballot,
+    ChallengeScore,
+    Criterion,
+    VotingSystem,
+)
+
+__all__ = [
+    "Ballot",
+    "ChallengeScore",
+    "Comment",
+    "CommentGenerator",
+    "Criterion",
+    "MAX_SCORE",
+    "NEGATIVE_TEMPLATES",
+    "NEUTRAL_TEMPLATES",
+    "POSITIVE_TEMPLATES",
+    "LikertItem",
+    "PlenarySurvey",
+    "Questionnaire",
+    "QuestionnaireResult",
+    "plenary_acceptance_items",
+    "SentimentLexicon",
+    "SurveyOutcome",
+    "VotingSystem",
+    "sentiment_histogram",
+]

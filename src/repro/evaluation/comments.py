@@ -1,0 +1,163 @@
+"""Free-text participant comments and their sentiment (paper Fig. 4).
+
+Fig. 4 of the paper shows participants' comments on the first hackathon
+— overwhelmingly positive.  We regenerate that artefact synthetically:
+:class:`CommentGenerator` produces comments whose tone follows the
+commenter's realised engagement, and :class:`SentimentLexicon` scores
+them back, closing the loop so benches can verify the distribution's
+shape without any natural-language model.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.rng import RngHub
+
+__all__ = ["Comment", "SentimentLexicon", "CommentGenerator", "sentiment_histogram"]
+
+
+@dataclass(frozen=True)
+class Comment:
+    """One anonymous free-text survey comment."""
+
+    text: str
+    context: str = "hackathon"
+
+
+#: Comment templates in the spirit of the paper's Fig. 4 screenshots.
+POSITIVE_TEMPLATES: Tuple[str, ...] = (
+    "Great to finally work hands-on with the other partners' tools.",
+    "Excellent initiative, we made more progress in four hours than in months.",
+    "Very good way to understand what the use cases really need.",
+    "The hackathon was fun and extremely useful for our case study.",
+    "Impressive demos; we found a promising integration with another tool.",
+    "Best plenary so far thanks to the hackathon day.",
+    "Good energy, concrete results and new contacts across the consortium.",
+    "We will continue the collaboration started during the challenge.",
+)
+
+NEUTRAL_TEMPLATES: Tuple[str, ...] = (
+    "Interesting format, although the scope of our challenge was unclear.",
+    "Reasonable session, but more preparation material would help.",
+    "The time box was tight; we finished only part of the experiment.",
+    "Mixed results for our team, worth trying again next plenary.",
+)
+
+NEGATIVE_TEMPLATES: Tuple[str, ...] = (
+    "Too little time to achieve anything meaningful, frustrating overall.",
+    "The meeting was again mostly administrative and a waste of my time.",
+    "Poor match between our challenge and the subscribed tools, disappointing.",
+    "Exhausting day with weak outcomes for our use case.",
+)
+
+
+class SentimentLexicon:
+    """A tiny polarity lexicon sufficient for the template vocabulary.
+
+    ``score`` returns the mean polarity of matched words in [-1, 1];
+    texts with no matched words score 0.0 (neutral).
+    """
+
+    DEFAULT_POLARITY: Dict[str, float] = {
+        # Positive vocabulary.
+        "great": 1.0, "excellent": 1.0, "good": 0.7, "best": 1.0,
+        "fun": 0.8, "useful": 0.8, "impressive": 0.9, "promising": 0.7,
+        "progress": 0.6, "concrete": 0.5, "energy": 0.4, "finally": 0.3,
+        "continue": 0.4, "new": 0.3,
+        # Negative vocabulary.
+        "frustrating": -1.0, "waste": -1.0, "poor": -0.9,
+        "disappointing": -0.9, "exhausting": -0.7, "weak": -0.7,
+        "administrative": -0.4, "tight": -0.3, "unclear": -0.4,
+        "mixed": -0.2,
+    }
+
+    def __init__(self, polarity: Dict[str, float] = None) -> None:
+        self._polarity = dict(
+            self.DEFAULT_POLARITY if polarity is None else polarity
+        )
+        for word, value in self._polarity.items():
+            if not -1.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"polarity for {word!r} must be in [-1,1], got {value}"
+                )
+
+    def score(self, text: str) -> float:
+        words = [w.strip(".,;:!?()").lower() for w in text.split()]
+        matched = [self._polarity[w] for w in words if w in self._polarity]
+        if not matched:
+            return 0.0
+        return sum(matched) / len(matched)
+
+    def label(self, text: str, threshold: float = 0.15) -> str:
+        """Classify a text as ``positive``, ``neutral`` or ``negative``."""
+        if threshold <= 0:
+            raise ConfigurationError(f"threshold must be > 0, got {threshold}")
+        score = self.score(text)
+        if score > threshold:
+            return "positive"
+        if score < -threshold:
+            return "negative"
+        return "neutral"
+
+
+class CommentGenerator:
+    """Generates engagement-driven comments.
+
+    A commenter with engagement ``e`` picks from the positive pool with
+    probability rising in ``e``, the negative pool with probability
+    falling in ``e``, otherwise neutral.  The mapping is asymmetric
+    (positivity bias): written survey feedback skews politer than the
+    underlying engagement, a well-documented survey artefact — and with
+    the hackathon engagement levels of technical staff (~0.9) it yields
+    the overwhelmingly-positive distribution of Fig. 4.
+    """
+
+    def __init__(self, hub: RngHub) -> None:
+        self._rng = hub.stream("comments")
+
+    def band_probabilities(self, engagement: float) -> Tuple[float, float, float]:
+        """(positive, neutral, negative) probabilities for ``engagement``."""
+        if not 0.0 <= engagement <= 1.0:
+            raise ConfigurationError(
+                f"engagement must be in [0,1], got {engagement}"
+            )
+        positive = engagement**1.2
+        negative = (1.0 - engagement) ** 2.2
+        neutral = max(0.0, 1.0 - positive - negative)
+        total = positive + neutral + negative
+        return positive / total, neutral / total, negative / total
+
+    def generate(self, engagement: float, context: str = "hackathon") -> Comment:
+        """Generate one comment for a participant at ``engagement``."""
+        p_pos, p_neu, _ = self.band_probabilities(engagement)
+        u = self._rng.random()
+        if u < p_pos:
+            pool: Sequence[str] = POSITIVE_TEMPLATES
+        elif u < p_pos + p_neu:
+            pool = NEUTRAL_TEMPLATES
+        else:
+            pool = NEGATIVE_TEMPLATES
+        text = pool[int(self._rng.integers(0, len(pool)))]
+        return Comment(text=text, context=context)
+
+    def generate_all(
+        self, engagements: Dict[str, float], context: str = "hackathon"
+    ) -> List[Comment]:
+        """One comment per member, iterated in sorted-id order."""
+        return [
+            self.generate(engagements[mid], context)
+            for mid in sorted(engagements)
+        ]
+
+
+def sentiment_histogram(
+    comments: Sequence[Comment], lexicon: SentimentLexicon = None
+) -> Dict[str, int]:
+    """Counts of positive/neutral/negative labels over ``comments``."""
+    lexicon = lexicon or SentimentLexicon()
+    counts: Counter = Counter(lexicon.label(c.text) for c in comments)
+    return {label: counts.get(label, 0) for label in ("positive", "neutral", "negative")}

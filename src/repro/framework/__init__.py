@@ -1,0 +1,33 @@
+"""Framework substrate: the 28-tool / 9-case-study MegaM@Rt2 model.
+
+Public API:
+
+* :class:`Tool`, :class:`ToolCategory`
+* :class:`CaseStudy`
+* :class:`Requirement`, :class:`RequirementsCatalogue`, :class:`AbstractionLevel`
+* :class:`ApplicationMatrix`, :class:`AdoptionState`
+* :class:`FrameworkModel`, :func:`build_framework`
+"""
+
+from repro.framework.casestudy import CaseStudy
+from repro.framework.catalog import FrameworkModel, build_framework
+from repro.framework.integration import AdoptionState, ApplicationMatrix
+from repro.framework.requirements import (
+    AbstractionLevel,
+    Requirement,
+    RequirementsCatalogue,
+)
+from repro.framework.tool import Tool, ToolCategory
+
+__all__ = [
+    "AbstractionLevel",
+    "AdoptionState",
+    "ApplicationMatrix",
+    "CaseStudy",
+    "FrameworkModel",
+    "Requirement",
+    "RequirementsCatalogue",
+    "Tool",
+    "ToolCategory",
+    "build_framework",
+]

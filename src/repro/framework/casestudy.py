@@ -1,0 +1,64 @@
+"""Industrial case studies.
+
+MegaM@Rt2 has "requirements coming from 9 industrial case studies"
+(Sec. II) spanning transportation, telecommunications and logistics.
+A :class:`CaseStudy` belongs to an owner organisation and exposes the
+knowledge domains a useful tool must speak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CaseStudy"]
+
+
+@dataclass
+class CaseStudy:
+    """One industrial case study.
+
+    Attributes
+    ----------
+    case_id:
+        Unique id within the framework.
+    owner_org_id:
+        The case-study-owner organisation.
+    domains:
+        Application domains involved (e.g. ``transportation``), used
+        for challenge/tool matching.
+    baseline_maturity:
+        Progress of the baseline experiments in [0, 1]; hackathon
+        outcomes advance it ("helping use case providers to bootstrap
+        the baseline experiments", Sec. V).
+    """
+
+    case_id: str
+    name: str
+    owner_org_id: str
+    domains: FrozenSet[str] = field(default_factory=frozenset)
+    baseline_maturity: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.case_id:
+            raise ConfigurationError("case study id must be non-empty")
+        if not self.domains:
+            raise ConfigurationError(
+                f"{self.case_id}: a case study must declare at least one domain"
+            )
+        if not 0.0 <= self.baseline_maturity <= 1.0:
+            raise ConfigurationError(
+                f"{self.case_id}: baseline_maturity must be in [0,1], "
+                f"got {self.baseline_maturity}"
+            )
+
+    def advance_baseline(self, amount: float) -> None:
+        """Advance baseline experiment maturity, clamped to 1.0."""
+        if amount < 0:
+            raise ValueError(f"amount must be non-negative, got {amount}")
+        self.baseline_maturity = min(1.0, self.baseline_maturity + amount)
+
+    def relevant_domains(self) -> List[str]:
+        return sorted(self.domains)

@@ -1,0 +1,178 @@
+"""Framework catalogue builder: the 28 tools and 9 case studies.
+
+Given a consortium, :func:`build_framework` constructs the MegaM@Rt2
+framework model: exactly ``n_tools`` tools distributed over the tool
+providers, one case study per case-study owner (9 in the MegaM@Rt2
+preset), a requirements catalogue, and an empty application matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.consortium.consortium import Consortium
+from repro.errors import ConfigurationError
+from repro.framework.casestudy import CaseStudy
+from repro.framework.integration import ApplicationMatrix
+from repro.framework.requirements import (
+    AbstractionLevel,
+    Requirement,
+    RequirementsCatalogue,
+)
+from repro.framework.tool import Tool, ToolCategory
+from repro.rng import RngHub
+
+__all__ = ["FrameworkModel", "build_framework"]
+
+#: Method-side domains a tool can implement (the framework pillars).
+_METHOD_DOMAINS = (
+    "model_based_design",
+    "runtime_verification",
+    "static_analysis",
+    "traceability",
+    "requirements_engineering",
+    "performance_analysis",
+    "testing",
+)
+
+#: Application-side domains a case study lives in.
+_APPLICATION_DOMAINS = (
+    "transportation",
+    "telecom",
+    "logistics",
+    "avionics",
+    "embedded_systems",
+)
+
+_CATEGORY_FOR_DOMAIN = {
+    "model_based_design": ToolCategory.SYSTEM_ENGINEERING,
+    "requirements_engineering": ToolCategory.SYSTEM_ENGINEERING,
+    "testing": ToolCategory.SYSTEM_ENGINEERING,
+    "runtime_verification": ToolCategory.RUNTIME_ANALYSIS,
+    "performance_analysis": ToolCategory.RUNTIME_ANALYSIS,
+    "static_analysis": ToolCategory.RUNTIME_ANALYSIS,
+    "traceability": ToolCategory.MODEL_TRACEABILITY,
+}
+
+
+@dataclass
+class FrameworkModel:
+    """The integrated framework: tools, case studies, requirements, matrix."""
+
+    tools: Dict[str, Tool]
+    case_studies: Dict[str, CaseStudy]
+    requirements: RequirementsCatalogue
+    matrix: ApplicationMatrix
+
+    def tool(self, tool_id: str) -> Tool:
+        try:
+            return self.tools[tool_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown tool {tool_id!r}") from None
+
+    def case_study(self, case_id: str) -> CaseStudy:
+        try:
+            return self.case_studies[case_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown case study {case_id!r}") from None
+
+    def tools_of(self, org_id: str) -> List[Tool]:
+        return [
+            t
+            for _, t in sorted(self.tools.items())
+            if t.provider_org_id == org_id
+        ]
+
+    def cases_of(self, org_id: str) -> List[CaseStudy]:
+        return [
+            c
+            for _, c in sorted(self.case_studies.items())
+            if c.owner_org_id == org_id
+        ]
+
+    def matching_tools(self, case_id: str) -> List[Tool]:
+        """Tools whose domains overlap the case study's, best match first."""
+        case = self.case_study(case_id)
+        scored = [
+            (t.domain_match(frozenset(case.domains)), t.tool_id, t)
+            for t in self.tools.values()
+        ]
+        scored.sort(key=lambda row: (-row[0], row[1]))
+        return [t for score, _, t in scored if score > 0]
+
+
+def build_framework(
+    consortium: Consortium,
+    hub: Optional[RngHub] = None,
+    n_tools: int = 28,
+    requirements_per_case: int = 8,
+) -> FrameworkModel:
+    """Construct the framework model for ``consortium``.
+
+    Tools are dealt round-robin over tool-provider organisations with
+    domains drawn near each provider's speciality; each case-study
+    owner receives one case study whose requirements mix the owner's
+    application domain with method domains (so tool/case matching is
+    non-trivial but feasible).
+    """
+    hub = hub or RngHub(0)
+    rng = hub.stream("framework")
+    providers = consortium.tool_providers
+    owners = consortium.case_study_owners
+    if not providers or not owners:
+        raise ConfigurationError(
+            "framework needs at least one tool provider and one case-study owner"
+        )
+    if n_tools < len(providers):
+        raise ConfigurationError(
+            f"n_tools={n_tools} is fewer than the {len(providers)} providers; "
+            "every provider must contribute at least one tool"
+        )
+
+    tools: Dict[str, Tool] = {}
+    for i in range(n_tools):
+        provider = providers[i % len(providers)]
+        primary = _METHOD_DOMAINS[int(rng.integers(0, len(_METHOD_DOMAINS)))]
+        secondary = _METHOD_DOMAINS[int(rng.integers(0, len(_METHOD_DOMAINS)))]
+        domains = frozenset({primary, secondary})
+        tool = Tool(
+            tool_id=f"tool{i:02d}",
+            name=f"{provider.org_id}-{primary}-{i:02d}",
+            provider_org_id=provider.org_id,
+            category=_CATEGORY_FOR_DOMAIN[primary],
+            domains=domains,
+            trl=int(rng.integers(3, 7)),
+        )
+        tools[tool.tool_id] = tool
+
+    case_studies: Dict[str, CaseStudy] = {}
+    catalogue = RequirementsCatalogue()
+    levels = list(AbstractionLevel)
+    for j, owner in enumerate(owners):
+        app_domain = _APPLICATION_DOMAINS[j % len(_APPLICATION_DOMAINS)]
+        case = CaseStudy(
+            case_id=f"case{j:02d}",
+            name=f"{owner.org_id} {app_domain} case study",
+            owner_org_id=owner.org_id,
+            domains=frozenset({app_domain, "embedded_systems"}),
+        )
+        case_studies[case.case_id] = case
+        for r in range(requirements_per_case):
+            method = _METHOD_DOMAINS[int(rng.integers(0, len(_METHOD_DOMAINS)))]
+            catalogue.add(
+                Requirement(
+                    req_id=f"{case.case_id}.r{r:02d}",
+                    case_id=case.case_id,
+                    level=levels[r % len(levels)],
+                    domains=frozenset({method, app_domain}),
+                )
+            )
+
+    matrix = ApplicationMatrix(tools.keys(), case_studies.keys())
+    return FrameworkModel(
+        tools=tools,
+        case_studies=case_studies,
+        requirements=catalogue,
+        matrix=matrix,
+    )

@@ -1,0 +1,127 @@
+"""Tool-to-case-study application matrix.
+
+"The lack of progress related to the application of the available tools
+to the use cases" is the problem the hackathon was invented to fix
+(paper Sec. I).  :class:`ApplicationMatrix` makes that progress a
+measurable state machine: each (tool, case study) pair is in one of the
+:class:`AdoptionState` stages, and hackathon demos move pairs forward.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["AdoptionState", "ApplicationMatrix"]
+
+
+class AdoptionState(enum.IntEnum):
+    """Stages of applying a tool to a case study, in order."""
+
+    NOT_STARTED = 0
+    EXPLORED = 1  # discussed / demoed at a hackathon
+    PILOTED = 2  # applied to real case-study material
+    ADOPTED = 3  # part of the case study's engineering flow
+
+
+class ApplicationMatrix:
+    """Sparse matrix of adoption states over (tool_id, case_id) pairs.
+
+    Pairs never touched read as :attr:`AdoptionState.NOT_STARTED`.
+    State can only move forward (monotone progress), matching how the
+    paper uses demonstrators "to track project progress".
+    """
+
+    def __init__(
+        self, tool_ids: Iterable[str], case_ids: Iterable[str]
+    ) -> None:
+        self._tools = sorted(set(tool_ids))
+        self._cases = sorted(set(case_ids))
+        if not self._tools or not self._cases:
+            raise ConfigurationError(
+                "application matrix needs at least one tool and one case study"
+            )
+        self._tool_set = set(self._tools)
+        self._case_set = set(self._cases)
+        self._states: Dict[Tuple[str, str], AdoptionState] = {}
+
+    # -- state access -----------------------------------------------------
+
+    def _check(self, tool_id: str, case_id: str) -> None:
+        if tool_id not in self._tool_set:
+            raise ConfigurationError(f"unknown tool {tool_id!r}")
+        if case_id not in self._case_set:
+            raise ConfigurationError(f"unknown case study {case_id!r}")
+
+    def state(self, tool_id: str, case_id: str) -> AdoptionState:
+        self._check(tool_id, case_id)
+        return self._states.get((tool_id, case_id), AdoptionState.NOT_STARTED)
+
+    def advance(
+        self, tool_id: str, case_id: str, to: AdoptionState
+    ) -> AdoptionState:
+        """Move a pair forward to ``to`` (no-op if already past it)."""
+        current = self.state(tool_id, case_id)
+        if to > current:
+            self._states[(tool_id, case_id)] = to
+            return to
+        return current
+
+    # -- aggregate queries --------------------------------------------------
+
+    @property
+    def tools(self) -> List[str]:
+        return list(self._tools)
+
+    @property
+    def cases(self) -> List[str]:
+        return list(self._cases)
+
+    def pairs_at_least(self, state: AdoptionState) -> List[Tuple[str, str]]:
+        """Pairs whose adoption has reached ``state`` or beyond."""
+        return sorted(
+            pair for pair, s in self._states.items() if s >= state
+        )
+
+    def applications_started(self) -> int:
+        """Count of pairs past NOT_STARTED — the paper's progress metric."""
+        return len(self.pairs_at_least(AdoptionState.EXPLORED))
+
+    def state_histogram(self) -> Dict[AdoptionState, int]:
+        """Count of pairs per state (including untouched pairs)."""
+        counts: Counter = Counter(self._states.values())
+        total = len(self._tools) * len(self._cases)
+        counts[AdoptionState.NOT_STARTED] = total - sum(
+            v for k, v in counts.items() if k != AdoptionState.NOT_STARTED
+        )
+        return {state: counts.get(state, 0) for state in AdoptionState}
+
+    def case_progress(self, case_id: str) -> float:
+        """Mean adoption state of a case study, normalised to [0, 1]."""
+        self._check(self._tools[0], case_id)
+        total = sum(
+            int(self.state(t, case_id)) for t in self._tools
+        )
+        return total / (len(self._tools) * int(AdoptionState.ADOPTED))
+
+    def tools_engaged_with(self, case_id: str) -> List[str]:
+        """Tools with any progress on ``case_id``."""
+        return sorted(
+            t
+            for t in self._tools
+            if self.state(t, case_id) > AdoptionState.NOT_STARTED
+        )
+
+    def coverage_summary(self) -> Dict[str, float]:
+        """Fractions summarising matrix fill for reporting."""
+        total = len(self._tools) * len(self._cases)
+        return {
+            "explored_fraction": self.applications_started() / total,
+            "piloted_fraction": len(self.pairs_at_least(AdoptionState.PILOTED))
+            / total,
+            "adopted_fraction": len(self.pairs_at_least(AdoptionState.ADOPTED))
+            / total,
+        }

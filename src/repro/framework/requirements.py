@@ -1,0 +1,116 @@
+"""The project's requirements catalogue.
+
+The paper (Sec. II) describes "a large and complex catalogue of
+requirements to be realized by the architecture building blocks at
+different levels of abstraction".  The catalogue here links each
+requirement to a source case study and to the tool(s) whose successful
+application can satisfy it, giving the longitudinal simulator a concrete
+"project progress" metric.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["AbstractionLevel", "Requirement", "RequirementsCatalogue"]
+
+
+class AbstractionLevel(enum.Enum):
+    """Level of abstraction a requirement targets (Sec. II)."""
+
+    SYSTEM = "system"
+    ARCHITECTURE = "architecture"
+    COMPONENT = "component"
+    RUNTIME = "runtime"
+
+
+@dataclass
+class Requirement:
+    """One entry of the catalogue."""
+
+    req_id: str
+    case_id: str
+    level: AbstractionLevel
+    domains: FrozenSet[str]
+    satisfied: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.req_id:
+            raise ConfigurationError("requirement id must be non-empty")
+        if not self.domains:
+            raise ConfigurationError(
+                f"{self.req_id}: requirement must declare at least one domain"
+            )
+
+    def satisfy(self) -> None:
+        self.satisfied = True
+
+
+class RequirementsCatalogue:
+    """Requirements indexed by id and by case study."""
+
+    def __init__(self) -> None:
+        self._reqs: Dict[str, Requirement] = {}
+        self._by_case: Dict[str, List[str]] = {}
+
+    def add(self, req: Requirement) -> None:
+        if req.req_id in self._reqs:
+            raise ConfigurationError(f"duplicate requirement id {req.req_id!r}")
+        self._reqs[req.req_id] = req
+        self._by_case.setdefault(req.case_id, []).append(req.req_id)
+
+    def get(self, req_id: str) -> Requirement:
+        try:
+            return self._reqs[req_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown requirement {req_id!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._reqs)
+
+    def __iter__(self):
+        return iter(self._reqs[k] for k in sorted(self._reqs))
+
+    def for_case(self, case_id: str) -> List[Requirement]:
+        return [self._reqs[r] for r in sorted(self._by_case.get(case_id, []))]
+
+    def coverage(self, case_id: Optional[str] = None) -> float:
+        """Fraction of (case's) requirements satisfied; 0.0 if none exist."""
+        reqs = self.for_case(case_id) if case_id else list(self)
+        if not reqs:
+            return 0.0
+        return sum(1 for r in reqs if r.satisfied) / len(reqs)
+
+    def satisfiable_by(self, domains: Iterable[str]) -> List[Requirement]:
+        """Unsatisfied requirements whose domains overlap ``domains``."""
+        domain_set = set(domains)
+        return [
+            r
+            for r in self
+            if not r.satisfied and r.domains & domain_set
+        ]
+
+    def satisfy_matching(
+        self, case_id: str, domains: Iterable[str], count: int
+    ) -> List[str]:
+        """Mark up to ``count`` matching requirements of a case satisfied.
+
+        Returns the ids actually satisfied.  Used when a hackathon demo
+        for a case study succeeds: the demonstrated tool capabilities
+        knock out matching open requirements.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        domain_set = set(domains)
+        satisfied: List[str] = []
+        for req in self.for_case(case_id):
+            if len(satisfied) >= count:
+                break
+            if not req.satisfied and req.domains & domain_set:
+                req.satisfy()
+                satisfied.append(req.req_id)
+        return satisfied

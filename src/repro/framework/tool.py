@@ -1,0 +1,85 @@
+"""Tools of the project framework.
+
+The MegaM@Rt2 framework "plans to integrate 28 tools implementing the
+above-mentioned methods" (paper Sec. II).  A :class:`Tool` is owned by a
+provider organisation, implements methods in specific knowledge domains,
+and has a technology-readiness level that hackathon demos can raise.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ToolCategory", "Tool"]
+
+
+class ToolCategory(enum.Enum):
+    """The three tool-set pillars of the MegaM@Rt2 framework.
+
+    The project's stated goal (Sec. II) is "continuous system
+    engineering and runtime validation and verification" glued by
+    megamodelling/traceability — one category per pillar.
+    """
+
+    SYSTEM_ENGINEERING = "system_engineering"
+    RUNTIME_ANALYSIS = "runtime_analysis"
+    MODEL_TRACEABILITY = "model_traceability"
+
+
+@dataclass
+class Tool:
+    """A method-implementing tool contributed by a provider.
+
+    Attributes
+    ----------
+    tool_id:
+        Unique id within the framework.
+    provider_org_id:
+        Organisation that develops and champions the tool.
+    category:
+        Framework pillar the tool belongs to.
+    domains:
+        Knowledge domains the tool supports; challenge matching uses
+        the overlap between these and a challenge's required domains.
+    trl:
+        Technology readiness level 1–9; successful hackathon demos can
+        raise it (capped at 9).
+    """
+
+    tool_id: str
+    name: str
+    provider_org_id: str
+    category: ToolCategory
+    domains: FrozenSet[str] = field(default_factory=frozenset)
+    trl: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.tool_id:
+            raise ConfigurationError("tool id must be non-empty")
+        if not 1 <= self.trl <= 9:
+            raise ConfigurationError(
+                f"{self.tool_id}: TRL must be in [1,9], got {self.trl}"
+            )
+        if not self.domains:
+            raise ConfigurationError(
+                f"{self.tool_id}: a tool must support at least one domain"
+            )
+
+    def supports(self, domain: str) -> bool:
+        return domain in self.domains
+
+    def domain_match(self, required: FrozenSet[str]) -> float:
+        """Fraction of ``required`` domains this tool supports."""
+        if not required:
+            return 0.0
+        return len(self.domains & required) / len(required)
+
+    def mature(self, levels: int = 1) -> None:
+        """Raise the TRL by ``levels``, capped at 9."""
+        if levels < 0:
+            raise ValueError(f"levels must be non-negative, got {levels}")
+        self.trl = min(9, self.trl + levels)

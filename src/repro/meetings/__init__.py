@@ -1,0 +1,46 @@
+"""Plenary-meeting substrate.
+
+Public API:
+
+* :class:`Agenda`, :class:`AgendaItem`, :class:`SessionFormat`,
+  :func:`traditional_agenda`, :func:`hackathon_agenda`
+* :class:`AttendancePolicy`, :class:`Delegation`
+* :class:`EngagementModel`, :class:`EngagementRecord`
+* :class:`PlenaryMeeting`, :class:`MeetingResult`
+"""
+
+from repro.meetings.agenda import (
+    Agenda,
+    AgendaItem,
+    SessionFormat,
+    hackathon_agenda,
+    interleaved_agenda,
+    traditional_agenda,
+)
+from repro.meetings.attendance import AttendancePolicy, Delegation
+from repro.meetings.costs import CostParameters, MeetingCostReport, price_meeting
+from repro.meetings.engagement import EngagementModel, EngagementRecord
+from repro.meetings.mode import MODE_EFFECTS, MeetingMode, ModeEffects
+from repro.meetings.plenary import HackathonHandler, MeetingResult, PlenaryMeeting
+
+__all__ = [
+    "Agenda",
+    "AgendaItem",
+    "AttendancePolicy",
+    "CostParameters",
+    "MeetingCostReport",
+    "price_meeting",
+    "Delegation",
+    "EngagementModel",
+    "EngagementRecord",
+    "HackathonHandler",
+    "MODE_EFFECTS",
+    "MeetingMode",
+    "MeetingResult",
+    "ModeEffects",
+    "PlenaryMeeting",
+    "SessionFormat",
+    "hackathon_agenda",
+    "interleaved_agenda",
+    "traditional_agenda",
+]

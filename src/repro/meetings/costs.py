@@ -1,0 +1,113 @@
+"""Meeting cost model and return-on-investment accounting.
+
+The paper's failure mode is economic: "many partners apply cost savings
+and send managers only", making "the output of plenary meetings...
+questionable" — i.e. plenaries had a bad cost/benefit ratio.  This
+module prices a plenary (travel + person-hours) so benches can compute
+*cost per collaboration outcome* and show that the hackathon buys far
+more per euro, even though it sends more (and more expensive) people.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.consortium.consortium import Consortium
+from repro.errors import ConfigurationError
+from repro.meetings.mode import MODE_EFFECTS
+from repro.meetings.plenary import MeetingResult
+
+__all__ = ["CostParameters", "MeetingCostReport", "price_meeting"]
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Unit costs in EUR.
+
+    ``travel_cost_domestic`` applies when the member's organisation is
+    in the host country; ``travel_cost_international`` otherwise.
+    Virtual attendance costs no travel at all.
+    """
+
+    travel_cost_domestic: float = 250.0
+    travel_cost_international: float = 700.0
+    hourly_rate: float = 80.0
+    hotel_per_day: float = 140.0
+
+    def __post_init__(self) -> None:
+        for name in ("travel_cost_domestic", "travel_cost_international",
+                     "hourly_rate", "hotel_per_day"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class MeetingCostReport:
+    """Priced plenary with its headline efficiency ratios."""
+
+    meeting_name: str
+    attendees: int
+    travel_cost: float
+    time_cost: float
+    accommodation_cost: float
+
+    @property
+    def total_cost(self) -> float:
+        return self.travel_cost + self.time_cost + self.accommodation_cost
+
+    def cost_per(self, outcome_count: float) -> float:
+        """Cost per unit of outcome; infinite when nothing was produced."""
+        if outcome_count < 0:
+            raise ConfigurationError(
+                f"outcome count must be >= 0, got {outcome_count}"
+            )
+        if outcome_count == 0:
+            return float("inf")
+        return self.total_cost / outcome_count
+
+
+def price_meeting(
+    result: MeetingResult,
+    consortium: Consortium,
+    host_country: str,
+    meeting_hours: float,
+    days: int = 2,
+    params: Optional[CostParameters] = None,
+) -> MeetingCostReport:
+    """Price one plenary from its attendance record.
+
+    Virtual meetings incur time cost only (scaled by the same hours);
+    hybrid meetings halve travel (half the delegates stay home, matching
+    the mode's 0.5 cost relief).
+    """
+    if meeting_hours <= 0:
+        raise ConfigurationError(
+            f"meeting_hours must be > 0, got {meeting_hours}"
+        )
+    if days < 1:
+        raise ConfigurationError(f"days must be >= 1, got {days}")
+    params = params or CostParameters()
+    effects = MODE_EFFECTS[result.mode]
+    travel_fraction = 1.0 - effects.attendance_cost_relief
+
+    travel = 0.0
+    accommodation = 0.0
+    for member_id in result.attendee_ids:
+        org = consortium.organization_of(consortium.member(member_id))
+        per_trip = (
+            params.travel_cost_domestic
+            if org.country == host_country
+            else params.travel_cost_international
+        )
+        travel += per_trip * travel_fraction
+        accommodation += params.hotel_per_day * days * travel_fraction
+
+    time_cost = len(result.attendee_ids) * meeting_hours * params.hourly_rate
+    return MeetingCostReport(
+        meeting_name=result.meeting_name,
+        attendees=len(result.attendee_ids),
+        travel_cost=travel,
+        time_cost=time_cost,
+        accommodation_cost=accommodation,
+    )

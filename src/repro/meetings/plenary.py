@@ -1,0 +1,267 @@
+"""The plenary-meeting simulator.
+
+:class:`PlenaryMeeting` runs an agenda over a consortium: it samples who
+attends, how engaged they are per session, and which cross-member
+interactions happen; interactions strengthen network ties and exchange
+knowledge through the inverted-U learning model.
+
+Hackathon agenda items are special: the meeting delegates them to a
+*hackathon handler* (normally :class:`repro.core.HackathonEvent` wired
+in by the simulation runner), keeping this module independent of the
+core package.  Without a handler, hackathon slots fall back to intense
+generic mixing — useful for quick what-if runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cognition.learning import LearningModel
+from repro.consortium.consortium import Consortium
+from repro.consortium.member import Member
+from repro.culture.distance import CulturalDistanceModel
+from repro.errors import ConfigurationError
+from repro.meetings.agenda import Agenda, AgendaItem, SessionFormat
+from repro.meetings.attendance import AttendancePolicy
+from repro.meetings.engagement import EngagementModel, EngagementRecord
+from repro.meetings.mode import MODE_EFFECTS, MeetingMode, ModeEffects
+from repro.network.dynamics import Interaction, TieDynamics
+from repro.network.graph import CollaborationNetwork
+from repro.rng import RngHub
+
+__all__ = ["MeetingResult", "PlenaryMeeting", "HackathonHandler"]
+
+#: Signature of the pluggable hackathon handler: given the agenda item
+#: and the attendees, produce the interactions the hackathon generated
+#: (the handler may carry richer state of its own, e.g. demos and votes).
+HackathonHandler = Callable[[AgendaItem, List[Member]], List[Interaction]]
+
+#: Energy drained per generic meeting hour (hackathon drain is owned by
+#: the hackathon engine, which is far more intense).
+_GENERIC_FATIGUE_PER_HOUR = 0.01
+
+
+@dataclass
+class MeetingResult:
+    """Everything one plenary produced."""
+
+    meeting_name: str
+    agenda_name: str
+    attendee_ids: List[str]
+    technical_share: float
+    mode: MeetingMode = MeetingMode.FACE_TO_FACE
+    engagement_records: List[EngagementRecord] = field(default_factory=list)
+    interactions: List[Interaction] = field(default_factory=list)
+    knowledge_transferred: float = 0.0
+    new_ties: List[Tuple[str, str]] = field(default_factory=list)
+    new_inter_org_ties: List[Tuple[str, str]] = field(default_factory=list)
+
+    def engagement_by_item(self) -> Dict[str, float]:
+        return EngagementModel.by_item(self.engagement_records)
+
+    def engagement_by_member(self) -> Dict[str, float]:
+        return EngagementModel.by_member(self.engagement_records)
+
+    def mean_engagement(self) -> float:
+        if not self.engagement_records:
+            return 0.0
+        return sum(r.engagement for r in self.engagement_records) / len(
+            self.engagement_records
+        )
+
+
+class PlenaryMeeting:
+    """Simulates one plenary meeting end to end."""
+
+    def __init__(
+        self,
+        consortium: Consortium,
+        network: CollaborationNetwork,
+        hub: RngHub,
+        attendance: Optional[AttendancePolicy] = None,
+        engagement: Optional[EngagementModel] = None,
+        dynamics: Optional[TieDynamics] = None,
+        learning: Optional[LearningModel] = None,
+        culture: Optional[CulturalDistanceModel] = None,
+    ) -> None:
+        self.consortium = consortium
+        self.network = network
+        self._hub = hub
+        self._rng = hub.stream("plenary")
+        self.attendance = attendance or AttendancePolicy(hub)
+        self.engagement = engagement or EngagementModel(hub)
+        self.dynamics = dynamics or TieDynamics()
+        self.learning = learning or LearningModel()
+        self.culture = culture or CulturalDistanceModel()
+        # Make sure every member has a network node.
+        for member in consortium.members:
+            network.add_member(member.member_id, member.org_id)
+
+    # -- public API ---------------------------------------------------------
+
+    def run(
+        self,
+        agenda: Agenda,
+        meeting_name: str = "plenary",
+        hackathon_handler: Optional[HackathonHandler] = None,
+        mode: MeetingMode = MeetingMode.FACE_TO_FACE,
+    ) -> MeetingResult:
+        """Simulate the full plenary and return its result.
+
+        ``mode`` selects face-to-face (the reference), virtual or
+        hybrid; virtual meetings attract more attendees (no travel) but
+        attenuate mixing, interaction depth and engagement — the
+        trade-off the paper cites when arguing for co-located
+        hackathons.
+        """
+        effects = MODE_EFFECTS[mode]
+        before = self.network.snapshot()
+        delegations = self.attendance.delegations(
+            self.consortium, agenda,
+            pressure_relief=effects.attendance_cost_relief,
+        )
+        attendees = AttendancePolicy.attendees(self.consortium, delegations)
+        if not attendees:
+            raise ConfigurationError("no attendees — consortium has no members?")
+
+        result = MeetingResult(
+            meeting_name=meeting_name,
+            agenda_name=agenda.name,
+            attendee_ids=[m.member_id for m in attendees],
+            technical_share=AttendancePolicy.technical_share(
+                self.consortium, delegations
+            ),
+            mode=mode,
+        )
+        for item in agenda:
+            self._run_item(item, attendees, result, hackathon_handler, effects)
+
+        result.new_ties = self.network.new_ties_since(before)
+        owners = {o.org_id for o in self.consortium.case_study_owners}
+        providers = {o.org_id for o in self.consortium.tool_providers}
+        result.new_inter_org_ties = [
+            (a, b)
+            for a, b in result.new_ties
+            if self.network.org_of(a) != self.network.org_of(b)
+        ]
+        return result
+
+    # -- internals ----------------------------------------------------------
+
+    def _run_item(
+        self,
+        item: AgendaItem,
+        attendees: List[Member],
+        result: MeetingResult,
+        hackathon_handler: Optional[HackathonHandler],
+        effects: ModeEffects,
+    ) -> None:
+        for member in attendees:
+            record = self.engagement.sample(member, item)
+            if effects.engagement_factor < 1.0:
+                record = EngagementRecord(
+                    member_id=record.member_id,
+                    item_title=record.item_title,
+                    format=record.format,
+                    engagement=record.engagement * effects.engagement_factor,
+                )
+            result.engagement_records.append(record)
+
+        if item.format is SessionFormat.HACKATHON and hackathon_handler is not None:
+            interactions = hackathon_handler(item, attendees)
+        else:
+            interactions = self._generic_interactions(item, attendees, effects)
+            for member in attendees:
+                member.drain_energy(_GENERIC_FATIGUE_PER_HOUR * item.hours)
+
+        if effects.intensity_factor < 1.0:
+            interactions = [
+                Interaction(
+                    member_a=i.member_a,
+                    member_b=i.member_b,
+                    intensity=i.intensity * effects.intensity_factor,
+                    context=i.context,
+                )
+                for i in interactions
+            ]
+        for interaction in interactions:
+            self.dynamics.apply_interaction(self.network, interaction)
+            result.knowledge_transferred += self._exchange_knowledge(interaction)
+        result.interactions.extend(interactions)
+
+    def _generic_interactions(
+        self,
+        item: AgendaItem,
+        attendees: List[Member],
+        effects: ModeEffects = MODE_EFFECTS[MeetingMode.FACE_TO_FACE],
+    ) -> List[Interaction]:
+        """Sample corridor/session interactions for a non-team session."""
+        if len(attendees) < 2:
+            return []
+        expected = (
+            item.format.mixing_rate
+            * effects.mixing_factor
+            * item.hours
+            * len(attendees)
+            / 2.0
+        )
+        count = int(self._rng.poisson(expected))
+        by_org: Dict[str, List[Member]] = {}
+        for m in attendees:
+            by_org.setdefault(m.org_id, []).append(m)
+
+        interactions: List[Interaction] = []
+        for _ in range(count):
+            a = attendees[int(self._rng.integers(0, len(attendees)))]
+            b = self._pick_partner(a, attendees, by_org, item.format.same_org_bias)
+            if b is None:
+                continue
+            mean_engagement = 0.5 * (
+                self.engagement.expected(a, item.format)
+                + self.engagement.expected(b, item.format)
+            )
+            interactions.append(
+                Interaction(
+                    member_a=a.member_id,
+                    member_b=b.member_id,
+                    intensity=item.format.interaction_intensity * mean_engagement,
+                    context=item.title,
+                )
+            )
+        return interactions
+
+    def _pick_partner(
+        self,
+        a: Member,
+        attendees: List[Member],
+        by_org: Dict[str, List[Member]],
+        same_org_bias: float,
+    ) -> Optional[Member]:
+        same_org = [m for m in by_org.get(a.org_id, []) if m is not a]
+        other_org = [m for m in attendees if m.org_id != a.org_id]
+        use_same = self._rng.random() < same_org_bias
+        pool = same_org if (use_same and same_org) else other_org
+        if not pool:
+            pool = same_org or other_org
+        if not pool:
+            return None
+        return pool[int(self._rng.integers(0, len(pool)))]
+
+    def _exchange_knowledge(self, interaction: Interaction) -> float:
+        """Apply mutual learning for one interaction; return the gain."""
+        a = self.consortium.member(interaction.member_a)
+        b = self.consortium.member(interaction.member_b)
+        cultural = self.culture.distance(
+            self.consortium.organization_of(a).country,
+            self.consortium.organization_of(b).country,
+        )
+        before = a.knowledge.total() + b.knowledge.total()
+        new_a, new_b = self.learning.exchange(
+            a.knowledge,
+            b.knowledge,
+            hours=max(0.25, interaction.intensity),
+            cultural_distance=cultural,
+        )
+        a.knowledge, b.knowledge = new_a, new_b
+        return (new_a.total() + new_b.total()) - before

@@ -1,0 +1,39 @@
+"""Collaboration-network substrate.
+
+Public API:
+
+* :class:`CollaborationNetwork` — weighted tie graph over members.
+* :class:`TieDynamics`, :class:`Interaction` — formation/decay dynamics.
+* :func:`compute_metrics`, :class:`NetworkMetrics` and structural helpers.
+"""
+
+from repro.network.communities import (
+    CommunityStructure,
+    cross_org_community_fraction,
+    detect_communities,
+    silo_index,
+)
+from repro.network.dynamics import Interaction, TieDynamics
+from repro.network.graph import CollaborationNetwork
+from repro.network.metrics import (
+    NetworkMetrics,
+    bridge_members,
+    compute_metrics,
+    isolated_organizations,
+    organization_reach,
+)
+
+__all__ = [
+    "CollaborationNetwork",
+    "CommunityStructure",
+    "cross_org_community_fraction",
+    "detect_communities",
+    "silo_index",
+    "Interaction",
+    "NetworkMetrics",
+    "TieDynamics",
+    "bridge_members",
+    "compute_metrics",
+    "isolated_organizations",
+    "organization_reach",
+]

@@ -1,0 +1,185 @@
+"""The collaboration network.
+
+Nodes are member ids; weighted edges are working relationships.  The
+network is what the hackathon is supposed to change: the paper's
+headline observation is "significant improvement on partner
+interactions either among use cases and tools providers and between
+tool providers" — i.e. new and stronger inter-organisation ties.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import networkx as nx
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CollaborationNetwork"]
+
+
+class CollaborationNetwork:
+    """Weighted undirected graph of working relationships.
+
+    Edge weights are non-negative "tie strengths"; a tie with strength
+    below :attr:`tie_threshold` is considered latent (not yet a real
+    collaboration).  Node attributes carry the member's organisation so
+    inter-organisation metrics don't need the consortium object.
+    """
+
+    def __init__(self, tie_threshold: float = 0.1) -> None:
+        if tie_threshold <= 0:
+            raise ConfigurationError(
+                f"tie_threshold must be positive, got {tie_threshold}"
+            )
+        self._graph = nx.Graph()
+        self.tie_threshold = tie_threshold
+
+    # -- construction -----------------------------------------------------
+
+    def add_member(self, member_id: str, org_id: str) -> None:
+        """Register a node; re-adding with the same org is a no-op."""
+        if member_id in self._graph:
+            existing = self._graph.nodes[member_id]["org"]
+            if existing != org_id:
+                raise ConfigurationError(
+                    f"member {member_id!r} already registered with org "
+                    f"{existing!r}, cannot re-register with {org_id!r}"
+                )
+            return
+        self._graph.add_node(member_id, org=org_id)
+
+    def add_members(self, pairs: Iterable[Tuple[str, str]]) -> None:
+        for member_id, org_id in pairs:
+            self.add_member(member_id, org_id)
+
+    def strengthen(self, a: str, b: str, amount: float) -> float:
+        """Add ``amount`` to the tie between ``a`` and ``b``.
+
+        Returns the new strength.  Self-ties are rejected.
+        """
+        if a == b:
+            raise ConfigurationError(f"cannot create a self-tie on {a!r}")
+        if amount < 0:
+            raise ConfigurationError(f"amount must be non-negative, got {amount}")
+        for node in (a, b):
+            if node not in self._graph:
+                raise ConfigurationError(f"unknown member {node!r}")
+        current = self._graph.edges.get((a, b), {}).get("weight", 0.0)
+        new = current + amount
+        self._graph.add_edge(a, b, weight=new)
+        return new
+
+    def weaken_all(self, factor: float, floor: float = 1e-3) -> int:
+        """Multiply every tie by ``factor``; drop ties below ``floor``.
+
+        Returns the number of edges removed.  This is the between-events
+        decay used by :mod:`repro.network.dynamics`.
+        """
+        if not 0.0 <= factor <= 1.0:
+            raise ConfigurationError(f"decay factor must be in [0,1], got {factor}")
+        to_drop = []
+        for a, b, data in self._graph.edges(data=True):
+            data["weight"] *= factor
+            if data["weight"] < floor:
+                to_drop.append((a, b))
+        self._graph.remove_edges_from(to_drop)
+        return len(to_drop)
+
+    # -- queries ----------------------------------------------------------
+
+    def strength(self, a: str, b: str) -> float:
+        return self._graph.edges.get((a, b), {}).get("weight", 0.0)
+
+    def has_tie(self, a: str, b: str) -> bool:
+        """True when the pair's strength reaches the tie threshold."""
+        return self.strength(a, b) >= self.tie_threshold
+
+    def org_of(self, member_id: str) -> str:
+        try:
+            return self._graph.nodes[member_id]["org"]
+        except KeyError:
+            raise ConfigurationError(f"unknown member {member_id!r}") from None
+
+    @property
+    def member_ids(self) -> List[str]:
+        return sorted(self._graph.nodes)
+
+    def ties(self) -> List[Tuple[str, str, float]]:
+        """Edges at/above threshold as sorted (a, b, strength) rows."""
+        rows = [
+            (min(a, b), max(a, b), data["weight"])
+            for a, b, data in self._graph.edges(data=True)
+            if data["weight"] >= self.tie_threshold
+        ]
+        rows.sort()
+        return rows
+
+    def tie_count(self) -> int:
+        return len(self.ties())
+
+    def inter_org_ties(self) -> List[Tuple[str, str, float]]:
+        """Ties whose endpoints belong to different organisations."""
+        return [
+            (a, b, w)
+            for a, b, w in self.ties()
+            if self.org_of(a) != self.org_of(b)
+        ]
+
+    def org_tie_pairs(self) -> frozenset:
+        """Unordered organisation pairs connected by at least one tie.
+
+        One O(ties) pass; use this instead of repeated
+        :meth:`ties_between_roles` scans when checking many org pairs.
+        """
+        pairs = set()
+        for a, b, _ in self.ties():
+            oa, ob = self.org_of(a), self.org_of(b)
+            if oa != ob:
+                pairs.add((min(oa, ob), max(oa, ob)))
+        return frozenset(pairs)
+
+    def ties_between_roles(
+        self, orgs_a: Iterable[str], orgs_b: Iterable[str]
+    ) -> List[Tuple[str, str, float]]:
+        """Ties connecting a member of ``orgs_a`` with one of ``orgs_b``.
+
+        Used for the paper's key pairing: tool providers with case-study
+        owners.
+        """
+        set_a, set_b = set(orgs_a), set(orgs_b)
+        out = []
+        for a, b, w in self.ties():
+            oa, ob = self.org_of(a), self.org_of(b)
+            if (oa in set_a and ob in set_b) or (oa in set_b and ob in set_a):
+                out.append((a, b, w))
+        return out
+
+    def total_strength(self) -> float:
+        return sum(data["weight"] for _, _, data in self._graph.edges(data=True))
+
+    def copy(self) -> "CollaborationNetwork":
+        clone = CollaborationNetwork(tie_threshold=self.tie_threshold)
+        clone._graph = self._graph.copy()
+        return clone
+
+    def as_networkx(self) -> nx.Graph:
+        """A copy of the underlying graph for external analysis."""
+        return self._graph.copy()
+
+    def snapshot(self) -> Dict[Tuple[str, str], float]:
+        """All edge strengths keyed by sorted pair (including sub-threshold)."""
+        return {
+            (min(a, b), max(a, b)): data["weight"]
+            for a, b, data in self._graph.edges(data=True)
+        }
+
+    def new_ties_since(
+        self, snapshot: Dict[Tuple[str, str], float]
+    ) -> List[Tuple[str, str]]:
+        """Pairs that crossed the tie threshold since ``snapshot``."""
+        out = []
+        for a, b, w in self.ties():
+            if snapshot.get((a, b), 0.0) < self.tie_threshold:
+                out.append((a, b))
+        return sorted(out)

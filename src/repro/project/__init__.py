@@ -1,0 +1,12 @@
+"""Project-plan substrate: work packages and deliverables.
+
+Public API:
+
+* :class:`WorkPackage`, :class:`Deliverable`, :class:`WorkPlan`
+* :func:`build_workplan`
+"""
+
+from repro.project.builder import build_workplan
+from repro.project.workpackages import Deliverable, WorkPackage, WorkPlan
+
+__all__ = ["Deliverable", "WorkPackage", "WorkPlan", "build_workplan"]

@@ -1,0 +1,122 @@
+"""Work-plan builder for a consortium + framework.
+
+Generates an ECSEL-style work plan: one management WP led by the
+coordinator plus technical WPs whose partner sets mix tool providers
+with case-study owners and whose domains come from the framework's
+method/application split — so deliverable production genuinely depends
+on provider↔owner collaboration, the thing the hackathon creates.
+"""
+
+from __future__ import annotations
+
+
+from repro.consortium.consortium import Consortium
+from repro.consortium.organization import ProjectRole
+from repro.errors import ConfigurationError
+from repro.framework.catalog import FrameworkModel
+from repro.project.workpackages import Deliverable, WorkPackage, WorkPlan
+from repro.rng import RngHub
+
+__all__ = ["build_workplan"]
+
+#: Technical scopes of an ECSEL-style work plan; cycled over the WPs.
+_WP_SCOPES = (
+    ("system engineering methods", ("model_based_design",
+                                    "requirements_engineering")),
+    ("runtime analysis", ("runtime_verification", "performance_analysis")),
+    ("traceability platform", ("traceability", "static_analysis")),
+    ("case-study integration", ("testing", "embedded_systems")),
+)
+
+
+def build_workplan(
+    consortium: Consortium,
+    framework: FrameworkModel,
+    hub: RngHub,
+    n_technical_wps: int = 4,
+    deliverables_per_wp: int = 3,
+    horizon_months: float = 18.0,
+) -> WorkPlan:
+    """Construct the project work plan.
+
+    Every technical WP gets a provider leader, 2-3 more providers and
+    2 case-study owners as partners; deliverable due dates are spread
+    over the horizon.  The management WP spans the whole consortium
+    with a single lightweight deliverable per reporting period.
+    """
+    if n_technical_wps < 1:
+        raise ConfigurationError(
+            f"n_technical_wps must be >= 1, got {n_technical_wps}"
+        )
+    if deliverables_per_wp < 1:
+        raise ConfigurationError(
+            f"deliverables_per_wp must be >= 1, got {deliverables_per_wp}"
+        )
+    if horizon_months <= 0:
+        raise ConfigurationError(
+            f"horizon_months must be > 0, got {horizon_months}"
+        )
+    rng = hub.stream("workplan")
+    providers = consortium.tool_providers
+    owners = consortium.case_study_owners
+    if not providers or not owners:
+        raise ConfigurationError(
+            "work plan needs both tool providers and case-study owners"
+        )
+    coordinators = consortium.organizations_with_role(ProjectRole.COORDINATOR)
+    coordinator = coordinators[0] if coordinators else providers[0]
+
+    plan = WorkPlan()
+
+    # WP0: management — the coordinator plus every organisation.
+    wp0 = WorkPackage(
+        wp_id="wp0",
+        name="project management",
+        leader_org_id=coordinator.org_id,
+        partner_org_ids=frozenset(o.org_id for o in consortium.organizations),
+        domains=frozenset({"requirements_engineering"}),
+    )
+    for i in range(deliverables_per_wp):
+        wp0.deliverables.append(
+            Deliverable(
+                deliv_id=f"wp0.d{i}",
+                wp_id="wp0",
+                due_month=horizon_months * (i + 1.3) / (deliverables_per_wp + 0.3),
+                effort=0.4,
+            )
+        )
+    plan.add(wp0)
+
+    # Technical WPs.
+    for w in range(n_technical_wps):
+        scope_name, scope_domains = _WP_SCOPES[w % len(_WP_SCOPES)]
+        leader = providers[w % len(providers)]
+        partner_ids = {leader.org_id}
+        # 2-3 more providers.
+        extra = 2 + int(rng.integers(0, 2))
+        for k in range(extra):
+            partner_ids.add(
+                providers[(w + 1 + k) % len(providers)].org_id
+            )
+        # 2 case-study owners keep the WP honest about industrial needs.
+        for k in range(2):
+            partner_ids.add(owners[(w + k) % len(owners)].org_id)
+        wp = WorkPackage(
+            wp_id=f"wp{w + 1}",
+            name=scope_name,
+            leader_org_id=leader.org_id,
+            partner_org_ids=frozenset(partner_ids),
+            domains=frozenset(scope_domains),
+        )
+        for i in range(deliverables_per_wp):
+            due = horizon_months * (i + 1.3) / (deliverables_per_wp + 0.3)
+            wp.deliverables.append(
+                Deliverable(
+                    deliv_id=f"wp{w + 1}.d{i}",
+                    wp_id=wp.wp_id,
+                    due_month=float(due),
+                    effort=float(0.5 + 0.2 * rng.random()),
+                )
+            )
+        plan.add(wp)
+    return plan

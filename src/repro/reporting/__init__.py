@@ -1,0 +1,24 @@
+"""Plain-text reporting: tables, bar charts, CSV/JSON export."""
+
+from repro.reporting.export import read_csv_rows, rows_to_csv, to_json
+from repro.reporting.figures import bar_chart, grouped_bar_chart, histogram
+from repro.reporting.history_export import (
+    export_history_json,
+    export_trajectory_csv,
+    history_to_dict,
+)
+from repro.reporting.table import ascii_table, format_cell
+
+__all__ = [
+    "ascii_table",
+    "bar_chart",
+    "export_history_json",
+    "export_trajectory_csv",
+    "history_to_dict",
+    "format_cell",
+    "grouped_bar_chart",
+    "histogram",
+    "read_csv_rows",
+    "rows_to_csv",
+    "to_json",
+]

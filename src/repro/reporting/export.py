@@ -1,0 +1,53 @@
+"""CSV / JSON export of bench results."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["rows_to_csv", "to_json", "read_csv_rows"]
+
+Scalar = Union[str, int, float, bool, None]
+
+
+def rows_to_csv(
+    path: Union[str, Path],
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Scalar]],
+) -> Path:
+    """Write rows to ``path`` as CSV; returns the resolved path."""
+    if not headers:
+        raise ConfigurationError("CSV export needs at least one header")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            if len(row) != len(headers):
+                raise ConfigurationError(
+                    f"row length {len(row)} != header length {len(headers)}"
+                )
+            writer.writerow(list(row))
+    return path
+
+
+def read_csv_rows(path: Union[str, Path]) -> List[Dict[str, str]]:
+    """Read a CSV written by :func:`rows_to_csv` back as dict rows."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+def to_json(path: Union[str, Path], payload: object, indent: int = 2) -> Path:
+    """Serialise ``payload`` to JSON at ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(payload, handle, indent=indent, sort_keys=True, default=str)
+        handle.write("\n")
+    return path

@@ -1,0 +1,72 @@
+"""Plain-text figures: horizontal bar charts and histograms.
+
+Benches print paper-shaped output with these (the paper's Figs. 2–4 are
+all bar-chart-like aggregations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["bar_chart", "grouped_bar_chart", "histogram"]
+
+
+def bar_chart(
+    data: Sequence[Tuple[str, float]],
+    width: int = 40,
+    title: Optional[str] = None,
+    max_value: Optional[float] = None,
+) -> str:
+    """Horizontal bars proportional to value (non-negative values only)."""
+    if width < 5:
+        raise ConfigurationError(f"width must be >= 5, got {width}")
+    rows = list(data)
+    if not rows:
+        raise ConfigurationError("bar chart needs at least one row")
+    for label, value in rows:
+        if value < 0:
+            raise ConfigurationError(
+                f"bar values must be non-negative, got {label}={value}"
+            )
+    top = max_value if max_value is not None else max(v for _, v in rows)
+    top = top or 1.0
+    name_width = max(len(label) for label, _ in rows)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in rows:
+        filled = round(value / top * width)
+        bar = "#" * max(0, min(width, filled))
+        lines.append(f"  {label:<{name_width}} |{bar:<{width}}| {value:g}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[Tuple[str, Sequence[Tuple[str, float]]]],
+    width: int = 30,
+    title: Optional[str] = None,
+) -> str:
+    """One bar block per group (used for Fig. 2's per-challenge profiles)."""
+    if not groups:
+        raise ConfigurationError("grouped chart needs at least one group")
+    top = max(
+        (value for _, rows in groups for _, value in rows), default=1.0
+    )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for group_name, rows in groups:
+        lines.append(f"{group_name}")
+        lines.append(bar_chart(rows, width=width, max_value=top))
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def histogram(
+    counts: Dict[str, int], width: int = 40, title: Optional[str] = None
+) -> str:
+    """Bar chart over labelled counts, preserving insertion order."""
+    rows = [(label, float(count)) for label, count in counts.items()]
+    return bar_chart(rows, width=width, title=title)

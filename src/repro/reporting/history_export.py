@@ -1,0 +1,143 @@
+"""Export a project history as plain data (JSON / CSV).
+
+Downstream users want to analyse runs in pandas or R; these helpers
+flatten a :class:`~repro.simulation.runner.ProjectHistory` into
+JSON-serialisable structures and CSV tables without losing the
+per-plenary breakdown.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.reporting.export import rows_to_csv, to_json
+from repro.simulation.runner import PlenaryRecord, ProjectHistory
+
+__all__ = ["history_to_dict", "export_history_json", "export_trajectory_csv"]
+
+
+def _record_to_dict(record: PlenaryRecord) -> Dict[str, object]:
+    payload: Dict[str, object] = {
+        "plenary": record.spec.name,
+        "month": record.spec.month,
+        "kind": record.spec.kind,
+        "mode": record.spec.mode,
+        "attendees": len(record.meeting.attendee_ids),
+        "technical_share": record.meeting.technical_share,
+        "mean_engagement": record.meeting.mean_engagement(),
+        "knowledge_transferred": record.meeting.knowledge_transferred,
+        "new_ties": len(record.meeting.new_ties),
+        "new_inter_org_ties": len(record.meeting.new_inter_org_ties),
+        "inter_org_ties": record.network_metrics.inter_org_ties,
+        "provider_owner_ties": record.provider_owner_ties,
+        "applications_started": record.applications_started,
+        "requirements_coverage": record.requirements_coverage,
+        "burnout_rate": record.burnout_rate,
+        "mean_energy": record.mean_energy,
+        "survey": {
+            "respondents": record.survey.respondents,
+            "best_parts": dict(record.survey.best_part_votes),
+            "progress_significant": record.survey.progress_significant_fraction,
+            "continue": record.survey.continue_fraction,
+        },
+        "sentiment": dict(record.sentiment),
+        "prerequisites": [
+            {"name": r.name, "satisfied": r.satisfied, "detail": r.detail}
+            for r in record.prerequisites
+        ],
+    }
+    if record.outcome is not None:
+        payload["hackathon"] = {
+            "challenges": len(record.outcome.challenges),
+            "teams": len(record.outcome.teams),
+            "demos": len(record.outcome.demos),
+            "convincing_demos": len(record.outcome.convincing_demos()),
+            "mean_completion": record.outcome.mean_completion(),
+            "showcases": list(record.outcome.showcase_ids),
+            "scores": {
+                score.challenge_id: {
+                    criterion: mean for criterion, mean in score.profile()
+                }
+                for score in record.outcome.scores
+            },
+        }
+    return payload
+
+
+def history_to_dict(history: ProjectHistory) -> Dict[str, object]:
+    """Flatten a history into JSON-serialisable primitives."""
+    payload: Dict[str, object] = {
+        "scenario": {
+            "name": history.scenario.name,
+            "seed": history.scenario.seed,
+            "team_policy": history.scenario.team_policy,
+            "followup_enabled": history.scenario.followup_enabled,
+            "plenaries": [
+                {"name": p.name, "month": p.month, "kind": p.kind,
+                 "mode": p.mode}
+                for p in history.scenario.plenaries
+            ],
+        },
+        "totals": dict(history.totals),
+        "plenaries": [_record_to_dict(r) for r in history.records],
+        "trajectory": [
+            {
+                "month": p.month,
+                "inter_org_ties": p.inter_org_ties,
+                "total_tie_strength": p.total_tie_strength,
+                "mean_energy": p.mean_energy,
+                "event": p.event,
+            }
+            for p in history.trajectory.points
+        ],
+    }
+    if history.review_verdict is not None:
+        payload["review"] = {
+            "mean_results": history.review_verdict.mean_results,
+            "mean_approach": history.review_verdict.mean_approach,
+            "appreciated": history.review_verdict.appreciated,
+        }
+    if history.workplan is not None:
+        payload["deliverables"] = [
+            {
+                "deliv_id": d.deliv_id,
+                "wp_id": d.wp_id,
+                "due_month": d.due_month,
+                "progress": d.progress,
+                "effort": d.effort,
+                "completed_month": d.completed_month,
+                "on_time": d.is_on_time(),
+            }
+            for d in history.workplan.deliverables()
+        ]
+    if history.dissemination is not None:
+        payload["dissemination"] = {
+            "showcases": [s.showcase_id for s in history.dissemination.showcases],
+            "total_reach": history.dissemination.total_reach(),
+        }
+    return payload
+
+
+def export_history_json(
+    history: ProjectHistory, path: Union[str, Path]
+) -> Path:
+    """Write the flattened history to ``path`` as JSON."""
+    return to_json(path, history_to_dict(history))
+
+
+def export_trajectory_csv(
+    history: ProjectHistory, path: Union[str, Path]
+) -> Path:
+    """Write the monthly trajectory to ``path`` as CSV."""
+    rows: List[List[object]] = [
+        [p.month, p.inter_org_ties, round(p.total_tie_strength, 6),
+         round(p.mean_energy, 6), p.event or ""]
+        for p in history.trajectory.points
+    ]
+    return rows_to_csv(
+        path,
+        ["month", "inter_org_ties", "total_tie_strength", "mean_energy",
+         "event"],
+        rows,
+    )

@@ -1,0 +1,68 @@
+"""Plain-text tables for benches and examples."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ascii_table", "format_cell"]
+
+Cell = Union[str, int, float, bool, None]
+
+
+def format_cell(value: Cell, float_digits: int = 3) -> str:
+    """Render one cell: floats rounded, None blank, others str()."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+    float_digits: int = 3,
+) -> str:
+    """Render a boxed ASCII table.
+
+    Every row must have as many cells as there are headers.
+    """
+    if not headers:
+        raise ConfigurationError("a table needs at least one header")
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = [format_cell(c, float_digits) for c in row]
+        if len(cells) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(cells)} cells but table has "
+                f"{len(headers)} headers: {cells}"
+            )
+        rendered.append(cells)
+
+    widths = [
+        max(len(row[i]) for row in rendered) for i in range(len(headers))
+    ]
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+
+    def line(cells: List[str]) -> str:
+        return (
+            "|"
+            + "|".join(f" {c:<{w}} " for c, w in zip(cells, widths))
+            + "|"
+        )
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(line(rendered[0]))
+    out.append(sep)
+    for cells in rendered[1:]:
+        out.append(line(cells))
+    out.append(sep)
+    return "\n".join(out)

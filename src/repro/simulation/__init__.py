@@ -1,0 +1,56 @@
+"""Simulation driver: engine, scenarios, longitudinal runner, experiments.
+
+Public API:
+
+* :class:`Engine`, :class:`Event` — deterministic discrete-event core.
+* :class:`Scenario`, :class:`PlenarySpec` and the timeline factories.
+* :class:`LongitudinalRunner`, :class:`ProjectHistory`, :class:`PlenaryRecord`.
+* :func:`replicate`, :func:`compare_scenarios`, :class:`ComparisonResult`.
+"""
+
+from repro.simulation.engine import Engine, Event
+from repro.simulation.experiment import (
+    ComparisonResult,
+    MetricComparison,
+    compare_scenarios,
+    extract_metrics,
+    replicate,
+)
+from repro.simulation.runner import (
+    LongitudinalRunner,
+    PlenaryRecord,
+    ProjectHistory,
+)
+from repro.simulation.sweep import SweepPoint, SweepResult, run_sweep
+from repro.simulation.scenario import (
+    PlenarySpec,
+    Scenario,
+    baseline_timeline,
+    hackathon_everywhere_timeline,
+    interleaved_timeline,
+    megamart_timeline,
+    virtual_timeline,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "Engine",
+    "Event",
+    "LongitudinalRunner",
+    "MetricComparison",
+    "PlenaryRecord",
+    "PlenarySpec",
+    "ProjectHistory",
+    "Scenario",
+    "SweepPoint",
+    "SweepResult",
+    "baseline_timeline",
+    "compare_scenarios",
+    "extract_metrics",
+    "hackathon_everywhere_timeline",
+    "interleaved_timeline",
+    "megamart_timeline",
+    "replicate",
+    "run_sweep",
+    "virtual_timeline",
+]

@@ -1,0 +1,119 @@
+"""A minimal deterministic discrete-event engine.
+
+The longitudinal runner schedules plenaries, decay periods and recovery
+on a simulated monthly timeline.  :class:`Engine` is a classic
+event-queue simulator: events fire in (time, insertion-order) order, and
+handlers may schedule further events.  Determinism comes from the strict
+ordering — no wall-clock, no threading.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+
+__all__ = ["Event", "Engine"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled occurrence."""
+
+    time: float
+    name: str
+    action: Callable[["Engine"], None] = field(compare=False)
+
+
+class Engine:
+    """Priority-queue discrete-event simulator.
+
+    Time units are abstract (the runner uses months).  Events scheduled
+    at the same time fire in insertion order.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self._processed: List[Event] = []
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def processed_events(self) -> List[Event]:
+        """Events fired so far, in firing order."""
+        return list(self._processed)
+
+    def schedule_at(
+        self, time: float, name: str, action: Callable[["Engine"], None]
+    ) -> Event:
+        """Schedule ``action`` at absolute ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule {name!r} at {time} before now ({self._now})"
+            )
+        if not callable(action):
+            raise SchedulingError(f"action for {name!r} is not callable")
+        event = Event(time=time, name=name, action=action)
+        heapq.heappush(self._queue, (time, next(self._counter), event))
+        return event
+
+    def schedule_in(
+        self, delay: float, name: str, action: Callable[["Engine"], None]
+    ) -> Event:
+        """Schedule ``action`` after ``delay`` time units."""
+        if delay < 0:
+            raise SchedulingError(
+                f"cannot schedule {name!r} with negative delay {delay}"
+            )
+        return self.schedule_at(self._now + delay, name, action)
+
+    def step(self) -> Optional[Event]:
+        """Fire the next event; returns it, or None if the queue is empty."""
+        if not self._queue:
+            return None
+        time, _, event = heapq.heappop(self._queue)
+        self._now = time
+        event.action(self)
+        self._processed.append(event)
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: int = 100_000) -> int:
+        """Fire events until the queue drains (or ``until``/``max_events``).
+
+        Returns the number of events processed.  ``max_events`` guards
+        against runaway self-scheduling loops.
+        """
+        if self._running:
+            raise SchedulingError("engine is already running (re-entrant run())")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue and processed < max_events:
+                next_time = self._queue[0][0]
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                processed += 1
+        finally:
+            self._running = False
+        if processed >= max_events:
+            raise SchedulingError(
+                f"engine exceeded max_events={max_events}; "
+                "likely a self-scheduling loop"
+            )
+        if until is not None and until > self._now:
+            self._now = until
+        return processed

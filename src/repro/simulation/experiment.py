@@ -1,0 +1,122 @@
+"""Replication and scenario comparison.
+
+The headline bench needs "treatment vs. baseline over N seeds with a
+significance test per KPI".  :func:`replicate` runs a scenario under a
+seed list; :func:`compare_scenarios` pairs two scenarios seed-by-seed
+and attaches Mann–Whitney / Cliff's-delta comparisons per metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.simulation.runner import LongitudinalRunner, ProjectHistory
+from repro.simulation.scenario import Scenario
+from repro.stats.summary import SampleSummary, describe
+from repro.stats.tests import ComparisonTest, mann_whitney
+
+__all__ = [
+    "extract_metrics",
+    "replicate",
+    "MetricComparison",
+    "ComparisonResult",
+    "compare_scenarios",
+]
+
+
+def extract_metrics(history: ProjectHistory) -> Dict[str, float]:
+    """Flatten a run history into the KPI dictionary the benches use."""
+    return dict(history.totals)
+
+
+def replicate(
+    scenario: Scenario,
+    seeds: Sequence[int],
+    runner_factory: Optional[Callable[[Scenario], LongitudinalRunner]] = None,
+) -> List[ProjectHistory]:
+    """Run ``scenario`` once per seed and return all histories."""
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    factory = runner_factory or LongitudinalRunner
+    histories = []
+    for seed in seeds:
+        runner = factory(scenario.with_seed(int(seed)))
+        histories.append(runner.run())
+    return histories
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One KPI compared across the two scenarios."""
+
+    metric: str
+    summary_a: SampleSummary
+    summary_b: SampleSummary
+    test: ComparisonTest
+
+    @property
+    def ratio(self) -> float:
+        """mean(a) / mean(b); inf when b's mean is zero but a's is not."""
+        if self.summary_b.mean == 0.0:
+            return float("inf") if self.summary_a.mean > 0 else 1.0
+        return self.summary_a.mean / self.summary_b.mean
+
+    @property
+    def a_wins(self) -> bool:
+        return self.summary_a.mean > self.summary_b.mean
+
+
+@dataclass
+class ComparisonResult:
+    """All KPI comparisons between two scenarios."""
+
+    name_a: str
+    name_b: str
+    seeds: List[int]
+    metrics_a: List[Dict[str, float]] = field(default_factory=list)
+    metrics_b: List[Dict[str, float]] = field(default_factory=list)
+
+    def metric_names(self) -> List[str]:
+        if not self.metrics_a:
+            return []
+        return sorted(self.metrics_a[0])
+
+    def samples(self, metric: str) -> Dict[str, List[float]]:
+        return {
+            self.name_a: [m[metric] for m in self.metrics_a],
+            self.name_b: [m[metric] for m in self.metrics_b],
+        }
+
+    def comparison(self, metric: str) -> MetricComparison:
+        a = [m[metric] for m in self.metrics_a]
+        b = [m[metric] for m in self.metrics_b]
+        return MetricComparison(
+            metric=metric,
+            summary_a=describe(a),
+            summary_b=describe(b),
+            test=mann_whitney(a, b),
+        )
+
+    def all_comparisons(self) -> List[MetricComparison]:
+        return [self.comparison(m) for m in self.metric_names()]
+
+
+def compare_scenarios(
+    scenario_a: Scenario,
+    scenario_b: Scenario,
+    seeds: Sequence[int],
+    runner_factory: Optional[Callable[[Scenario], LongitudinalRunner]] = None,
+) -> ComparisonResult:
+    """Run both scenarios over the same seeds and compare their KPIs."""
+    histories_a = replicate(scenario_a, seeds, runner_factory)
+    histories_b = replicate(scenario_b, seeds, runner_factory)
+    result = ComparisonResult(
+        name_a=scenario_a.name,
+        name_b=scenario_b.name,
+        seeds=[int(s) for s in seeds],
+    )
+    result.metrics_a = [extract_metrics(h) for h in histories_a]
+    result.metrics_b = [extract_metrics(h) for h in histories_b]
+    return result

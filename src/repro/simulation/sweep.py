@@ -1,0 +1,118 @@
+"""Generic parameter sweeps over scenarios.
+
+The ablation benches all share one pattern: vary one scenario knob,
+replicate over seeds, collect KPIs.  :func:`run_sweep` factors that out
+so users can sweep anything (cadence, team policy, session hours,
+follow-up horizon) in three lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.simulation.experiment import extract_metrics
+from repro.simulation.runner import LongitudinalRunner
+from repro.simulation.scenario import Scenario
+from repro.stats.summary import SampleSummary, describe
+
+__all__ = ["SweepPoint", "SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One parameter setting with its replicated KPI samples."""
+
+    label: str
+    parameter: object
+    metrics: List[Dict[str, float]]
+
+    def samples(self, metric: str) -> List[float]:
+        try:
+            return [m[metric] for m in self.metrics]
+        except KeyError:
+            raise ConfigurationError(f"unknown metric {metric!r}") from None
+
+    def summary(self, metric: str) -> SampleSummary:
+        return describe(self.samples(metric))
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep, in parameter order."""
+
+    parameter_name: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def labels(self) -> List[str]:
+        return [p.label for p in self.points]
+
+    def point(self, label: str) -> SweepPoint:
+        for point in self.points:
+            if point.label == label:
+                return point
+        raise ConfigurationError(f"no sweep point labelled {label!r}")
+
+    def series(self, metric: str) -> List[float]:
+        """Mean of ``metric`` at each point, in sweep order."""
+        return [p.summary(metric).mean for p in self.points]
+
+    def best_point(self, metric: str, maximize: bool = True) -> SweepPoint:
+        if not self.points:
+            raise ConfigurationError("sweep has no points")
+        key = lambda p: p.summary(metric).mean
+        return max(self.points, key=key) if maximize else min(
+            self.points, key=key
+        )
+
+    def table_rows(self, metrics: Sequence[str]) -> List[List[object]]:
+        """Rows of [label, mean(metric)...] for reporting."""
+        rows = []
+        for point in self.points:
+            rows.append(
+                [point.label]
+                + [round(point.summary(m).mean, 3) for m in metrics]
+            )
+        return rows
+
+
+def run_sweep(
+    parameter_name: str,
+    parameter_values: Sequence[object],
+    scenario_factory: Callable[[object, int], Scenario],
+    seeds: Sequence[int],
+    runner_factory: Optional[
+        Callable[[Scenario], LongitudinalRunner]
+    ] = None,
+    label_fn: Optional[Callable[[object], str]] = None,
+) -> SweepResult:
+    """Run a full sweep.
+
+    Parameters
+    ----------
+    scenario_factory:
+        ``(parameter_value, seed) -> Scenario``.
+    seeds:
+        Replicate seeds, shared across all parameter values (paired
+        design — differences are not confounded by world randomness).
+    label_fn:
+        Optional pretty-printer for parameter values.
+    """
+    if not parameter_values:
+        raise ConfigurationError("sweep needs at least one parameter value")
+    if not seeds:
+        raise ConfigurationError("sweep needs at least one seed")
+    make_runner = runner_factory or LongitudinalRunner
+    label_of = label_fn or str
+    result = SweepResult(parameter_name=parameter_name)
+    for value in parameter_values:
+        metrics = []
+        for seed in seeds:
+            scenario = scenario_factory(value, int(seed))
+            history = make_runner(scenario).run()
+            metrics.append(extract_metrics(history))
+        result.points.append(
+            SweepPoint(label=label_of(value), parameter=value, metrics=metrics)
+        )
+    return result

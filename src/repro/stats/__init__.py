@@ -1,0 +1,23 @@
+"""Statistics helpers for the benchmark harness.
+
+Public API:
+
+* :func:`bootstrap_ci`, :class:`BootstrapResult`
+* :func:`mann_whitney`, :func:`cliffs_delta`, :class:`ComparisonTest`
+* :func:`describe`, :func:`describe_many`, :class:`SampleSummary`
+"""
+
+from repro.stats.bootstrap import BootstrapResult, bootstrap_ci
+from repro.stats.summary import SampleSummary, describe, describe_many
+from repro.stats.tests import ComparisonTest, cliffs_delta, mann_whitney
+
+__all__ = [
+    "BootstrapResult",
+    "ComparisonTest",
+    "SampleSummary",
+    "bootstrap_ci",
+    "cliffs_delta",
+    "describe",
+    "describe_many",
+    "mann_whitney",
+]

@@ -1,0 +1,72 @@
+"""Bootstrap confidence intervals.
+
+The paper reports only qualitative survey outcomes; our benches attach
+uncertainty to the simulated equivalents with a plain percentile
+bootstrap, which is distribution-free and adequate for the small
+replicate counts involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BootstrapResult", "bootstrap_ci"]
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Point estimate and percentile CI of a statistic."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    resamples: int
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        pct = int(round(self.confidence * 100))
+        return f"{self.estimate:.3f} [{self.low:.3f}, {self.high:.3f}] ({pct}% CI)"
+
+
+def bootstrap_ci(
+    data: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapResult:
+    """Percentile bootstrap CI of ``statistic`` over ``data``.
+
+    Deterministic for a fixed ``seed``.
+    """
+    values = np.asarray(list(data), dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(
+            f"confidence must be in (0,1), got {confidence}"
+        )
+    if resamples < 10:
+        raise ConfigurationError(f"resamples must be >= 10, got {resamples}")
+    rng = np.random.Generator(np.random.PCG64(seed))
+    stats = np.empty(resamples, dtype=float)
+    n = values.size
+    for i in range(resamples):
+        sample = values[rng.integers(0, n, size=n)]
+        stats[i] = float(statistic(sample))
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapResult(
+        estimate=float(statistic(values)),
+        low=float(np.quantile(stats, alpha)),
+        high=float(np.quantile(stats, 1.0 - alpha)),
+        confidence=confidence,
+        resamples=resamples,
+    )

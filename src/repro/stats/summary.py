@@ -1,0 +1,62 @@
+"""Descriptive summaries of simulated samples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SampleSummary", "describe", "describe_many"]
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Five-number-plus summary of a sample."""
+
+    n: int
+    mean: float
+    sd: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "sd": self.sd,
+            "min": self.minimum,
+            "median": self.median,
+            "max": self.maximum,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return (
+            f"n={self.n} mean={self.mean:.3f} sd={self.sd:.3f} "
+            f"min={self.minimum:.3f} median={self.median:.3f} "
+            f"max={self.maximum:.3f}"
+        )
+
+
+def describe(data: Sequence[float]) -> SampleSummary:
+    """Summarise one sample (ddof=1 standard deviation, 0 for n=1)."""
+    values = np.asarray(list(data), dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("cannot describe an empty sample")
+    sd = float(values.std(ddof=1)) if values.size > 1 else 0.0
+    return SampleSummary(
+        n=int(values.size),
+        mean=float(values.mean()),
+        sd=sd,
+        minimum=float(values.min()),
+        median=float(np.median(values)),
+        maximum=float(values.max()),
+    )
+
+
+def describe_many(samples: Dict[str, Sequence[float]]) -> Dict[str, SampleSummary]:
+    """Summarise a dict of named samples."""
+    return {name: describe(values) for name, values in samples.items()}

@@ -1,0 +1,37 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consortium.presets import megamart2, small_consortium
+from repro.framework.catalog import build_framework
+from repro.rng import RngHub
+
+
+@pytest.fixture
+def hub() -> RngHub:
+    """A fresh seeded RNG hub."""
+    return RngHub(seed=1234)
+
+
+@pytest.fixture
+def small(hub):
+    """A small consortium (2 owners, 3 providers + 1 university)."""
+    return small_consortium(hub)
+
+
+@pytest.fixture
+def small_framework(small, hub):
+    """Framework for the small consortium (8 tools to keep tests fast)."""
+    return build_framework(small, hub, n_tools=8, requirements_per_case=4)
+
+
+@pytest.fixture(scope="session")
+def megamart():
+    """The full MegaM@Rt2 preset (session-scoped: it is read-mostly).
+
+    Tests that mutate members must not use this fixture; build their
+    own consortium instead.
+    """
+    return megamart2(RngHub(seed=99))

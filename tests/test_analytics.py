@@ -1,0 +1,167 @@
+"""Tests for the analytics substrate (inequality, knowledge flow, trajectory)."""
+
+import pytest
+
+from repro.analytics.inequality import engagement_gini, gini, participation_counts
+from repro.analytics.knowledge_flow import (
+    KnowledgeFlowTracker,
+    domain_coverage,
+    org_knowledge_totals,
+)
+from repro.analytics.trajectory import Trajectory, TrajectoryPoint
+from repro.cognition.knowledge import KnowledgeVector
+from repro.errors import ConfigurationError
+from repro.network.dynamics import Interaction
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert gini([5.0, 5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_maximum_concentration(self):
+        # One person has everything: Gini -> (n-1)/n.
+        value = gini([0.0, 0.0, 0.0, 10.0])
+        assert value == pytest.approx(0.75)
+
+    def test_bounds(self):
+        assert 0.0 <= gini([1, 2, 3, 4, 5]) <= 1.0
+
+    def test_scale_invariant(self):
+        assert gini([1, 2, 3]) == pytest.approx(gini([10, 20, 30]))
+
+    def test_all_zero_is_equal(self):
+        assert gini([0.0, 0.0]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            gini([])
+        with pytest.raises(ConfigurationError):
+            gini([-1.0, 2.0])
+
+    def test_engagement_gini(self):
+        assert engagement_gini({"a": 0.5, "b": 0.5}) == pytest.approx(0.0)
+        with pytest.raises(ConfigurationError):
+            engagement_gini({})
+
+
+class TestParticipation:
+    def test_counts_include_silent_members(self):
+        interactions = [Interaction("a", "b", 1.0), Interaction("a", "c", 1.0)]
+        counts = participation_counts(interactions, ["a", "b", "c", "d"])
+        assert counts == {"a": 2, "b": 1, "c": 1, "d": 0}
+
+    def test_unknown_members_ignored(self):
+        counts = participation_counts([Interaction("x", "y", 1.0)], ["a"])
+        assert counts == {"a": 0}
+
+
+class TestKnowledgeFlow:
+    def test_org_totals(self, small):
+        totals = org_knowledge_totals(small)
+        assert set(totals) == {o.org_id for o in small.organizations}
+        assert all(v >= 0 for v in totals.values())
+
+    def test_domain_coverage_is_pooled_max(self, small):
+        coverage = domain_coverage(small)
+        for domain, level in coverage.items():
+            best = max(m.knowledge[domain] for m in small.members)
+            assert level == pytest.approx(best)
+
+    def test_tracker_delta(self, small):
+        tracker = KnowledgeFlowTracker()
+        tracker.snapshot(small, "before")
+        member = small.members[0]
+        member.knowledge = member.knowledge.updated("testing", 1.0)
+        tracker.snapshot(small, "after")
+        delta = tracker.delta("before", "after")
+        assert delta[member.org_id] > 0
+        assert tracker.total_growth() > 0
+
+    def test_top_learners_sorted(self, small):
+        tracker = KnowledgeFlowTracker()
+        tracker.snapshot(small, "a")
+        tracker.snapshot(small, "b")
+        learners = tracker.top_learners("a", "b", k=3)
+        values = [v for _, v in learners]
+        assert values == sorted(values, reverse=True)
+        with pytest.raises(ConfigurationError):
+            tracker.top_learners("a", "b", k=0)
+
+    def test_unknown_label(self, small):
+        tracker = KnowledgeFlowTracker()
+        with pytest.raises(ConfigurationError):
+            tracker.delta("x", "y")
+
+    def test_concentration_bounds(self, small):
+        tracker = KnowledgeFlowTracker()
+        tracker.snapshot(small, "now")
+        assert 0.0 <= tracker.concentration("now") <= 1.0
+
+    def test_empty_tracker_growth_zero(self):
+        assert KnowledgeFlowTracker().total_growth() == 0.0
+
+
+class TestTrajectory:
+    def point(self, month, ties=5, strength=2.0, energy=0.9, event=None):
+        return TrajectoryPoint(
+            month=month, inter_org_ties=ties, total_tie_strength=strength,
+            mean_energy=energy, event=event,
+        )
+
+    def test_time_ordering_enforced(self):
+        t = Trajectory()
+        t.record(self.point(1.0))
+        with pytest.raises(ConfigurationError):
+            t.record(self.point(0.5))
+
+    def test_same_month_allowed(self):
+        t = Trajectory()
+        t.record(self.point(1.0))
+        t.record(self.point(1.0, event="plenary"))
+        assert len(t) == 2
+
+    def test_series_and_months(self):
+        t = Trajectory()
+        t.record(self.point(0.0, ties=1))
+        t.record(self.point(1.0, ties=3))
+        assert t.months() == [0.0, 1.0]
+        assert t.series("inter_org_ties") == [(0.0, 1.0), (1.0, 3.0)]
+        with pytest.raises(ConfigurationError):
+            t.series("nonexistent")
+
+    def test_event_points(self):
+        t = Trajectory()
+        t.record(self.point(0.0))
+        t.record(self.point(1.0, event="Rome"))
+        assert [p.event for p in t.event_points()] == ["Rome"]
+
+    def test_peak(self):
+        t = Trajectory()
+        t.record(self.point(0.0, ties=1))
+        t.record(self.point(1.0, ties=7))
+        t.record(self.point(2.0, ties=3))
+        assert t.peak("inter_org_ties").month == 1.0
+
+    def test_peak_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Trajectory().peak("inter_org_ties")
+
+    def test_value_at(self):
+        t = Trajectory()
+        t.record(self.point(0.0, ties=1))
+        t.record(self.point(2.0, ties=5))
+        assert t.value_at(1.0, "inter_org_ties") == 1.0
+        assert t.value_at(2.0, "inter_org_ties") == 5.0
+        with pytest.raises(ConfigurationError):
+            t.value_at(-1.0, "inter_org_ties")
+
+    def test_survival_fraction(self):
+        t = Trajectory()
+        t.record(self.point(0.0, ties=10))
+        t.record(self.point(1.0, ties=4))
+        assert t.survival_fraction() == pytest.approx(0.4)
+
+    def test_survival_zero_peak(self):
+        t = Trajectory()
+        t.record(self.point(0.0, ties=0))
+        assert t.survival_fraction() == 1.0

@@ -1,0 +1,212 @@
+"""Tests for challenges, the call, and subscriptions (before phase)."""
+
+import pytest
+
+from repro.core.challenge import Challenge, ChallengeCall, generate_challenges
+from repro.core.subscription import SubscriptionBook, auto_subscribe
+from repro.errors import ChallengeError, SubscriptionError
+from repro.framework.catalog import build_framework
+from repro.rng import RngHub
+
+
+def challenge(challenge_id="ch1", hours=4.0, **kw):
+    defaults = dict(
+        case_id="case00",
+        owner_org_id="owner0",
+        title="test challenge",
+        required_domains=frozenset({"testing"}),
+        estimated_hours=hours,
+    )
+    defaults.update(kw)
+    return Challenge(challenge_id=challenge_id, **defaults)
+
+
+class TestChallenge:
+    def test_validation(self):
+        with pytest.raises(ChallengeError):
+            challenge(challenge_id="")
+        with pytest.raises(ChallengeError):
+            challenge(required_domains=frozenset())
+        with pytest.raises(ChallengeError):
+            challenge(hours=0.0)
+        with pytest.raises(ChallengeError):
+            challenge(difficulty=1.5)
+
+    def test_preparedness_grows_with_artifacts(self):
+        bare = challenge(artifacts=())
+        rich = challenge(artifacts=("m1", "m2", "m3"))
+        assert rich.preparedness > bare.preparedness
+        assert rich.preparedness <= 1.0
+
+
+class TestChallengeCall:
+    def test_submit_within_timebox(self):
+        call = ChallengeCall("evt", time_box_hours=4.0)
+        call.submit(challenge(hours=3.5))
+        assert len(call) == 1
+
+    def test_rejects_oversized_challenge(self):
+        """The paper's 4-hour conciseness rule."""
+        call = ChallengeCall("evt", time_box_hours=4.0)
+        with pytest.raises(ChallengeError, match="time box"):
+            call.submit(challenge(hours=6.0))
+
+    def test_rejects_duplicates(self):
+        call = ChallengeCall("evt")
+        call.submit(challenge())
+        with pytest.raises(ChallengeError):
+            call.submit(challenge())
+
+    def test_max_challenges_cap(self):
+        call = ChallengeCall("evt", max_challenges=1)
+        call.submit(challenge("a"))
+        with pytest.raises(ChallengeError, match="full"):
+            call.submit(challenge("b"))
+
+    def test_close_then_submit_rejected(self):
+        call = ChallengeCall("evt")
+        call.submit(challenge())
+        call.close()
+        assert call.is_closed
+        with pytest.raises(ChallengeError):
+            call.submit(challenge("other"))
+
+    def test_close_empty_rejected(self):
+        with pytest.raises(ChallengeError):
+            ChallengeCall("evt").close()
+
+    def test_unknown_challenge(self):
+        call = ChallengeCall("evt")
+        with pytest.raises(ChallengeError):
+            call.challenge("nope")
+
+    def test_config_validation(self):
+        with pytest.raises(ChallengeError):
+            ChallengeCall("evt", time_box_hours=0.0)
+        with pytest.raises(ChallengeError):
+            ChallengeCall("evt", max_challenges=0)
+
+
+class TestGenerateChallenges:
+    def test_one_per_owner_case(self, small, hub, small_framework):
+        call = ChallengeCall("evt")
+        out = generate_challenges(small, small_framework, hub, call)
+        assert len(out) == len(small.case_study_owners)
+        assert call.challenges == out
+
+    def test_all_challenges_fit_timebox(self, small, hub, small_framework):
+        call = ChallengeCall("evt", time_box_hours=4.0)
+        for ch in generate_challenges(small, small_framework, hub, call):
+            assert ch.estimated_hours <= 4.0
+
+    def test_challenges_reference_owner_cases(self, small, hub, small_framework):
+        call = ChallengeCall("evt")
+        for ch in generate_challenges(small, small_framework, hub, call):
+            case = small_framework.case_study(ch.case_id)
+            assert case.owner_org_id == ch.owner_org_id
+
+    def test_respects_cap(self, small, hub, small_framework):
+        call = ChallengeCall("evt", max_challenges=1)
+        out = generate_challenges(small, small_framework, hub, call, per_owner=3)
+        assert len(out) == 1
+
+    def test_per_owner_validation(self, small, hub, small_framework):
+        with pytest.raises(ChallengeError):
+            generate_challenges(small, small_framework, hub,
+                                ChallengeCall("evt"), per_owner=0)
+
+    def test_deterministic(self, small, small_framework):
+        def gen(seed):
+            call = ChallengeCall("evt")
+            hub = RngHub(seed)
+            return [
+                (c.challenge_id, c.required_domains, c.difficulty)
+                for c in generate_challenges(small, small_framework, hub, call)
+            ]
+
+        assert gen(3) == gen(3)
+
+
+class TestSubscriptions:
+    def make_world(self, hub):
+        from repro.consortium.presets import small_consortium
+
+        consortium = small_consortium(hub)
+        framework = build_framework(consortium, hub, n_tools=8)
+        call = ChallengeCall("evt")
+        generate_challenges(consortium, framework, hub, call)
+        call.close()
+        return consortium, framework, call
+
+    def test_subscribe_valid(self, hub):
+        consortium, framework, call = self.make_world(hub)
+        book = SubscriptionBook(call, framework)
+        provider_tools = framework.tools_of("provider0")
+        ch = call.challenges[0]
+        sub = book.subscribe("provider0", ch.challenge_id,
+                             [provider_tools[0].tool_id])
+        assert sub.provider_org_id == "provider0"
+        assert book.providers_for(ch.challenge_id) == ["provider0"]
+
+    def test_subscribe_foreign_tool_rejected(self, hub):
+        consortium, framework, call = self.make_world(hub)
+        book = SubscriptionBook(call, framework)
+        other_tools = framework.tools_of("provider1")
+        with pytest.raises(SubscriptionError, match="belongs to"):
+            book.subscribe("provider0", call.challenges[0].challenge_id,
+                           [other_tools[0].tool_id])
+
+    def test_double_subscription_rejected(self, hub):
+        consortium, framework, call = self.make_world(hub)
+        book = SubscriptionBook(call, framework)
+        t = framework.tools_of("provider0")[0].tool_id
+        ch = call.challenges[0].challenge_id
+        book.subscribe("provider0", ch, [t])
+        with pytest.raises(SubscriptionError, match="already"):
+            book.subscribe("provider0", ch, [t])
+
+    def test_empty_tools_rejected(self, hub):
+        consortium, framework, call = self.make_world(hub)
+        book = SubscriptionBook(call, framework)
+        with pytest.raises(SubscriptionError):
+            book.subscribe("provider0", call.challenges[0].challenge_id, [])
+
+    def test_unknown_challenge_rejected(self, hub):
+        consortium, framework, call = self.make_world(hub)
+        book = SubscriptionBook(call, framework)
+        with pytest.raises(ChallengeError):
+            book.subscribe("provider0", "ghost", ["tool00"])
+
+    def test_auto_subscribe_covers_every_challenge(self, hub):
+        """Prerequisite 2: at least one provider per challenge."""
+        consortium, framework, call = self.make_world(hub)
+        book = SubscriptionBook(call, framework)
+        count = auto_subscribe(consortium, framework, book, hub)
+        assert count > 0
+        assert book.unsubscribed_challenges() == []
+
+    def test_auto_subscribe_tools_match_subscriber(self, hub):
+        consortium, framework, call = self.make_world(hub)
+        book = SubscriptionBook(call, framework)
+        auto_subscribe(consortium, framework, book, hub)
+        for ch in call.challenges:
+            for sub in book.subscriptions_for(ch.challenge_id):
+                for tool_id in sub.tool_ids:
+                    assert (
+                        framework.tool(tool_id).provider_org_id
+                        == sub.provider_org_id
+                    )
+
+    def test_tools_for_deduplicated_sorted(self, hub):
+        consortium, framework, call = self.make_world(hub)
+        book = SubscriptionBook(call, framework)
+        auto_subscribe(consortium, framework, book, hub)
+        for ch in call.challenges:
+            tools = book.tools_for(ch.challenge_id)
+            assert tools == sorted(set(tools))
+
+    def test_total_subscriptions_counts(self, hub):
+        consortium, framework, call = self.make_world(hub)
+        book = SubscriptionBook(call, framework)
+        n = auto_subscribe(consortium, framework, book, hub)
+        assert book.total_subscriptions() == n

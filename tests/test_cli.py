@@ -1,0 +1,99 @@
+"""Tests for the repro-sim CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.timeline == "hackathon"
+        assert args.seed == 0
+
+    def test_unknown_timeline_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--timeline", "party"])
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["hackathon", "--variant", "nope"])
+
+
+class TestCommands:
+    def test_run_prints_timeline_table(self, capsys):
+        assert main(["run", "--timeline", "traditional", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Rome" in out
+        assert "totals:" in out
+
+    def test_run_json_export(self, tmp_path, capsys):
+        path = tmp_path / "totals.json"
+        assert main(["run", "--timeline", "traditional",
+                     "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert "knowledge_transferred" in payload
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "hackathon" in out and "traditional" in out
+        assert "new_inter_org_ties" in out
+
+    def test_compare_invalid_seeds(self, capsys):
+        assert main(["compare", "--seeds", "0"]) == 2
+
+    def test_figures(self, capsys):
+        assert main(["figures", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("FIG1", "FIG2", "FIG3", "FIG4"):
+            assert marker in out
+        assert "Sweden" in out  # Fig. 1 content
+        assert "hackathon session" in out  # Fig. 3 content
+
+    def test_hackathon_variant(self, tmp_path, capsys):
+        path = tmp_path / "outcome.json"
+        assert main(["hackathon", "--variant", "tghl", "--seed", "2",
+                     "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Think Global Hack Local" in out
+        payload = json.loads(path.read_text())
+        assert payload["variant"] == "tghl"
+        assert payload["showcases"]
+
+
+class TestSweepAndExport:
+    def test_sweep_cadence(self, capsys):
+        assert main(["sweep", "--parameter", "cadence", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "every 1 months" in out
+        assert "convincing_demos" in out
+
+    def test_sweep_session_hours(self, capsys):
+        assert main(["sweep", "--parameter", "session-hours",
+                     "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "2 x 4 h" in out
+
+    def test_sweep_invalid_seeds(self):
+        assert main(["sweep", "--seeds", "0"]) == 2
+
+    def test_export_full_history(self, tmp_path, capsys):
+        json_path = tmp_path / "history.json"
+        csv_path = tmp_path / "trajectory.csv"
+        assert main(["export", "--timeline", "traditional",
+                     "--json", str(json_path),
+                     "--trajectory-csv", str(csv_path)]) == 0
+        payload = json.loads(json_path.read_text())
+        assert "plenaries" in payload and "trajectory" in payload
+        assert csv_path.exists()
+
+    def test_export_requires_json(self):
+        with pytest.raises(SystemExit):
+            main(["export"])

@@ -1,0 +1,159 @@
+"""Tests for repro.cognition.distance and learning."""
+
+import numpy as np
+import pytest
+
+from repro.cognition.distance import (
+    cognitive_distance,
+    distance_report,
+    mean_distance_to_group,
+    novelty,
+    pairwise_distance_matrix,
+    team_diversity,
+    understanding,
+)
+from repro.cognition.knowledge import KnowledgeVector
+from repro.cognition.learning import LearningModel, optimal_distance
+from repro.errors import ConfigurationError
+
+
+def kv(**levels):
+    return KnowledgeVector(levels)
+
+
+class TestCognitiveDistance:
+    def test_identical_profiles_zero(self):
+        a = kv(testing=0.5, telecom=0.5)
+        assert cognitive_distance(a, a) == pytest.approx(0.0)
+
+    def test_disjoint_profiles_one(self):
+        assert cognitive_distance(kv(a=0.5), kv(b=0.5)) == pytest.approx(1.0)
+
+    def test_empty_profile_maximal(self):
+        assert cognitive_distance(KnowledgeVector(), kv(a=0.5)) == 1.0
+
+    def test_symmetric(self):
+        a, b = kv(a=0.9, b=0.1), kv(b=0.8, c=0.3)
+        assert cognitive_distance(a, b) == pytest.approx(cognitive_distance(b, a))
+
+    def test_in_unit_interval(self):
+        a, b = kv(a=0.9, b=0.1), kv(a=0.1, c=0.9)
+        assert 0.0 <= cognitive_distance(a, b) <= 1.0
+
+
+class TestNoveltyUnderstanding:
+    def test_complementary(self):
+        for d in (0.0, 0.3, 1.0):
+            assert novelty(d) + understanding(d) == pytest.approx(1.0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            novelty(1.2)
+        with pytest.raises(ValueError):
+            understanding(-0.1)
+
+
+class TestMatrixAndDiversity:
+    def test_matrix_shape_and_symmetry(self):
+        vectors = [kv(a=0.5), kv(b=0.5), kv(a=0.3, b=0.3)]
+        m = pairwise_distance_matrix(vectors)
+        assert m.shape == (3, 3)
+        assert np.allclose(m, m.T)
+        assert np.allclose(np.diag(m), 0.0)
+
+    def test_diversity_singleton_zero(self):
+        assert team_diversity([kv(a=0.5)]) == 0.0
+        assert team_diversity([]) == 0.0
+
+    def test_diversity_is_mean_pairwise(self):
+        vectors = [kv(a=1.0), kv(b=1.0)]
+        assert team_diversity(vectors) == pytest.approx(1.0)
+
+    def test_report_sorted_descending(self):
+        rows = distance_report(
+            [("x", kv(a=1.0)), ("y", kv(b=1.0)), ("z", kv(a=0.9, b=0.9))]
+        )
+        distances = [r[2] for r in rows]
+        assert distances == sorted(distances, reverse=True)
+        assert len(rows) == 3
+
+    def test_mean_distance_to_group(self):
+        v = kv(a=1.0)
+        group = [kv(a=1.0), kv(b=1.0)]
+        assert mean_distance_to_group(v, group) == pytest.approx(0.5)
+        assert mean_distance_to_group(v, []) == 0.0
+
+
+class TestLearningModel:
+    def test_inverted_u_peak_at_half(self):
+        model = LearningModel()
+        assert model.learning_value(0.5) == pytest.approx(1.0)
+        assert model.learning_value(0.1) < 1.0
+        assert model.learning_value(0.9) < 1.0
+
+    def test_zero_at_extremes(self):
+        model = LearningModel()
+        assert model.learning_value(0.0) == 0.0
+        assert model.learning_value(1.0) == 0.0
+
+    def test_asymmetric_peak(self):
+        model = LearningModel(novelty_exponent=1.0, understanding_exponent=3.0)
+        assert optimal_distance(model) == pytest.approx(0.25)
+        assert model.learning_value(0.25) == pytest.approx(1.0)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            LearningModel(novelty_exponent=0.0)
+        with pytest.raises(ConfigurationError):
+            LearningModel(max_transfer_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            LearningModel(cultural_attenuation=1.5)
+
+    def test_transfer_rate_bounded(self):
+        model = LearningModel(max_transfer_rate=0.12)
+        rate = model.transfer_rate(kv(a=0.9, b=0.4), kv(b=0.9, c=0.4), hours=4.0)
+        assert 0.0 <= rate <= 0.12
+
+    def test_cultural_distance_attenuates(self):
+        model = LearningModel(cultural_attenuation=0.5)
+        a, b = kv(a=0.9, b=0.4), kv(b=0.9, c=0.4)
+        near = model.transfer_rate(a, b, hours=2.0, cultural_distance=0.0)
+        far = model.transfer_rate(a, b, hours=2.0, cultural_distance=1.0)
+        assert far < near
+        assert far == pytest.approx(near * 0.5)
+
+    def test_more_hours_more_transfer(self):
+        model = LearningModel()
+        a, b = kv(a=0.9, b=0.4), kv(b=0.9, c=0.4)
+        assert model.transfer_rate(a, b, hours=4.0) > model.transfer_rate(
+            a, b, hours=1.0
+        )
+
+    def test_transfer_saturates(self):
+        model = LearningModel()
+        a, b = kv(a=0.9, b=0.4), kv(b=0.9, c=0.4)
+        assert model.transfer_rate(a, b, hours=1000.0) <= model.max_transfer_rate
+
+    def test_exchange_mutual_gain(self):
+        model = LearningModel()
+        a, b = kv(a=0.9, b=0.2), kv(b=0.9, c=0.2)
+        new_a, new_b = model.exchange(a, b, hours=4.0)
+        assert new_a.total() >= a.total()
+        assert new_b.total() >= b.total()
+        # At moderate distance, someone actually learns.
+        assert new_a.total() + new_b.total() > a.total() + b.total()
+
+    def test_exchange_identical_profiles_no_gain(self):
+        model = LearningModel()
+        a = kv(a=0.5)
+        new_a, new_b = model.exchange(a, a, hours=4.0)
+        assert new_a.total() == pytest.approx(a.total())
+
+    def test_invalid_inputs(self):
+        model = LearningModel()
+        with pytest.raises(ValueError):
+            model.learning_value(1.5)
+        with pytest.raises(ValueError):
+            model.transfer_rate(kv(a=1.0), kv(a=1.0), hours=-1.0)
+        with pytest.raises(ValueError):
+            model.transfer_rate(kv(a=1.0), kv(a=1.0), cultural_distance=2.0)

@@ -1,0 +1,116 @@
+"""Tests for community detection and silo metrics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.communities import (
+    cross_org_community_fraction,
+    detect_communities,
+    silo_index,
+)
+from repro.network.graph import CollaborationNetwork
+
+
+def siloed_network():
+    """Two dense intra-org clusters, no cross-org ties."""
+    net = CollaborationNetwork()
+    for org, members in (("A", ["a1", "a2", "a3"]), ("B", ["b1", "b2", "b3"])):
+        for m in members:
+            net.add_member(m, org)
+    for group in (["a1", "a2", "a3"], ["b1", "b2", "b3"]):
+        for i in range(len(group)):
+            for j in range(i + 1, len(group)):
+                net.strengthen(group[i], group[j], 1.0)
+    return net
+
+
+def mixed_network():
+    """Two clusters, each mixing members of both organisations."""
+    net = CollaborationNetwork()
+    members = [("a1", "A"), ("a2", "A"), ("a3", "A"),
+               ("b1", "B"), ("b2", "B"), ("b3", "B")]
+    for m, org in members:
+        net.add_member(m, org)
+    for group in (["a1", "b1", "a2"], ["b2", "a3", "b3"]):
+        for i in range(len(group)):
+            for j in range(i + 1, len(group)):
+                net.strengthen(group[i], group[j], 1.0)
+    return net
+
+
+class TestDetectCommunities:
+    def test_finds_two_clusters(self):
+        structure = detect_communities(siloed_network())
+        assert structure.count == 2
+        assert sorted(structure.sizes()) == [3, 3]
+        assert structure.modularity > 0.3
+
+    def test_empty_network(self):
+        net = CollaborationNetwork()
+        net.add_member("x", "A")
+        structure = detect_communities(net)
+        assert structure.count == 0
+        assert structure.modularity == 0.0
+
+    def test_community_of(self):
+        structure = detect_communities(siloed_network())
+        assert structure.community_of("a1") == structure.community_of("a2")
+        assert structure.community_of("a1") != structure.community_of("b1")
+        assert structure.community_of("ghost") == -1
+
+    def test_deterministic_ordering(self):
+        a = detect_communities(siloed_network())
+        b = detect_communities(siloed_network())
+        assert a.communities == b.communities
+
+
+class TestSiloIndex:
+    def test_perfect_silos(self):
+        assert silo_index(siloed_network()) == pytest.approx(1.0)
+
+    def test_mixed_network_lower(self):
+        assert silo_index(mixed_network()) < silo_index(siloed_network())
+
+    def test_no_ties_raises(self):
+        net = CollaborationNetwork()
+        net.add_member("x", "A")
+        with pytest.raises(ConfigurationError):
+            silo_index(net)
+
+    def test_accepts_precomputed_structure(self):
+        net = siloed_network()
+        structure = detect_communities(net)
+        assert silo_index(net, structure) == pytest.approx(1.0)
+
+
+class TestCrossOrgFraction:
+    def test_siloed_zero(self):
+        assert cross_org_community_fraction(siloed_network()) == 0.0
+
+    def test_mixed_positive(self):
+        assert cross_org_community_fraction(mixed_network()) > 0.0
+
+    def test_empty_zero(self):
+        net = CollaborationNetwork()
+        net.add_member("x", "A")
+        assert cross_org_community_fraction(net) == 0.0
+
+
+class TestHackathonDissolvesSilos:
+    def test_silo_index_falls_after_hackathon(self):
+        """The paper's story, graph-theoretically: silos dissolve."""
+        from repro.consortium.presets import small_consortium
+        from repro.framework.catalog import build_framework
+        from repro.simulation.runner import LongitudinalRunner
+        from repro.simulation.scenario import megamart_timeline
+
+        runner = LongitudinalRunner(
+            megamart_timeline(seed=0),
+            consortium_factory=lambda hub: small_consortium(hub),
+            framework_factory=lambda c, hub: build_framework(c, hub, n_tools=8),
+        )
+        runner.run()
+        index = silo_index(runner.network)
+        # After two hackathons, communities are mostly cross-org.
+        assert index < 0.8
+        assert cross_org_community_fraction(runner.network) > 0.5

@@ -1,0 +1,271 @@
+"""Tests for the Consortium container, builder, funding and presets."""
+
+import pytest
+
+from repro.consortium.builder import (
+    DEFAULT_PROFILES,
+    StaffGenerator,
+    StaffingProfile,
+)
+from repro.consortium.consortium import Consortium
+from repro.consortium.funding import FundingRate, FundingScheme, default_ecsel_scheme
+from repro.consortium.member import Member, StaffRole
+from repro.consortium.organization import OrgType, ProjectRole, make_org
+from repro.consortium.presets import (
+    megamart2,
+    megamart2_organizations,
+    small_consortium,
+)
+from repro.errors import ConfigurationError, ConsortiumError
+from repro.rng import RngHub
+
+
+def org(org_id="o1", **kw):
+    defaults = dict(org_type=OrgType.SME, country="France")
+    defaults.update(kw)
+    return make_org(org_id, defaults.pop("org_type"), defaults.pop("country"),
+                    *defaults.pop("roles", ()), **defaults)
+
+
+def member(member_id="m1", org_id="o1", role=StaffRole.ENGINEER):
+    return Member(member_id=member_id, org_id=org_id, role=role)
+
+
+class TestConsortium:
+    def test_add_and_lookup(self):
+        c = Consortium()
+        c.add_organization(org())
+        c.add_member(member())
+        assert c.organization("o1").org_id == "o1"
+        assert c.member("m1").member_id == "m1"
+        assert c.members_of("o1")[0].member_id == "m1"
+
+    def test_duplicate_org_rejected(self):
+        c = Consortium()
+        c.add_organization(org())
+        with pytest.raises(ConsortiumError):
+            c.add_organization(org())
+
+    def test_duplicate_member_rejected(self):
+        c = Consortium()
+        c.add_organization(org())
+        c.add_member(member())
+        with pytest.raises(ConsortiumError):
+            c.add_member(member())
+
+    def test_member_unknown_org_rejected(self):
+        c = Consortium()
+        with pytest.raises(ConsortiumError):
+            c.add_member(member(org_id="ghost"))
+
+    def test_unknown_lookups_raise(self):
+        c = Consortium()
+        with pytest.raises(ConsortiumError):
+            c.organization("nope")
+        with pytest.raises(ConsortiumError):
+            c.member("nope")
+        with pytest.raises(ConsortiumError):
+            c.members_of("nope")
+
+    def test_role_queries(self):
+        c = Consortium()
+        c.add_organization(org("owner", roles=(ProjectRole.CASE_STUDY_OWNER,),
+                               org_type=OrgType.LARGE_ENTERPRISE))
+        c.add_organization(org("provider", roles=(ProjectRole.TOOL_PROVIDER,)))
+        assert [o.org_id for o in c.case_study_owners] == ["owner"]
+        assert [o.org_id for o in c.tool_providers] == ["provider"]
+
+    def test_technical_and_managers(self):
+        c = Consortium()
+        c.add_organization(org())
+        c.add_member(member("eng", role=StaffRole.ENGINEER))
+        c.add_member(member("mgr", role=StaffRole.MANAGER))
+        assert [m.member_id for m in c.technical_members()] == ["eng"]
+        assert [m.member_id for m in c.managers()] == ["mgr"]
+
+    def test_countries_sorted_unique(self):
+        c = Consortium()
+        c.add_organization(org("a", country="Sweden"))
+        c.add_organization(org("b", country="France"))
+        c.add_organization(org("c", country="France"))
+        assert c.countries == ["France", "Sweden"]
+
+    def test_validate_requires_roles_and_members(self):
+        c = Consortium("empty")
+        c.add_organization(org("x"))
+        with pytest.raises(ConsortiumError):
+            c.validate()  # no case-study owner
+
+    def test_validate_rejects_empty_org(self):
+        c = Consortium()
+        c.add_organization(org("owner", roles=(ProjectRole.CASE_STUDY_OWNER,)))
+        c.add_organization(org("provider", roles=(ProjectRole.TOOL_PROVIDER,)))
+        with pytest.raises(ConsortiumError, match="without members"):
+            c.validate()
+
+    def test_subset_members(self):
+        c = Consortium()
+        c.add_organization(org())
+        c.add_member(member("m1"))
+        c.add_member(member("m2"))
+        assert [m.member_id for m in c.subset_members(["m2", "m1"])] == ["m2", "m1"]
+
+
+class TestFunding:
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            FundingRate(ec_rate=0.7, national_rate=0.5)
+        with pytest.raises(ConfigurationError):
+            FundingRate(ec_rate=-0.1, national_rate=0.0)
+
+    def test_rate_properties(self):
+        rate = FundingRate(ec_rate=0.3, national_rate=0.2)
+        assert rate.total_rate == pytest.approx(0.5)
+        assert rate.own_contribution == pytest.approx(0.5)
+
+    def test_default_scheme_published_rates(self):
+        """Sec. III-A: LE national rates — FR 0 %, IT 10 %, FI 25 %."""
+        scheme = default_ecsel_scheme()
+        le = OrgType.LARGE_ENTERPRISE
+        assert scheme.national_rate("France", le) == 0.0
+        assert scheme.national_rate("Italy", le) == pytest.approx(0.10)
+        assert scheme.national_rate("Finland", le) == pytest.approx(0.25)
+
+    def test_academia_up_to_60_percent_total(self):
+        scheme = default_ecsel_scheme()
+        uni = make_org("u", OrgType.UNIVERSITY, "Finland")
+        assert scheme.rate_for(uni).total_rate == pytest.approx(0.60)
+
+    def test_cost_pressure_ordering(self):
+        """French LE feels max pressure; Finnish university the least."""
+        scheme = default_ecsel_scheme()
+        fr_le = make_org("le", OrgType.LARGE_ENTERPRISE, "France")
+        fi_uni = make_org("uni", OrgType.UNIVERSITY, "Finland")
+        assert scheme.cost_pressure(fr_le) > scheme.cost_pressure(fi_uni)
+
+    def test_unregistered_pair_rate_zero(self):
+        scheme = FundingScheme(ec_rate=0.3)
+        assert scheme.national_rate("Mars", OrgType.SME) == 0.0
+
+    def test_funded_budget(self):
+        scheme = default_ecsel_scheme()
+        o = make_org("s", OrgType.SME, "Finland", budget=100.0)
+        assert scheme.funded_budget_keur(o) == pytest.approx(65.0)
+
+    def test_summary_rows_sorted(self):
+        scheme = default_ecsel_scheme()
+        orgs = [make_org("b", OrgType.SME, "France"),
+                make_org("a", OrgType.SME, "Italy")]
+        rows = scheme.summary_rows(orgs)
+        assert [r[0] for r in rows] == ["a", "b"]
+
+    def test_invalid_national_rate(self):
+        scheme = FundingScheme()
+        with pytest.raises(ConfigurationError):
+            scheme.set_national_rate("France", OrgType.SME, 1.5)
+
+
+class TestStaffGenerator:
+    def test_populate_deterministic(self):
+        def build(seed):
+            c = Consortium()
+            c.add_organization(org("owner", roles=(ProjectRole.CASE_STUDY_OWNER,)))
+            StaffGenerator(RngHub(seed)).populate(c)
+            return [(m.member_id, m.role, m.seniority) for m in c.members]
+
+        assert build(5) == build(5)
+        assert build(5) != build(6)
+
+    def test_every_org_has_a_manager(self):
+        c = Consortium()
+        for i in range(5):
+            c.add_organization(org(f"o{i}"))
+        StaffGenerator(RngHub(0)).populate(c)
+        for i in range(5):
+            roles = [m.role for m in c.members_of(f"o{i}")]
+            assert StaffRole.MANAGER in roles
+
+    def test_speciality_bias(self):
+        c = Consortium()
+        c.add_organization(org("o0"))
+        StaffGenerator(RngHub(0)).populate(c, {"o0": ("testing",)})
+        technical = [m for m in c.members_of("o0") if m.is_technical]
+        assert technical, "profile should generate technical staff"
+        for m in technical:
+            assert m.knowledge["testing"] > 0.4
+
+    def test_headcounts_within_profile(self):
+        c = Consortium()
+        for i in range(10):
+            c.add_organization(org(f"o{i}", org_type=OrgType.UNIVERSITY))
+        StaffGenerator(RngHub(1)).populate(c)
+        lo, hi = DEFAULT_PROFILES[OrgType.UNIVERSITY].headcount_range
+        for i in range(10):
+            assert lo <= len(c.members_of(f"o{i}")) <= hi
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigurationError):
+            StaffingProfile((0, 3), 0.5, (StaffRole.ENGINEER,))
+        with pytest.raises(ConfigurationError):
+            StaffingProfile((2, 1), 0.5, (StaffRole.ENGINEER,))
+        with pytest.raises(ConfigurationError):
+            StaffingProfile((1, 3), 1.5, (StaffRole.ENGINEER,))
+        with pytest.raises(ConfigurationError):
+            StaffingProfile((1, 3), 0.5, ())
+        with pytest.raises(ConfigurationError):
+            StaffingProfile((1, 3), 0.5, (StaffRole.ENGINEER,),
+                            seniority_weights=(1.0, 1.0, 0.0, 0.0))
+
+    def test_empty_domains_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StaffGenerator(RngHub(0), domains=())
+
+
+class TestMegamartPreset:
+    def test_published_composition(self, megamart):
+        """Sec. III-A: 27 beneficiaries = 7 uni + 3 RC + 8 SME + 9 LE."""
+        comp = megamart.composition()
+        assert comp.beneficiaries == 27
+        assert comp.universities == 7
+        assert comp.research_centers == 3
+        assert comp.smes == 8
+        assert comp.large_enterprises == 9
+        assert comp.academia == 10
+
+    def test_six_countries(self, megamart):
+        assert megamart.composition().countries == 6
+        assert set(megamart.countries) == {
+            "Finland", "Sweden", "Czech Republic", "Italy", "Spain", "France",
+        }
+
+    def test_well_over_120_members(self, megamart):
+        assert megamart.composition().members > 120
+
+    def test_nine_case_study_owners(self, megamart):
+        assert len(megamart.case_study_owners) == 9
+
+    def test_named_partners_present(self, megamart):
+        for org_id in ("thales", "nokia", "volvo-ce", "bombardier",
+                       "intecs", "softeam", "aabo", "mdh", "but", "imta"):
+            assert megamart.organization(org_id)
+
+    def test_organizations_list_is_27(self):
+        assert len(megamart2_organizations()) == 27
+
+    def test_unpopulated_preset(self):
+        c = megamart2(populate=False)
+        assert len(c.members) == 0
+        assert len(c) == 27
+
+    def test_deterministic_roster(self):
+        a = megamart2(RngHub(7))
+        b = megamart2(RngHub(7))
+        assert [m.member_id for m in a.members] == [m.member_id for m in b.members]
+
+
+class TestSmallPreset:
+    def test_valid_and_sized(self):
+        c = small_consortium(RngHub(0), owners=2, providers=3)
+        assert len(c.case_study_owners) == 2
+        assert len(c.tool_providers) == 4  # 3 SMEs + 1 university
+        c.validate()

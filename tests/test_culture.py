@@ -1,0 +1,200 @@
+"""Tests for the culture substrate (Hofstede model, Fig. 1 data)."""
+
+import numpy as np
+import pytest
+
+from repro.culture.charts import (
+    comparison_chart,
+    extreme_scores,
+    render_ascii_chart,
+)
+from repro.culture.distance import (
+    CulturalDistanceModel,
+    euclidean_distance,
+    kogut_singh_index,
+    most_distant_pair,
+    normalized_distance,
+    pairwise_matrix,
+)
+from repro.culture.hofstede import (
+    COUNTRY_SCORES,
+    MEGAMART_COUNTRIES,
+    Dimension,
+    HofstedeProfile,
+    comparison_table,
+    dimension_variance,
+    known_countries,
+    profile_for,
+)
+from repro.errors import UnknownCountryError
+
+
+class TestHofstedeData:
+    def test_all_six_project_countries_present(self):
+        for country in MEGAMART_COUNTRIES:
+            assert country in COUNTRY_SCORES
+
+    def test_six_dimensions(self):
+        assert len(Dimension) == 6
+
+    def test_scores_in_range(self):
+        for profile in COUNTRY_SCORES.values():
+            for dim in Dimension:
+                assert 0 <= profile.score(dim) <= 100
+
+    def test_published_values_spot_checks(self):
+        # Values as cited from Hofstede Insights.
+        assert profile_for("Sweden").mas == 5
+        assert profile_for("France").pdi == 68
+        assert profile_for("Finland").uai == 59
+        assert profile_for("Italy").mas == 70
+
+    def test_unknown_country_raises(self):
+        with pytest.raises(UnknownCountryError) as exc:
+            profile_for("Atlantis")
+        assert exc.value.country == "Atlantis"
+
+    def test_profile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            HofstedeProfile("X", pdi=120, idv=0, mas=0, uai=0, lto=0, ivr=0)
+
+    def test_as_dict_and_vector_consistent(self):
+        profile = profile_for("Spain")
+        d = profile.as_dict()
+        v = profile.as_vector()
+        assert len(v) == 6
+        assert d["pdi"] == v[0]
+
+    def test_known_countries_sorted(self):
+        countries = known_countries()
+        assert countries == sorted(countries)
+        assert len(countries) >= 6
+
+    def test_dimension_descriptions(self):
+        for dim in Dimension:
+            assert len(dim.description) > 20
+
+    def test_variance_positive(self):
+        variances = dimension_variance()
+        for dim in Dimension:
+            assert variances[dim] > 0
+
+    def test_variance_needs_two_countries(self):
+        with pytest.raises(ValueError):
+            dimension_variance(["Finland"])
+
+    def test_comparison_table_rows(self):
+        table = comparison_table()
+        assert len(table) == 6
+        assert table[0][0] == "Finland"
+
+
+class TestDistances:
+    def test_self_distance_zero(self):
+        assert kogut_singh_index("France", "France") == pytest.approx(0.0)
+        assert euclidean_distance("France", "France") == 0.0
+        assert normalized_distance("France", "France") == 0.0
+
+    def test_symmetric(self):
+        assert kogut_singh_index("France", "Sweden") == pytest.approx(
+            kogut_singh_index("Sweden", "France")
+        )
+        assert euclidean_distance("Italy", "Spain") == pytest.approx(
+            euclidean_distance("Spain", "Italy")
+        )
+
+    def test_positive_for_distinct(self):
+        assert kogut_singh_index("France", "Sweden") > 0
+        assert normalized_distance("France", "Sweden") > 0
+
+    def test_normalized_in_unit_interval(self):
+        for a in MEGAMART_COUNTRIES:
+            for b in MEGAMART_COUNTRIES:
+                assert 0.0 <= normalized_distance(a, b) <= 1.0
+
+    def test_sweden_italy_more_distant_than_sweden_finland(self):
+        """The Nordic pair is culturally closer than Sweden-Italy."""
+        assert normalized_distance("Sweden", "Italy") > normalized_distance(
+            "Sweden", "Finland"
+        )
+
+    def test_pairwise_matrix_properties(self):
+        m = pairwise_matrix(list(MEGAMART_COUNTRIES), metric="kogut_singh")
+        assert m.shape == (6, 6)
+        assert np.allclose(m, m.T)
+        assert np.allclose(np.diag(m), 0.0)
+        assert (m >= 0).all()
+
+    def test_pairwise_matrix_unknown_metric(self):
+        with pytest.raises(ValueError):
+            pairwise_matrix(["France", "Spain"], metric="nope")
+
+    def test_most_distant_pair(self):
+        a, b, d = most_distant_pair(list(MEGAMART_COUNTRIES))
+        assert a != b
+        assert d > 0
+        m = pairwise_matrix(list(MEGAMART_COUNTRIES))
+        assert d == pytest.approx(m.max())
+
+    def test_most_distant_needs_two(self):
+        with pytest.raises(ValueError):
+            most_distant_pair(["France"])
+
+
+class TestCulturalDistanceModel:
+    def test_same_country_zero(self):
+        model = CulturalDistanceModel()
+        assert model.distance("France", "France") == 0.0
+
+    def test_cached_consistency(self):
+        model = CulturalDistanceModel()
+        first = model.distance("France", "Sweden")
+        assert model.distance("Sweden", "France") == first
+        assert first == pytest.approx(normalized_distance("France", "Sweden"))
+
+    def test_mean_distance(self):
+        model = CulturalDistanceModel()
+        assert model.mean_distance(["France"]) == 0.0
+        mean = model.mean_distance(list(MEGAMART_COUNTRIES))
+        assert 0.0 < mean < 1.0
+
+    def test_ranked_pairs_descending(self):
+        model = CulturalDistanceModel()
+        pairs = model.ranked_pairs(list(MEGAMART_COUNTRIES))
+        distances = [d for _, _, d in pairs]
+        assert distances == sorted(distances, reverse=True)
+        assert len(pairs) == 15
+
+
+class TestCharts:
+    def test_chart_series(self):
+        series = comparison_chart()
+        assert len(series) == 6
+        assert series[0].country == "Finland"
+        assert len(series[0].values) == 6
+
+    def test_value_for_matches_profile(self):
+        series = comparison_chart(["Sweden"])[0]
+        assert series.value_for(Dimension.MASCULINITY) == 5
+
+    def test_ascii_render_contains_all_countries(self):
+        text = render_ascii_chart()
+        for country in MEGAMART_COUNTRIES:
+            assert country in text
+        for dim in Dimension:
+            assert dim.value.upper() in text
+
+    def test_ascii_render_rejects_tiny_width(self):
+        with pytest.raises(ValueError):
+            render_ascii_chart(width=3)
+
+    def test_extreme_scores_sweden_lowest_masculinity(self):
+        """The paper's Fig. 1 visual: Sweden's Masculinity bar is lowest."""
+        extremes = extreme_scores()
+        low, high = extremes[Dimension.MASCULINITY]
+        assert low == "Sweden"
+        assert high == "Italy"
+
+    def test_extreme_scores_france_highest_power_distance(self):
+        low, high = extreme_scores()[Dimension.POWER_DISTANCE]
+        assert high == "France"

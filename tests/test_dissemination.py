@@ -1,0 +1,168 @@
+"""Tests for the dissemination substrate (showcases, channels, review)."""
+
+import pytest
+
+from repro.core.outcomes import Demo, HackathonOutcome
+from repro.core.prerequisites import PrerequisiteReport
+from repro.dissemination.channels import CHANNEL_PROFILES, Channel, ChannelProfile
+from repro.dissemination.review import ReviewMeeting
+from repro.dissemination.showcase import DisseminationRegistry, Showcase
+from repro.errors import ConfigurationError
+from repro.rng import RngHub
+
+
+def demo(cid, quality=0.6):
+    return Demo(
+        challenge_id=cid, team_member_ids=("a", "b"), tool_ids=("t",),
+        completion=quality, innovation=quality, exploitation=quality,
+        readiness=quality, fun=quality,
+    )
+
+
+def showcase(sid="s1", quality=0.6):
+    return Showcase(
+        showcase_id=sid, event_id="evt", challenge_id="c1",
+        quality=quality, readiness=quality,
+    )
+
+
+class TestChannels:
+    def test_all_channels_profiled(self):
+        for channel in Channel:
+            assert channel in CHANNEL_PROFILES
+
+    def test_expected_reach_scales_with_quality(self):
+        profile = CHANNEL_PROFILES[Channel.CONFERENCE]
+        assert profile.expected_reach(0.9) > profile.expected_reach(0.2)
+
+    def test_low_elasticity_channel_insensitive(self):
+        newsletter = CHANNEL_PROFILES[Channel.NEWSLETTER]
+        spread = newsletter.expected_reach(1.0) - newsletter.expected_reach(0.0)
+        assert spread == pytest.approx(
+            newsletter.base_reach * newsletter.quality_elasticity
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChannelProfile(base_reach=0, quality_elasticity=0.5)
+        with pytest.raises(ConfigurationError):
+            ChannelProfile(base_reach=10, quality_elasticity=1.5)
+        with pytest.raises(ConfigurationError):
+            CHANNEL_PROFILES[Channel.CONFERENCE].expected_reach(1.5)
+
+
+class TestRegistry:
+    def test_register_outcome_uses_showcase_ids(self, hub):
+        registry = DisseminationRegistry(hub)
+        outcome = HackathonOutcome(event_id="evt")
+        outcome.demos = [demo("a", 0.8), demo("b", 0.5), demo("c", 0.3)]
+        outcome.showcase_ids = ["a", "b"]
+        registered = registry.register_outcome(outcome)
+        assert [s.challenge_id for s in registered] == ["a", "b"]
+        assert len(registry.showcases) == 2
+
+    def test_duplicate_rejected(self, hub):
+        registry = DisseminationRegistry(hub)
+        registry.add(showcase())
+        with pytest.raises(ConfigurationError):
+            registry.add(showcase())
+
+    def test_unknown_showcase(self, hub):
+        with pytest.raises(ConfigurationError):
+            DisseminationRegistry(hub).showcase("ghost")
+
+    def test_publish_records_reach(self, hub):
+        registry = DisseminationRegistry(hub)
+        registry.add(showcase(quality=0.9))
+        record = registry.publish("s1", Channel.SOCIAL_MEDIA)
+        assert record.reach >= 0
+        assert registry.total_reach() == record.reach
+
+    def test_publish_everywhere(self, hub):
+        registry = DisseminationRegistry(hub)
+        registry.add(showcase())
+        records = registry.publish_everywhere("s1")
+        assert len(records) == len(Channel)
+        by_channel = registry.reach_by_channel()
+        assert set(by_channel) == set(Channel)
+
+    def test_quality_drives_reach_statistically(self):
+        """Across many publications, better showcases reach further."""
+        registry = DisseminationRegistry(RngHub(0))
+        registry.add(showcase("good", quality=0.95))
+        registry.add(showcase("poor", quality=0.1))
+        good = sum(
+            registry.publish("good", Channel.CONFERENCE).reach
+            for _ in range(30)
+        )
+        poor = sum(
+            registry.publish("poor", Channel.CONFERENCE).reach
+            for _ in range(30)
+        )
+        assert good > poor
+
+    def test_best_showcase(self, hub):
+        registry = DisseminationRegistry(hub)
+        assert registry.best_showcase() is None
+        registry.add(showcase("low", 0.2))
+        registry.add(showcase("high", 0.9))
+        assert registry.best_showcase().showcase_id == "high"
+
+    def test_deterministic(self):
+        def run(seed):
+            registry = DisseminationRegistry(RngHub(seed))
+            registry.add(showcase())
+            return [r.reach for r in registry.publish_everywhere("s1")]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+
+class TestReviewMeeting:
+    def reports(self, satisfied=5):
+        return [
+            PrerequisiteReport(f"p{i}", i < satisfied, "detail")
+            for i in range(5)
+        ]
+
+    def test_good_showcases_appreciated(self, hub):
+        meeting = ReviewMeeting(hub)
+        verdict = meeting.review(
+            [showcase(quality=0.8)], self.reports(5), applications_started=10
+        )
+        assert verdict.appreciated
+        assert len(verdict.scores) == 3
+        assert 0.0 <= verdict.mean_overall <= 1.0
+
+    def test_poor_showcases_not_appreciated(self, hub):
+        meeting = ReviewMeeting(hub)
+        verdict = meeting.review(
+            [showcase(quality=0.1)], self.reports(1), applications_started=0
+        )
+        assert not verdict.appreciated
+
+    def test_process_health_matters(self):
+        """Same demos, broken process -> lower approach score."""
+        healthy = ReviewMeeting(RngHub(0)).review(
+            [showcase(quality=0.6)], self.reports(5), applications_started=5
+        )
+        broken = ReviewMeeting(RngHub(0)).review(
+            [showcase(quality=0.6)], self.reports(1), applications_started=0
+        )
+        assert healthy.mean_approach > broken.mean_approach
+
+    def test_requires_showcases(self, hub):
+        with pytest.raises(ConfigurationError):
+            ReviewMeeting(hub).review([], self.reports(), 0)
+
+    def test_config_validation(self, hub):
+        with pytest.raises(ConfigurationError):
+            ReviewMeeting(hub, n_reviewers=0)
+        with pytest.raises(ConfigurationError):
+            ReviewMeeting(hub, scepticism_sd=-0.1)
+
+    def test_panel_size(self, hub):
+        verdict = ReviewMeeting(hub, n_reviewers=5).review(
+            [showcase()], self.reports(), 1
+        )
+        assert len(verdict.scores) == 5

@@ -1,0 +1,58 @@
+"""Documentation tests: doctests and README code blocks actually run."""
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+import repro.cognition.knowledge
+import repro.rng
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestDoctests:
+    @pytest.mark.parametrize("module", [
+        repro,
+        repro.rng,
+        repro.cognition.knowledge,
+    ])
+    def test_module_doctests_pass(self, module):
+        result = doctest.testmod(
+            module, optionflags=doctest.ELLIPSIS, verbose=False
+        )
+        assert result.failed == 0, f"{module.__name__}: {result.failed} failed"
+
+
+def python_blocks(markdown: str):
+    return re.findall(r"```python\n(.*?)```", markdown, re.S)
+
+
+class TestReadmeSnippets:
+    def test_quickstart_block_runs(self):
+        blocks = python_blocks((ROOT / "README.md").read_text())
+        assert blocks, "README has no python blocks"
+        namespace = {}
+        exec(blocks[0], namespace)  # the quickstart block
+        assert namespace["outcome"].demos
+
+    @pytest.mark.slow
+    def test_comparison_block_runs(self):
+        blocks = python_blocks((ROOT / "README.md").read_text())
+        namespace = {}
+        exec(blocks[0], namespace)
+        exec(blocks[1], namespace)  # the longitudinal comparison block
+        assert namespace["result"].metrics_a
+
+
+class TestTutorialSnippets:
+    def test_custom_consortium_flow(self):
+        """Blocks 1-4 of docs/TUTORIAL.md, executed in sequence."""
+        blocks = python_blocks((ROOT / "docs" / "TUTORIAL.md").read_text())
+        namespace = {}
+        for block in blocks[:4]:  # seeding, consortium, framework, hackathon
+            exec(block, namespace)
+        assert namespace["consortium"].composition().beneficiaries == 3
+        assert namespace["outcome"].scores

@@ -1,0 +1,194 @@
+"""Edge-case tests across modules: configs, degenerate inputs, modes."""
+
+import pytest
+
+from repro.consortium.presets import small_consortium
+from repro.core.event import HackathonConfig, HackathonEvent
+from repro.errors import (
+    ChallengeError,
+    ConfigurationError,
+    PrerequisiteViolation,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    SubscriptionError,
+    UnknownCountryError,
+    VotingError,
+)
+from repro.framework.catalog import build_framework
+from repro.meetings.agenda import hackathon_agenda
+from repro.meetings.mode import MeetingMode
+from repro.meetings.plenary import PlenaryMeeting
+from repro.network.graph import CollaborationNetwork
+from repro.rng import RngHub
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ConfigurationError, ChallengeError, SubscriptionError,
+                    VotingError, SimulationError, SchedulingError,
+                    UnknownCountryError("X"), PrerequisiteViolation("p", "d")):
+            cls = exc if isinstance(exc, type) else type(exc)
+            assert issubclass(cls, ReproError)
+
+    def test_unknown_country_attributes(self):
+        exc = UnknownCountryError("Narnia", dataset="hofstede")
+        assert exc.country == "Narnia"
+        assert "hofstede" in str(exc)
+
+    def test_prerequisite_violation_attributes(self):
+        exc = PrerequisiteViolation("technical_staff_involved", "only managers")
+        assert exc.prerequisite == "technical_staff_involved"
+        assert "only managers" in str(exc)
+
+    def test_scheduling_is_simulation_error(self):
+        assert issubclass(SchedulingError, SimulationError)
+
+
+@pytest.fixture
+def world():
+    hub = RngHub(404)
+    consortium = small_consortium(hub)
+    framework = build_framework(consortium, hub, n_tools=8)
+    return consortium, framework, hub
+
+
+class TestEventConfigVariations:
+    def test_single_session(self, world):
+        consortium, framework, hub = world
+        event = HackathonEvent(
+            consortium, framework, hub,
+            HackathonConfig(event_id="e", sessions=1),
+        )
+        outcome = event.run(consortium.members)
+        assert len(outcome.session_results) == len(outcome.teams)
+
+    def test_many_short_sessions(self, world):
+        consortium, framework, hub = world
+        event = HackathonEvent(
+            consortium, framework, hub,
+            HackathonConfig(event_id="e", sessions=4, time_box_hours=1.0),
+        )
+        outcome = event.run(consortium.members)
+        assert len(outcome.session_results) == 4 * len(outcome.teams)
+
+    def test_max_challenges_cap_respected(self, world):
+        consortium, framework, hub = world
+        event = HackathonEvent(
+            consortium, framework, hub,
+            HackathonConfig(event_id="e", max_challenges=1,
+                            per_owner_challenges=3),
+        )
+        outcome = event.run(consortium.members)
+        assert len(outcome.challenges) == 1
+
+    def test_multiple_challenges_per_owner(self, world):
+        consortium, framework, hub = world
+        event = HackathonEvent(
+            consortium, framework, hub,
+            HackathonConfig(event_id="e", per_owner_challenges=2),
+        )
+        outcome = event.run(consortium.members)
+        assert len(outcome.challenges) == 2 * len(consortium.case_study_owners)
+
+    def test_zero_vote_noise_ranking_matches_quality(self, world):
+        consortium, framework, hub = world
+        event = HackathonEvent(
+            consortium, framework, hub,
+            HackathonConfig(event_id="e", vote_noise_sd=0.0),
+        )
+        outcome = event.run(consortium.members)
+        # With no vote noise, the audience ranking must exactly track
+        # demo overall quality.
+        qualities = {d.challenge_id: d.overall_quality for d in outcome.demos}
+        ranked = [s.challenge_id for s in outcome.scores]
+        by_quality = sorted(
+            qualities, key=lambda c: (-qualities[c], c)
+        )
+        # Rounding to integers can swap near-ties; require the winner
+        # to be within the quality top-2.
+        assert ranked[0] in by_quality[:2]
+
+    def test_showcase_count_larger_than_demos(self, world):
+        consortium, framework, hub = world
+        event = HackathonEvent(
+            consortium, framework, hub,
+            HackathonConfig(event_id="e", showcase_count=99),
+        )
+        outcome = event.run(consortium.members)
+        assert len(outcome.showcase_ids) == len(outcome.demos)
+
+
+class TestHybridMode:
+    def test_hybrid_between_modes_on_engagement(self):
+        def run(mode):
+            hub = RngHub(11)
+            consortium = small_consortium(hub)
+            meeting = PlenaryMeeting(consortium, CollaborationNetwork(), hub)
+            return meeting.run(hackathon_agenda(), "m", mode=mode)
+
+        f2f = run(MeetingMode.FACE_TO_FACE).mean_engagement()
+        hybrid = run(MeetingMode.HYBRID).mean_engagement()
+        virtual = run(MeetingMode.VIRTUAL).mean_engagement()
+        assert virtual < hybrid < f2f
+
+
+class TestDegenerateWorlds:
+    def test_consortium_with_one_member_per_org(self):
+        from repro.consortium.consortium import Consortium
+        from repro.consortium.member import Member, StaffRole
+        from repro.consortium.organization import (
+            OrgType, ProjectRole, make_org,
+        )
+        from repro.cognition.knowledge import KnowledgeVector
+
+        consortium = Consortium()
+        consortium.add_organization(make_org(
+            "o1", OrgType.LARGE_ENTERPRISE, "France",
+            ProjectRole.CASE_STUDY_OWNER,
+        ))
+        consortium.add_organization(make_org(
+            "o2", OrgType.SME, "Sweden", ProjectRole.TOOL_PROVIDER,
+        ))
+        for org, mid in (("o1", "m1"), ("o2", "m2")):
+            consortium.add_member(Member(
+                member_id=mid, org_id=org, role=StaffRole.ENGINEER,
+                knowledge=KnowledgeVector({"testing": 0.7,
+                                           "embedded_systems": 0.5}),
+            ))
+        consortium.validate()
+        framework = build_framework(consortium, RngHub(0), n_tools=2,
+                                    requirements_per_case=2)
+        event = HackathonEvent(
+            consortium, framework, RngHub(0), HackathonConfig(event_id="tiny"),
+        )
+        outcome = event.run(consortium.members)
+        assert outcome.demos  # even a 2-person consortium can hack
+
+    def test_plenary_with_empty_network_nodes(self):
+        hub = RngHub(2)
+        consortium = small_consortium(hub)
+        network = CollaborationNetwork()
+        # PlenaryMeeting registers all members itself.
+        meeting = PlenaryMeeting(consortium, network, hub)
+        assert len(network.member_ids) == len(consortium.members)
+
+
+class TestFrameworkEdges:
+    def test_matching_tools_empty_for_unmatched_case(self, world):
+        consortium, framework, hub = world
+        # A case study whose domains no tool supports.
+        from repro.framework.casestudy import CaseStudy
+
+        framework.case_studies["weird"] = CaseStudy(
+            case_id="weird", name="w", owner_org_id="owner0",
+            domains=frozenset({"astrology"}),
+        )
+        assert framework.matching_tools("weird") == []
+
+    def test_tool_category_consistency(self, world):
+        _, framework, _ = world
+        from repro.framework.tool import ToolCategory
+
+        for tool in framework.tools.values():
+            assert isinstance(tool.category, ToolCategory)

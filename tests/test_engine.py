@@ -1,0 +1,103 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.simulation.engine import Engine
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(2.0, "b", lambda e: fired.append("b"))
+        engine.schedule_at(1.0, "a", lambda e: fired.append("a"))
+        engine.run()
+        assert fired == ["a", "b"]
+
+    def test_ties_fire_in_insertion_order(self):
+        engine = Engine()
+        fired = []
+        for name in ("first", "second", "third"):
+            engine.schedule_at(1.0, name, lambda e, n=name: fired.append(n))
+        engine.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_now_advances(self):
+        engine = Engine()
+        times = []
+        engine.schedule_at(3.0, "x", lambda e: times.append(e.now))
+        engine.run()
+        assert times == [3.0]
+        assert engine.now == 3.0
+
+    def test_schedule_in_relative(self):
+        engine = Engine(start_time=10.0)
+        fired = []
+        engine.schedule_in(5.0, "x", lambda e: fired.append(e.now))
+        engine.run()
+        assert fired == [15.0]
+
+    def test_past_scheduling_rejected(self):
+        engine = Engine(start_time=5.0)
+        with pytest.raises(SchedulingError):
+            engine.schedule_at(1.0, "x", lambda e: None)
+        with pytest.raises(SchedulingError):
+            engine.schedule_in(-1.0, "x", lambda e: None)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(SchedulingError):
+            Engine().schedule_at(1.0, "x", "not callable")
+
+    def test_handlers_can_schedule(self):
+        engine = Engine()
+        fired = []
+
+        def chain(e):
+            fired.append(e.now)
+            if e.now < 3:
+                e.schedule_in(1.0, "next", chain)
+
+        engine.schedule_at(1.0, "start", chain)
+        engine.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_until_stops_early(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(1.0, "a", lambda e: fired.append("a"))
+        engine.schedule_at(10.0, "b", lambda e: fired.append("b"))
+        engine.run(until=5.0)
+        assert fired == ["a"]
+        assert engine.pending == 1
+        assert engine.now == 5.0  # clock advanced to the horizon
+
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def loop(e):
+            e.schedule_in(1.0, "again", loop)
+
+        engine.schedule_at(0.0, "start", loop)
+        with pytest.raises(SchedulingError, match="max_events"):
+            engine.run(max_events=50)
+
+    def test_step_returns_event(self):
+        engine = Engine()
+        engine.schedule_at(1.0, "x", lambda e: None)
+        event = engine.step()
+        assert event.name == "x"
+        assert engine.step() is None
+
+    def test_processed_events_recorded(self):
+        engine = Engine()
+        engine.schedule_at(1.0, "x", lambda e: None)
+        engine.schedule_at(2.0, "y", lambda e: None)
+        engine.run()
+        assert [e.name for e in engine.processed_events] == ["x", "y"]
+
+    def test_run_returns_count(self):
+        engine = Engine()
+        for i in range(4):
+            engine.schedule_at(float(i), f"e{i}", lambda e: None)
+        assert engine.run() == 4

@@ -1,0 +1,241 @@
+"""Tests for the evaluation substrate (voting, survey, comments)."""
+
+import pytest
+
+from repro.consortium.member import Member, StaffRole
+from repro.errors import ConfigurationError, VotingError
+from repro.evaluation.comments import (
+    Comment,
+    CommentGenerator,
+    NEGATIVE_TEMPLATES,
+    POSITIVE_TEMPLATES,
+    SentimentLexicon,
+    sentiment_histogram,
+)
+from repro.evaluation.survey import PlenarySurvey
+from repro.evaluation.voting import (
+    MAX_SCORE,
+    Ballot,
+    Criterion,
+    VotingSystem,
+)
+from repro.meetings.agenda import (
+    SessionFormat,
+    hackathon_agenda,
+    traditional_agenda,
+)
+from repro.meetings.plenary import PlenaryMeeting
+from repro.network.graph import CollaborationNetwork
+from repro.rng import RngHub
+
+
+def full_scores(value=3):
+    return {c: value for c in Criterion}
+
+
+class TestBallot:
+    def test_requires_all_criteria(self):
+        partial = {Criterion.TECHNICAL_INNOVATION: 3}
+        with pytest.raises(VotingError):
+            Ballot("c1", partial)
+
+    def test_score_range(self):
+        with pytest.raises(VotingError):
+            Ballot("c1", full_scores(6))
+        with pytest.raises(VotingError):
+            Ballot("c1", full_scores(-1))
+
+    def test_rejects_non_int(self):
+        scores = full_scores()
+        scores[Criterion.ENTERTAINMENT] = 3.5
+        with pytest.raises(VotingError):
+            Ballot("c1", scores)
+
+    def test_valid(self):
+        assert Ballot("c1", full_scores(MAX_SCORE)).challenge_id == "c1"
+
+
+class TestVotingSystem:
+    def make(self):
+        return VotingSystem("evt", ["c1", "c2"])
+
+    def test_cast_and_results(self):
+        vs = self.make()
+        vs.cast("alice", "c1", full_scores(4))
+        vs.cast("bob", "c1", full_scores(2))
+        score = vs.results("c1")
+        assert score.ballots == 2
+        for c in Criterion:
+            assert score.means[c] == pytest.approx(3.0)
+        assert score.overall == pytest.approx(3.0)
+
+    def test_double_vote_rejected(self):
+        vs = self.make()
+        vs.cast("alice", "c1", full_scores())
+        with pytest.raises(VotingError):
+            vs.cast("alice", "c1", full_scores())
+
+    def test_same_voter_different_challenges_ok(self):
+        vs = self.make()
+        vs.cast("alice", "c1", full_scores())
+        vs.cast("alice", "c2", full_scores())
+        assert vs.ballot_count() == 2
+
+    def test_unknown_challenge(self):
+        vs = self.make()
+        with pytest.raises(VotingError):
+            vs.cast("alice", "ghost", full_scores())
+        with pytest.raises(VotingError):
+            vs.results("ghost")
+
+    def test_empty_results_zero(self):
+        vs = self.make()
+        assert vs.results("c1").overall == 0.0
+        assert vs.results("c1").ballots == 0
+
+    def test_ranking_best_first(self):
+        vs = self.make()
+        vs.cast("a", "c1", full_scores(1))
+        vs.cast("a", "c2", full_scores(5))
+        ranking = vs.ranking()
+        assert ranking[0].challenge_id == "c2"
+        assert vs.winners(1)[0].challenge_id == "c2"
+
+    def test_winners_validation(self):
+        with pytest.raises(VotingError):
+            self.make().winners(0)
+
+    def test_needs_challenges(self):
+        with pytest.raises(VotingError):
+            VotingSystem("evt", [])
+
+    def test_profile_rows(self):
+        vs = self.make()
+        vs.cast("a", "c1", full_scores(4))
+        profile = vs.results("c1").profile()
+        assert len(profile) == 4
+        assert profile[0][0] == Criterion.TECHNICAL_INNOVATION.value
+
+    def test_criterion_questions(self):
+        for c in Criterion:
+            assert len(c.question) > 20
+
+
+class TestSentimentLexicon:
+    def test_all_positive_templates_score_positive(self):
+        lex = SentimentLexicon()
+        for text in POSITIVE_TEMPLATES:
+            assert lex.label(text) == "positive", text
+
+    def test_all_negative_templates_score_negative(self):
+        lex = SentimentLexicon()
+        for text in NEGATIVE_TEMPLATES:
+            assert lex.label(text) == "negative", text
+
+    def test_unknown_words_neutral(self):
+        lex = SentimentLexicon()
+        assert lex.score("completely unrelated words here") == 0.0
+        assert lex.label("completely unrelated words here") == "neutral"
+
+    def test_score_bounds(self):
+        lex = SentimentLexicon()
+        assert -1.0 <= lex.score("great waste") <= 1.0
+
+    def test_custom_polarity_validation(self):
+        with pytest.raises(ConfigurationError):
+            SentimentLexicon({"word": 2.0})
+
+    def test_label_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            SentimentLexicon().label("x", threshold=0.0)
+
+
+class TestCommentGenerator:
+    def test_band_probabilities_sum_to_one(self, hub):
+        gen = CommentGenerator(hub)
+        for e in (0.0, 0.3, 0.7, 1.0):
+            p = gen.band_probabilities(e)
+            assert sum(p) == pytest.approx(1.0)
+
+    def test_band_monotone_in_engagement(self, hub):
+        gen = CommentGenerator(hub)
+        low_pos = gen.band_probabilities(0.2)[0]
+        high_pos = gen.band_probabilities(0.9)[0]
+        assert high_pos > low_pos
+        assert gen.band_probabilities(0.2)[2] > gen.band_probabilities(0.9)[2]
+
+    def test_engaged_crowd_mostly_positive(self, hub):
+        gen = CommentGenerator(hub)
+        comments = [gen.generate(0.9) for _ in range(200)]
+        hist = sentiment_histogram(comments)
+        assert hist["positive"] > hist["negative"]
+        assert hist["positive"] > 100
+
+    def test_disengaged_crowd_mostly_negative(self, hub):
+        gen = CommentGenerator(hub)
+        comments = [gen.generate(0.1) for _ in range(200)]
+        hist = sentiment_histogram(comments)
+        assert hist["negative"] > hist["positive"]
+
+    def test_engagement_validation(self, hub):
+        with pytest.raises(ConfigurationError):
+            CommentGenerator(hub).generate(1.5)
+
+    def test_generate_all_sorted_order(self, hub):
+        gen = CommentGenerator(hub)
+        out = gen.generate_all({"b": 0.5, "a": 0.5})
+        assert len(out) == 2
+        assert all(isinstance(c, Comment) for c in out)
+
+    def test_histogram_keys_stable(self):
+        hist = sentiment_histogram([])
+        assert list(hist) == ["positive", "neutral", "negative"]
+
+
+class TestPlenarySurvey:
+    def run_meeting(self, small, hub, agenda):
+        meeting = PlenaryMeeting(small, CollaborationNetwork(), hub)
+        return meeting.run(agenda, "meeting")
+
+    def test_votes_bounded_by_respondents(self, small, hub):
+        result = self.run_meeting(small, hub, hackathon_agenda())
+        survey = PlenarySurvey(hub, votes_per_respondent=3)
+        outcome = survey.collect(result)
+        assert outcome.respondents == len(result.attendee_ids)
+        assert sum(outcome.best_part_votes.values()) <= 3 * outcome.respondents
+
+    def test_best_parts_ranked_descending(self, small, hub):
+        result = self.run_meeting(small, hub, hackathon_agenda())
+        outcome = PlenarySurvey(hub).collect(result)
+        counts = [v for _, v in outcome.best_parts_ranked()]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_fractions_in_unit_interval(self, small, hub):
+        result = self.run_meeting(small, hub, traditional_agenda())
+        outcome = PlenarySurvey(hub).collect(result)
+        assert 0.0 <= outcome.progress_significant_fraction <= 1.0
+        assert 0.0 <= outcome.continue_fraction <= 1.0
+
+    def test_votes_only_for_agenda_items(self, small, hub):
+        agenda = hackathon_agenda()
+        result = self.run_meeting(small, hub, agenda)
+        outcome = PlenarySurvey(hub).collect(result)
+        titles = {t for t, _ in agenda.parts()}
+        assert set(outcome.best_part_votes) <= titles
+
+    def test_config_validation(self, hub):
+        with pytest.raises(ConfigurationError):
+            PlenarySurvey(hub, votes_per_respondent=0)
+        with pytest.raises(ConfigurationError):
+            PlenarySurvey(hub, sharpness=0.0)
+        with pytest.raises(ConfigurationError):
+            PlenarySurvey(hub, opinion_gain=-1.0)
+
+    def test_top_part_none_for_empty(self, hub):
+        from repro.evaluation.survey import SurveyOutcome
+
+        outcome = SurveyOutcome(
+            respondents=0, best_part_votes={},
+            progress_significant_fraction=0.0, continue_fraction=0.0,
+        )
+        assert outcome.top_part() is None

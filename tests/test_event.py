@@ -1,0 +1,242 @@
+"""Tests for the HackathonEvent orchestrator."""
+
+import pytest
+
+from repro.core.event import HackathonConfig, HackathonEvent
+from repro.core.teams import RandomFormation
+from repro.errors import ConfigurationError, SimulationError
+from repro.framework.catalog import build_framework
+from repro.framework.integration import AdoptionState
+from repro.rng import RngHub
+
+
+@pytest.fixture
+def world():
+    from repro.consortium.presets import small_consortium
+
+    hub = RngHub(2024)
+    consortium = small_consortium(hub)
+    framework = build_framework(consortium, hub, n_tools=8)
+    return consortium, framework, hub
+
+
+def make_event(world, **config_kw):
+    consortium, framework, hub = world
+    defaults = dict(event_id="helsinki")
+    defaults.update(config_kw)
+    return HackathonEvent(
+        consortium, framework, hub, HackathonConfig(**defaults)
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HackathonConfig(event_id="")
+        with pytest.raises(ConfigurationError):
+            HackathonConfig(event_id="e", time_box_hours=0)
+        with pytest.raises(ConfigurationError):
+            HackathonConfig(event_id="e", sessions=0)
+        with pytest.raises(ConfigurationError):
+            HackathonConfig(event_id="e", showcase_count=0)
+        with pytest.raises(ConfigurationError):
+            HackathonConfig(event_id="e", vote_noise_sd=-1)
+
+    def test_paper_defaults(self):
+        config = HackathonConfig(event_id="e")
+        assert config.time_box_hours == 4.0
+        assert config.sessions == 2
+        assert config.has_prizes
+        assert config.followup_enabled
+
+
+class TestPhases:
+    def test_before_phase(self, world):
+        event = make_event(world)
+        call, book = event.run_before()
+        assert call.is_closed
+        assert len(call) >= 1
+        assert book.unsubscribed_challenges() == []
+
+    def test_before_twice_rejected(self, world):
+        event = make_event(world)
+        event.run_before()
+        with pytest.raises(SimulationError):
+            event.run_before()
+
+    def test_teams_before_call_rejected(self, world):
+        consortium, _, _ = world
+        event = make_event(world)
+        with pytest.raises(SimulationError):
+            event.form_teams(consortium.members)
+
+    def test_session_before_teams_rejected(self, world):
+        event = make_event(world)
+        event.run_before()
+        with pytest.raises(SimulationError):
+            event.run_session_round()
+
+    def test_finalize_requires_sessions(self, world):
+        consortium, _, _ = world
+        event = make_event(world)
+        event.run_before()
+        event.form_teams(consortium.members)
+        with pytest.raises(SimulationError):
+            event.finalize()
+
+    def test_double_finalize_rejected(self, world):
+        consortium, _, _ = world
+        event = make_event(world)
+        event.run(consortium.members)
+        with pytest.raises(SimulationError):
+            event.finalize()
+
+    def test_outcome_before_finalize_rejected(self, world):
+        event = make_event(world)
+        with pytest.raises(SimulationError):
+            event.outcome
+
+
+class TestFullRun:
+    def test_run_produces_complete_outcome(self, world):
+        consortium, framework, hub = world
+        event = make_event(world)
+        outcome = event.run(consortium.members)
+        assert outcome.event_id == "helsinki"
+        assert outcome.challenges
+        assert outcome.teams
+        assert outcome.demos
+        assert outcome.pitches
+        assert outcome.interactions
+        assert outcome.scores
+        assert outcome.showcase_ids
+        assert event.outcome is outcome
+
+    def test_one_demo_per_team(self, world):
+        consortium, _, _ = world
+        outcome = make_event(world).run(consortium.members)
+        assert len(outcome.demos) == len(outcome.teams)
+
+    def test_two_sessions_run_by_default(self, world):
+        consortium, _, _ = world
+        outcome = make_event(world).run(consortium.members)
+        assert len(outcome.session_results) == 2 * len(outcome.teams)
+
+    def test_vote_counts(self, world):
+        consortium, _, _ = world
+        outcome = make_event(world).run(consortium.members)
+        for score in outcome.scores:
+            assert score.ballots == len(consortium.members)
+            assert 0.0 <= score.overall <= 5.0
+
+    def test_showcases_are_top_ranked(self, world):
+        consortium, _, _ = world
+        event = make_event(world, showcase_count=2)
+        outcome = event.run(consortium.members)
+        ranked = [s.challenge_id for s in outcome.scores]
+        assert outcome.showcase_ids == ranked[: len(outcome.showcase_ids)]
+
+    def test_matrix_advanced_for_demos(self, world):
+        consortium, framework, _ = world
+        before = framework.matrix.applications_started()
+        outcome = make_event(world).run(consortium.members)
+        if any(t.tool_ids for t in outcome.teams):
+            assert framework.matrix.applications_started() > before
+            assert outcome.applications_advanced
+
+    def test_convincing_demos_pilot(self, world):
+        consortium, framework, _ = world
+        outcome = make_event(world).run(consortium.members)
+        for demo in outcome.convincing_demos():
+            team = next(
+                t for t in outcome.teams
+                if t.challenge.challenge_id == demo.challenge_id
+            )
+            for tool_id in team.tool_ids:
+                state = framework.matrix.state(tool_id, team.challenge.case_id)
+                assert state >= AdoptionState.PILOTED
+
+    def test_followups_only_for_convincing(self, world):
+        consortium, _, _ = world
+        event = make_event(world)
+        outcome = event.run(consortium.members)
+        assert len(event.followups.plans) == len(outcome.convincing_demos())
+
+    def test_followup_disabled(self, world):
+        consortium, _, _ = world
+        event = make_event(world, followup_enabled=False)
+        outcome = event.run(consortium.members)
+        assert event.followups.plans == []
+        assert outcome.followup_pairs == []
+
+    def test_energy_drained_by_sessions(self, world):
+        consortium, _, _ = world
+        event = make_event(world)
+        outcome = event.run(consortium.members)
+        assigned = {mid for t in outcome.teams for mid in t.member_ids}
+        for mid in assigned:
+            assert consortium.member(mid).energy < 1.0
+
+    def test_prerequisite_reports_present(self, world):
+        consortium, _, _ = world
+        event = make_event(world)
+        event.run(consortium.members)
+        assert len(event.prerequisite_reports) == 5
+
+    def test_strict_prerequisites_enforced(self, world):
+        consortium, _, _ = world
+        event = make_event(world, strict_prerequisites=True, has_prizes=False)
+        from repro.errors import PrerequisiteViolation
+
+        with pytest.raises(PrerequisiteViolation):
+            event.run(consortium.members)
+
+    def test_custom_policy(self, world):
+        consortium, framework, hub = world
+        event = HackathonEvent(
+            consortium, framework, hub,
+            HackathonConfig(event_id="e"),
+            team_policy=RandomFormation(),
+        )
+        outcome = event.run(consortium.members)
+        assert outcome.teams
+
+    def test_deterministic(self):
+        from repro.consortium.presets import small_consortium
+
+        def run(seed):
+            hub = RngHub(seed)
+            consortium = small_consortium(hub)
+            framework = build_framework(consortium, hub, n_tools=8)
+            event = HackathonEvent(
+                consortium, framework, hub, HackathonConfig(event_id="e")
+            )
+            outcome = event.run(consortium.members)
+            return (
+                [d.challenge_id for d in outcome.demos],
+                [round(d.completion, 9) for d in outcome.demos],
+                outcome.showcase_ids,
+            )
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+
+class TestHandlerIntegration:
+    def test_as_handler_runs_phases_lazily(self, world):
+        consortium, _, _ = world
+        event = make_event(world)
+        handler = event.as_handler()
+        from repro.meetings.agenda import AgendaItem, SessionFormat
+
+        item = AgendaItem("hack", SessionFormat.HACKATHON, 4.0)
+        interactions = handler(item, consortium.members)
+        assert event.call is not None
+        assert event.teams is not None
+        assert interactions
+        # Second item runs another round without re-forming teams.
+        teams_before = event.teams
+        handler(item, consortium.members)
+        assert event.teams is teams_before
+        outcome = event.finalize(consortium.members)
+        assert len(outcome.session_results) == 2 * len(outcome.teams)

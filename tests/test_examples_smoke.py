@@ -1,0 +1,68 @@
+"""Smoke tests: every example script runs end to end and prints output.
+
+Examples are the public face of the library; a refactor that breaks one
+should fail CI, not a user.  Each test imports the script as a module
+and calls its ``main`` with fast arguments.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main(seed=1)
+        out = capsys.readouterr().out
+        assert "Prerequisites:" in out
+        assert "Showcases for dissemination" in out
+
+    def test_megamart2_longitudinal(self, capsys):
+        load_example("megamart2_longitudinal").main(seed=1)
+        out = capsys.readouterr().out
+        assert "Rome" in out and "Helsinki" in out and "Paris" in out
+        assert "Treatment vs all-traditional" in out
+
+    def test_cultural_distance_analysis(self, capsys):
+        load_example("cultural_distance_analysis").main()
+        out = capsys.readouterr().out
+        assert "Hofstede" in out
+        assert "Most distant pair" in out
+
+    def test_team_formation_policies(self, capsys):
+        load_example("team_formation_policies").main(replicates=1)
+        out = capsys.readouterr().out
+        assert "subscription" in out and "random" in out
+
+    def test_knowledge_flow_report(self, capsys):
+        load_example("knowledge_flow_report").main(seed=1)
+        out = capsys.readouterr().out
+        assert "Top learning organisations" in out
+        assert "silo index" in out
+        assert "Official review" in out
+
+    @pytest.mark.slow
+    def test_burnout_and_followup(self, capsys):
+        load_example("burnout_and_followup").main()
+        out = capsys.readouterr().out
+        assert "cadence" in out
+        assert "follow-up" in out
+
+    def test_deliverable_tracking(self, capsys):
+        load_example("deliverable_tracking").main(seed=1)
+        out = capsys.readouterr().out
+        assert "HACKATHON TIMELINE" in out
+        assert "on-time rate" in out
+        assert "collaboration" in out

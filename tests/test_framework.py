@@ -1,0 +1,242 @@
+"""Tests for the framework substrate (tools, cases, requirements, matrix)."""
+
+import pytest
+
+from repro.consortium.presets import megamart2
+from repro.errors import ConfigurationError
+from repro.framework.casestudy import CaseStudy
+from repro.framework.catalog import build_framework
+from repro.framework.integration import AdoptionState, ApplicationMatrix
+from repro.framework.requirements import (
+    AbstractionLevel,
+    Requirement,
+    RequirementsCatalogue,
+)
+from repro.framework.tool import Tool, ToolCategory
+from repro.rng import RngHub
+
+
+def tool(tool_id="t1", provider="p1", domains=("testing",), trl=4):
+    return Tool(
+        tool_id=tool_id, name=tool_id, provider_org_id=provider,
+        category=ToolCategory.SYSTEM_ENGINEERING,
+        domains=frozenset(domains), trl=trl,
+    )
+
+
+class TestTool:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            tool(trl=0)
+        with pytest.raises(ConfigurationError):
+            tool(trl=10)
+        with pytest.raises(ConfigurationError):
+            tool(domains=())
+        with pytest.raises(ConfigurationError):
+            Tool("", "x", "p", ToolCategory.RUNTIME_ANALYSIS,
+                 frozenset({"a"}))
+
+    def test_supports_and_match(self):
+        t = tool(domains=("testing", "telecom"))
+        assert t.supports("testing")
+        assert not t.supports("avionics")
+        assert t.domain_match(frozenset({"testing", "avionics"})) == 0.5
+        assert t.domain_match(frozenset()) == 0.0
+
+    def test_mature_caps_at_9(self):
+        t = tool(trl=8)
+        t.mature(3)
+        assert t.trl == 9
+        with pytest.raises(ValueError):
+            t.mature(-1)
+
+
+class TestCaseStudy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CaseStudy("", "x", "o", frozenset({"a"}))
+        with pytest.raises(ConfigurationError):
+            CaseStudy("c", "x", "o", frozenset())
+        with pytest.raises(ConfigurationError):
+            CaseStudy("c", "x", "o", frozenset({"a"}), baseline_maturity=1.5)
+
+    def test_advance_baseline_clamped(self):
+        c = CaseStudy("c", "x", "o", frozenset({"a"}))
+        c.advance_baseline(0.4)
+        assert c.baseline_maturity == pytest.approx(0.4)
+        c.advance_baseline(0.9)
+        assert c.baseline_maturity == 1.0
+        with pytest.raises(ValueError):
+            c.advance_baseline(-0.1)
+
+    def test_relevant_domains_sorted(self):
+        c = CaseStudy("c", "x", "o", frozenset({"b", "a"}))
+        assert c.relevant_domains() == ["a", "b"]
+
+
+class TestRequirements:
+    def make_catalogue(self):
+        cat = RequirementsCatalogue()
+        for i, level in enumerate(AbstractionLevel):
+            cat.add(Requirement(
+                req_id=f"r{i}", case_id="case0", level=level,
+                domains=frozenset({"testing"} if i % 2 else {"telecom"}),
+            ))
+        return cat
+
+    def test_add_and_query(self):
+        cat = self.make_catalogue()
+        assert len(cat) == 4
+        assert len(cat.for_case("case0")) == 4
+        assert cat.for_case("missing") == []
+        assert cat.get("r0").level is AbstractionLevel.SYSTEM
+
+    def test_duplicate_rejected(self):
+        cat = self.make_catalogue()
+        with pytest.raises(ConfigurationError):
+            cat.add(Requirement("r0", "case0", AbstractionLevel.SYSTEM,
+                                frozenset({"x"})))
+
+    def test_unknown_get(self):
+        with pytest.raises(ConfigurationError):
+            RequirementsCatalogue().get("nope")
+
+    def test_coverage(self):
+        cat = self.make_catalogue()
+        assert cat.coverage() == 0.0
+        cat.get("r0").satisfy()
+        assert cat.coverage() == pytest.approx(0.25)
+        assert cat.coverage("case0") == pytest.approx(0.25)
+        assert RequirementsCatalogue().coverage() == 0.0
+
+    def test_satisfiable_by(self):
+        cat = self.make_catalogue()
+        hits = cat.satisfiable_by(["telecom"])
+        assert all("telecom" in r.domains for r in hits)
+        assert len(hits) == 2
+
+    def test_satisfy_matching_counts(self):
+        cat = self.make_catalogue()
+        done = cat.satisfy_matching("case0", ["testing"], count=1)
+        assert len(done) == 1
+        assert cat.get(done[0]).satisfied
+        # Second call skips already-satisfied ones.
+        done2 = cat.satisfy_matching("case0", ["testing"], count=5)
+        assert set(done) & set(done2) == set()
+
+    def test_satisfy_matching_negative_count(self):
+        with pytest.raises(ValueError):
+            self.make_catalogue().satisfy_matching("case0", ["x"], count=-1)
+
+
+class TestApplicationMatrix:
+    def make(self):
+        return ApplicationMatrix(["t1", "t2"], ["c1", "c2"])
+
+    def test_default_not_started(self):
+        m = self.make()
+        assert m.state("t1", "c1") is AdoptionState.NOT_STARTED
+        assert m.applications_started() == 0
+
+    def test_advance_monotone(self):
+        m = self.make()
+        m.advance("t1", "c1", AdoptionState.PILOTED)
+        assert m.state("t1", "c1") is AdoptionState.PILOTED
+        # Going backwards is a no-op.
+        m.advance("t1", "c1", AdoptionState.EXPLORED)
+        assert m.state("t1", "c1") is AdoptionState.PILOTED
+
+    def test_unknown_ids(self):
+        m = self.make()
+        with pytest.raises(ConfigurationError):
+            m.state("ghost", "c1")
+        with pytest.raises(ConfigurationError):
+            m.state("t1", "ghost")
+
+    def test_histogram_accounts_all_pairs(self):
+        m = self.make()
+        m.advance("t1", "c1", AdoptionState.EXPLORED)
+        m.advance("t2", "c2", AdoptionState.ADOPTED)
+        hist = m.state_histogram()
+        assert sum(hist.values()) == 4
+        assert hist[AdoptionState.NOT_STARTED] == 2
+        assert hist[AdoptionState.ADOPTED] == 1
+
+    def test_case_progress(self):
+        m = self.make()
+        m.advance("t1", "c1", AdoptionState.ADOPTED)
+        assert m.case_progress("c1") == pytest.approx(0.5)
+        assert m.case_progress("c2") == 0.0
+
+    def test_tools_engaged_with(self):
+        m = self.make()
+        m.advance("t2", "c1", AdoptionState.EXPLORED)
+        assert m.tools_engaged_with("c1") == ["t2"]
+
+    def test_coverage_summary(self):
+        m = self.make()
+        m.advance("t1", "c1", AdoptionState.PILOTED)
+        summary = m.coverage_summary()
+        assert summary["explored_fraction"] == pytest.approx(0.25)
+        assert summary["piloted_fraction"] == pytest.approx(0.25)
+        assert summary["adopted_fraction"] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ApplicationMatrix([], ["c1"])
+
+
+class TestBuildFramework:
+    def test_megamart_has_28_tools_and_9_cases(self):
+        consortium = megamart2(RngHub(0))
+        fw = build_framework(consortium, RngHub(0))
+        assert len(fw.tools) == 28
+        assert len(fw.case_studies) == 9
+        assert len(fw.requirements) == 72  # 8 per case
+
+    def test_every_provider_contributes(self):
+        consortium = megamart2(RngHub(0))
+        fw = build_framework(consortium, RngHub(0))
+        providers = {t.provider_org_id for t in fw.tools.values()}
+        expected = {o.org_id for o in consortium.tool_providers}
+        assert providers == expected
+
+    def test_cases_owned_by_owners(self):
+        consortium = megamart2(RngHub(0))
+        fw = build_framework(consortium, RngHub(0))
+        owners = {o.org_id for o in consortium.case_study_owners}
+        assert {c.owner_org_id for c in fw.case_studies.values()} == owners
+
+    def test_matching_tools_sorted_by_match(self, small, hub):
+        fw = build_framework(small, hub, n_tools=8)
+        case_id = sorted(fw.case_studies)[0]
+        matches = fw.matching_tools(case_id)
+        case = fw.case_study(case_id)
+        scores = [t.domain_match(frozenset(case.domains)) for t in matches]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_tools_of_and_cases_of(self, small, hub):
+        fw = build_framework(small, hub, n_tools=8)
+        for org_id in ("provider0", "owner0"):
+            pass
+        assert fw.tools_of("provider0")
+        assert fw.cases_of("owner0")
+        assert fw.cases_of("provider0") == []
+
+    def test_deterministic(self):
+        consortium = megamart2(RngHub(4))
+        a = build_framework(consortium, RngHub(4))
+        b = build_framework(megamart2(RngHub(4)), RngHub(4))
+        assert sorted(a.tools) == sorted(b.tools)
+        assert [t.trl for t in a.tools.values()] == [t.trl for t in b.tools.values()]
+
+    def test_too_few_tools_rejected(self):
+        consortium = megamart2(RngHub(0))
+        with pytest.raises(ConfigurationError):
+            build_framework(consortium, RngHub(0), n_tools=3)
+
+    def test_unknown_lookups(self, small_framework):
+        with pytest.raises(ConfigurationError):
+            small_framework.tool("ghost")
+        with pytest.raises(ConfigurationError):
+            small_framework.case_study("ghost")

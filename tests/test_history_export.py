@@ -1,0 +1,90 @@
+"""Tests for history export (JSON/CSV flattening)."""
+
+import json
+
+import pytest
+
+from repro.consortium.presets import small_consortium
+from repro.framework.catalog import build_framework
+from repro.reporting.history_export import (
+    export_history_json,
+    export_trajectory_csv,
+    history_to_dict,
+)
+from repro.reporting.export import read_csv_rows
+from repro.simulation.runner import LongitudinalRunner
+from repro.simulation.scenario import baseline_timeline, megamart_timeline
+
+
+@pytest.fixture(scope="module")
+def history():
+    runner = LongitudinalRunner(
+        megamart_timeline(seed=0),
+        consortium_factory=lambda hub: small_consortium(hub),
+        framework_factory=lambda c, hub: build_framework(c, hub, n_tools=8),
+    )
+    return runner.run()
+
+
+class TestHistoryToDict:
+    def test_top_level_structure(self, history):
+        payload = history_to_dict(history)
+        assert set(payload) >= {
+            "scenario", "totals", "plenaries", "trajectory",
+            "review", "dissemination",
+        }
+        assert payload["scenario"]["name"] == "megamart-hackathon"
+        assert len(payload["plenaries"]) == 3
+
+    def test_plenary_records_flattened(self, history):
+        payload = history_to_dict(history)
+        helsinki = next(
+            p for p in payload["plenaries"] if p["plenary"] == "Helsinki"
+        )
+        assert helsinki["kind"] == "hackathon"
+        assert "hackathon" in helsinki
+        assert helsinki["hackathon"]["demos"] >= 1
+        assert isinstance(helsinki["survey"]["best_parts"], dict)
+        rome = next(p for p in payload["plenaries"] if p["plenary"] == "Rome")
+        assert "hackathon" not in rome
+
+    def test_trajectory_flattened(self, history):
+        payload = history_to_dict(history)
+        assert len(payload["trajectory"]) == len(history.trajectory)
+        first = payload["trajectory"][0]
+        assert set(first) == {
+            "month", "inter_org_ties", "total_tie_strength",
+            "mean_energy", "event",
+        }
+
+    def test_json_serialisable(self, history):
+        json.dumps(history_to_dict(history))  # must not raise
+
+    def test_baseline_has_no_review_key(self):
+        runner = LongitudinalRunner(
+            baseline_timeline(seed=0),
+            consortium_factory=lambda hub: small_consortium(hub),
+            framework_factory=lambda c, hub: build_framework(
+                c, hub, n_tools=8
+            ),
+        )
+        payload = history_to_dict(runner.run())
+        assert "review" not in payload
+
+
+class TestFileExports:
+    def test_json_roundtrip(self, history, tmp_path):
+        path = export_history_json(history, tmp_path / "history.json")
+        payload = json.loads(path.read_text())
+        assert payload["totals"] == {
+            k: pytest.approx(v) for k, v in history.totals.items()
+        }
+
+    def test_trajectory_csv(self, history, tmp_path):
+        path = export_trajectory_csv(history, tmp_path / "trajectory.csv")
+        rows = read_csv_rows(path)
+        assert len(rows) == len(history.trajectory)
+        events = [r["event"] for r in rows if r["event"]]
+        assert events == ["Rome", "Helsinki", "Paris"]
+        months = [float(r["month"]) for r in rows]
+        assert months == sorted(months)

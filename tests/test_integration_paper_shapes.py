@@ -1,0 +1,182 @@
+"""Integration tests asserting the paper's qualitative claims end to end.
+
+Each test corresponds to an experiment id in DESIGN.md and checks the
+*shape* the paper reports (who wins, direction of effects), never
+absolute values.
+"""
+
+import pytest
+
+from repro.consortium.presets import megamart2, small_consortium
+from repro.core.event import HackathonConfig, HackathonEvent
+from repro.culture.charts import extreme_scores
+from repro.culture.hofstede import Dimension, MEGAMART_COUNTRIES
+from repro.framework.catalog import build_framework
+from repro.meetings.agenda import SessionFormat
+from repro.rng import RngHub
+from repro.simulation.experiment import compare_scenarios
+from repro.simulation.runner import LongitudinalRunner
+from repro.simulation.scenario import baseline_timeline, megamart_timeline
+
+
+def small_runner(scenario):
+    return LongitudinalRunner(
+        scenario,
+        consortium_factory=lambda hub: small_consortium(hub),
+        framework_factory=lambda c, hub: build_framework(c, hub, n_tools=8),
+    )
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    """Treatment vs baseline over 5 seeds on the small consortium."""
+    return compare_scenarios(
+        megamart_timeline(), baseline_timeline(),
+        seeds=range(5), runner_factory=small_runner,
+    )
+
+
+class TestHeadlineClaim:
+    """HEAD: hackathons stimulate knowledge exchange and collaboration."""
+
+    @pytest.mark.parametrize("metric", [
+        "new_inter_org_ties",
+        "knowledge_transferred",
+        "applications_started",
+        "final_provider_owner_ties",
+        "demos_total",
+    ])
+    def test_treatment_wins_every_collaboration_metric(self, comparison, metric):
+        c = comparison.comparison(metric)
+        assert c.a_wins, f"{metric}: treatment {c.summary_a.mean} vs {c.summary_b.mean}"
+        assert c.ratio > 1.5
+
+    def test_effect_is_large(self, comparison):
+        c = comparison.comparison("new_inter_org_ties")
+        assert c.test.delta >= 0.5
+        assert c.test.magnitude == "large"
+
+
+@pytest.fixture(scope="module")
+def full_histories():
+    """Five full-consortium treatment runs — the survey-shape sample.
+
+    Shape checks on survey outcomes need the >120-member consortium;
+    the small fixture's ~20 attendees make single-seed votes too noisy.
+    """
+    return [
+        LongitudinalRunner(megamart_timeline(seed=seed)).run()
+        for seed in range(5)
+    ]
+
+
+class TestFig3Shape:
+    """FIG3: the hackathon wins the best-part-of-plenary vote."""
+
+    def test_hackathon_session_tops_survey(self, full_histories):
+        for history in full_histories:
+            rec = history.record_for("Helsinki")
+            assert "hackathon" in (rec.survey.top_part() or "")
+
+    def test_traditional_plenary_not_won_by_hackathon(self):
+        history = small_runner(baseline_timeline(seed=0)).run()
+        rec = history.record_for("Helsinki")
+        assert "hackathon" not in (rec.survey.top_part() or "")
+
+
+class TestFig4Shape:
+    """FIG4: comments on the hackathon are majority-positive."""
+
+    def test_hackathon_comments_majority_positive(self, full_histories):
+        for history in full_histories:
+            sentiment = history.record_for("Helsinki").sentiment
+            assert sentiment["positive"] > sentiment["negative"], sentiment
+
+
+class TestSurveyAcceptance:
+    """SURV: vast majority sees significant progress; votes to continue."""
+
+    def test_majorities_at_hackathon_plenaries(self, full_histories):
+        significant, cont = [], []
+        for history in full_histories:
+            rec = history.record_for("Helsinki")
+            significant.append(rec.survey.progress_significant_fraction)
+            cont.append(rec.survey.continue_fraction)
+        assert sum(significant) / len(significant) > 0.6
+        assert sum(cont) / len(cont) > 0.6
+
+
+class TestFig1Shape:
+    """FIG1: the Hofstede chart differentiates the six countries."""
+
+    def test_dimensions_spread(self):
+        extremes = extreme_scores(MEGAMART_COUNTRIES)
+        # Every dimension separates at least two countries.
+        for dim in Dimension:
+            low, high = extremes[dim]
+            assert low != high
+
+    def test_known_visual_anchors(self):
+        extremes = extreme_scores(MEGAMART_COUNTRIES)
+        assert extremes[Dimension.MASCULINITY][0] == "Sweden"
+        assert extremes[Dimension.POWER_DISTANCE][1] == "France"
+
+
+class TestProcessInvariantsFullConsortium:
+    """End-to-end run over the full MegaM@Rt2 preset."""
+
+    @pytest.fixture(scope="class")
+    def full_history(self):
+        return LongitudinalRunner(megamart_timeline(seed=0)).run()
+
+    def test_every_hackathon_satisfies_prerequisite2(self, full_history):
+        for rec in full_history.hackathon_records():
+            for team in rec.outcome.teams:
+                assert team.provider_org_ids, (
+                    f"{team.challenge.challenge_id} has no subscribed provider"
+                )
+
+    def test_challenges_fit_the_four_hour_box(self, full_history):
+        for rec in full_history.hackathon_records():
+            for challenge in rec.outcome.challenges:
+                assert challenge.estimated_hours <= 4.0
+
+    def test_teams_mix_owners_and_providers(self, full_history):
+        """The paper's tool-provider <-> case-study-owner pairing."""
+        mixed = 0
+        total = 0
+        for rec in full_history.hackathon_records():
+            for team in rec.outcome.teams:
+                total += 1
+                if team.has_owner_member() and team.has_provider_member():
+                    mixed += 1
+        assert total > 0
+        assert mixed / total > 0.5
+
+    def test_showcases_selected_for_dissemination(self, full_history):
+        for rec in full_history.hackathon_records():
+            assert 1 <= len(rec.outcome.showcase_ids) <= 3
+
+    def test_hackathon_attendance_more_technical(self, full_history):
+        rome = full_history.record_for("Rome").meeting.technical_share
+        helsinki = full_history.record_for("Helsinki").meeting.technical_share
+        assert helsinki > rome
+
+    def test_no_burnout_at_semiannual_cadence(self, full_history):
+        """Two hackathons six months apart must not burn anyone out."""
+        assert full_history.totals["final_burnout_rate"] == 0.0
+
+    def test_network_grows_across_plenaries(self, full_history):
+        ties = [r.network_metrics.inter_org_ties for r in full_history.records]
+        assert ties[-1] > ties[0]
+
+    def test_hackathon_engagement_highest_within_meeting(self, full_history):
+        rec = full_history.record_for("Helsinki")
+        by_item = rec.meeting.engagement_by_item()
+        hack_items = {
+            r.item_title
+            for r in rec.meeting.engagement_records
+            if r.format is SessionFormat.HACKATHON
+        }
+        best = max(by_item, key=by_item.get)
+        assert best in hack_items

@@ -1,0 +1,151 @@
+"""Tests for repro.cognition.knowledge."""
+
+import math
+
+import pytest
+
+from repro.cognition.knowledge import DEFAULT_DOMAINS, KnowledgeVector
+
+
+class TestConstruction:
+    def test_empty(self):
+        kv = KnowledgeVector()
+        assert len(kv) == 0
+        assert kv["anything"] == 0.0
+
+    def test_basic_lookup(self):
+        kv = KnowledgeVector({"testing": 0.8})
+        assert kv["testing"] == 0.8
+        assert "testing" in kv
+        assert "telecom" not in kv
+
+    def test_zero_levels_dropped(self):
+        kv = KnowledgeVector({"testing": 0.0, "telecom": 0.5})
+        assert "testing" not in kv
+        assert len(kv) == 1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            KnowledgeVector({"testing": 1.5})
+        with pytest.raises(ValueError):
+            KnowledgeVector({"testing": -0.1})
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            KnowledgeVector({"": 0.5})
+
+    def test_equality(self):
+        assert KnowledgeVector({"a": 0.5}) == KnowledgeVector({"a": 0.5})
+        assert KnowledgeVector({"a": 0.5}) != KnowledgeVector({"a": 0.6})
+
+    def test_iteration_sorted(self):
+        kv = KnowledgeVector({"z": 0.1, "a": 0.2})
+        assert list(kv) == ["a", "z"]
+
+    def test_default_domains_nonempty_unique(self):
+        assert len(DEFAULT_DOMAINS) == len(set(DEFAULT_DOMAINS))
+        assert len(DEFAULT_DOMAINS) >= 10
+
+
+class TestVectorOps:
+    def test_norm(self):
+        kv = KnowledgeVector({"a": 0.3, "b": 0.4})
+        assert kv.norm() == pytest.approx(0.5)
+
+    def test_total(self):
+        kv = KnowledgeVector({"a": 0.3, "b": 0.4})
+        assert kv.total() == pytest.approx(0.7)
+
+    def test_cosine_identical(self):
+        kv = KnowledgeVector({"a": 0.5, "b": 0.5})
+        assert kv.cosine_similarity(kv) == pytest.approx(1.0)
+
+    def test_cosine_disjoint(self):
+        a = KnowledgeVector({"a": 0.5})
+        b = KnowledgeVector({"b": 0.5})
+        assert a.cosine_similarity(b) == 0.0
+
+    def test_cosine_empty(self):
+        assert KnowledgeVector().cosine_similarity(KnowledgeVector({"a": 1.0})) == 0.0
+
+    def test_cosine_symmetric(self):
+        a = KnowledgeVector({"a": 0.9, "b": 0.2})
+        b = KnowledgeVector({"b": 0.7, "c": 0.4})
+        assert a.cosine_similarity(b) == pytest.approx(b.cosine_similarity(a))
+
+    def test_overlap_jaccard(self):
+        a = KnowledgeVector({"a": 0.5, "b": 0.5})
+        b = KnowledgeVector({"b": 0.5, "c": 0.5})
+        assert a.overlap(b) == pytest.approx(1 / 3)
+
+    def test_overlap_both_empty(self):
+        assert KnowledgeVector().overlap(KnowledgeVector()) == 0.0
+
+    def test_coverage(self):
+        kv = KnowledgeVector({"a": 0.8, "b": 0.4})
+        assert kv.coverage_of(["a", "b"]) == pytest.approx(0.6)
+        assert kv.coverage_of(["a", "c"]) == pytest.approx(0.4)
+        assert kv.coverage_of([]) == 0.0
+
+    def test_updated_returns_copy(self):
+        kv = KnowledgeVector({"a": 0.5})
+        kv2 = kv.updated("b", 0.7)
+        assert kv["b"] == 0.0
+        assert kv2["b"] == 0.7
+        assert kv2["a"] == 0.5
+
+
+class TestAbsorb:
+    def test_moves_toward_teacher(self):
+        student = KnowledgeVector({"a": 0.2})
+        teacher = KnowledgeVector({"a": 0.8})
+        out = student.absorb(teacher, rate=0.5)
+        assert out["a"] == pytest.approx(0.5)
+
+    def test_never_decreases(self):
+        strong = KnowledgeVector({"a": 0.9})
+        weak = KnowledgeVector({"a": 0.1})
+        out = strong.absorb(weak, rate=1.0)
+        assert out["a"] == pytest.approx(0.9)
+
+    def test_learns_new_domains(self):
+        student = KnowledgeVector()
+        teacher = KnowledgeVector({"a": 0.8})
+        out = student.absorb(teacher, rate=0.25)
+        assert out["a"] == pytest.approx(0.2)
+
+    def test_rate_zero_is_identity(self):
+        student = KnowledgeVector({"a": 0.3})
+        teacher = KnowledgeVector({"a": 0.9, "b": 0.5})
+        assert student.absorb(teacher, rate=0.0) == student
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            KnowledgeVector().absorb(KnowledgeVector(), rate=1.5)
+
+    def test_original_unchanged(self):
+        student = KnowledgeVector({"a": 0.2})
+        student.absorb(KnowledgeVector({"a": 0.8}), rate=0.5)
+        assert student["a"] == 0.2
+
+
+class TestPooled:
+    def test_domainwise_max(self):
+        a = KnowledgeVector({"x": 0.3, "y": 0.9})
+        b = KnowledgeVector({"x": 0.7, "z": 0.2})
+        pooled = KnowledgeVector.pooled([a, b])
+        assert pooled["x"] == 0.7
+        assert pooled["y"] == 0.9
+        assert pooled["z"] == 0.2
+
+    def test_empty_input(self):
+        assert len(KnowledgeVector.pooled([])) == 0
+
+    def test_pooled_coverage_at_least_best_member(self):
+        a = KnowledgeVector({"x": 0.3})
+        b = KnowledgeVector({"y": 0.8})
+        pooled = KnowledgeVector.pooled([a, b])
+        req = ["x", "y"]
+        assert pooled.coverage_of(req) >= max(
+            a.coverage_of(req), b.coverage_of(req)
+        )

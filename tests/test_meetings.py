@@ -1,0 +1,259 @@
+"""Tests for the meetings substrate (agenda, attendance, engagement, plenary)."""
+
+import pytest
+
+from repro.consortium.funding import default_ecsel_scheme
+from repro.consortium.member import Member, StaffRole
+from repro.errors import ConfigurationError
+from repro.meetings.agenda import (
+    Agenda,
+    AgendaItem,
+    SessionFormat,
+    hackathon_agenda,
+    traditional_agenda,
+)
+from repro.meetings.attendance import AttendancePolicy
+from repro.meetings.engagement import EngagementModel
+from repro.meetings.plenary import PlenaryMeeting
+from repro.network.graph import CollaborationNetwork
+from repro.rng import RngHub
+
+
+class TestAgenda:
+    def test_item_validation(self):
+        with pytest.raises(ConfigurationError):
+            AgendaItem("", SessionFormat.SOCIAL, 1.0)
+        with pytest.raises(ConfigurationError):
+            AgendaItem("x", SessionFormat.SOCIAL, 0.0)
+
+    def test_empty_agenda_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Agenda("empty", [])
+
+    def test_traditional_has_no_hackathon(self):
+        agenda = traditional_agenda()
+        assert not agenda.has_hackathon()
+        assert agenda.technical_fraction() == 0.0
+
+    def test_hackathon_agenda_structure(self):
+        agenda = hackathon_agenda(sessions=2, session_hours=4.0)
+        assert agenda.has_hackathon()
+        items = agenda.hackathon_items()
+        assert len(items) == 2
+        assert all(i.hours == 4.0 for i in items)
+        assert agenda.technical_fraction() > 0.3
+
+    def test_hackathon_agenda_more_technical_than_traditional(self):
+        assert (
+            hackathon_agenda().technical_fraction()
+            > traditional_agenda().technical_fraction()
+        )
+
+    def test_hours_by_format_sums_to_total(self):
+        agenda = hackathon_agenda()
+        assert sum(agenda.hours_by_format().values()) == pytest.approx(
+            agenda.total_hours()
+        )
+
+    def test_parts_titles_unique(self):
+        agenda = hackathon_agenda()
+        titles = [t for t, _ in agenda.parts()]
+        assert len(titles) == len(set(titles))
+
+    def test_factories_validate(self):
+        with pytest.raises(ConfigurationError):
+            traditional_agenda(days=0)
+        with pytest.raises(ConfigurationError):
+            hackathon_agenda(days=1)
+        with pytest.raises(ConfigurationError):
+            hackathon_agenda(sessions=0)
+
+    def test_extra_days_append_admin(self):
+        agenda = hackathon_agenda(days=3)
+        assert "Day 3" in agenda.items[-1].title
+
+    def test_format_properties_complete(self):
+        for fmt in SessionFormat:
+            assert fmt.mixing_rate > 0
+            assert fmt.interaction_intensity > 0
+            assert 0.0 <= fmt.same_org_bias <= 1.0
+
+    def test_hackathon_most_mixing_least_homophily(self):
+        assert SessionFormat.HACKATHON.mixing_rate == max(
+            f.mixing_rate for f in SessionFormat
+        )
+        assert SessionFormat.HACKATHON.same_org_bias == min(
+            f.same_org_bias for f in SessionFormat
+        )
+
+
+class TestAttendance:
+    def test_technical_probability_rises_with_appeal(self, hub):
+        policy = AttendancePolicy(hub)
+        trad, hack = traditional_agenda(), hackathon_agenda()
+        assert policy.technical_probability(0.5, hack) > policy.technical_probability(
+            0.5, trad
+        )
+
+    def test_technical_probability_falls_with_pressure(self, hub):
+        policy = AttendancePolicy(hub)
+        agenda = hackathon_agenda()
+        assert policy.technical_probability(0.9, agenda) < policy.technical_probability(
+            0.1, agenda
+        )
+
+    def test_probability_clipped(self, hub):
+        policy = AttendancePolicy(hub, technical_appeal_weight=10.0)
+        assert policy.technical_probability(0.0, hackathon_agenda()) == 1.0
+
+    def test_every_org_sends_someone(self, small, hub):
+        policy = AttendancePolicy(hub)
+        delegations = policy.delegations(small, traditional_agenda())
+        for org in small.organizations:
+            assert len(delegations[org.org_id]) >= 1
+
+    def test_cap_respected(self, small, hub):
+        policy = AttendancePolicy(hub, max_delegates_per_org=2)
+        delegations = policy.delegations(small, hackathon_agenda())
+        assert all(len(d) <= 2 for d in delegations.values())
+
+    def test_hackathon_attracts_more_technical(self, small):
+        """The paper's core attendance effect."""
+        shares = {}
+        for name, agenda in (("trad", traditional_agenda()),
+                             ("hack", hackathon_agenda())):
+            total_tech = 0.0
+            for seed in range(10):
+                policy = AttendancePolicy(RngHub(seed))
+                delegations = policy.delegations(small, agenda)
+                total_tech += AttendancePolicy.technical_share(small, delegations)
+            shares[name] = total_tech / 10
+        assert shares["hack"] > shares["trad"]
+
+    def test_config_validation(self, hub):
+        with pytest.raises(ConfigurationError):
+            AttendancePolicy(hub, base_technical_probability=2.0)
+        with pytest.raises(ConfigurationError):
+            AttendancePolicy(hub, technical_appeal_weight=-1.0)
+        with pytest.raises(ConfigurationError):
+            AttendancePolicy(hub, max_delegates_per_org=0)
+
+    def test_attendees_sorted(self, small, hub):
+        policy = AttendancePolicy(hub)
+        delegations = policy.delegations(small, hackathon_agenda())
+        members = AttendancePolicy.attendees(small, delegations)
+        ids = [m.member_id for m in members]
+        assert ids == sorted(ids)
+
+
+class TestEngagement:
+    def make_member(self, role=StaffRole.ENGINEER, energy=1.0):
+        return Member(member_id="m", org_id="o", role=role, energy=energy)
+
+    def test_technical_love_hackathon(self, hub):
+        model = EngagementModel(hub)
+        tech = self.make_member()
+        assert model.expected(tech, SessionFormat.HACKATHON) > model.expected(
+            tech, SessionFormat.ADMINISTRATIVE
+        )
+
+    def test_managers_prefer_admin(self, hub):
+        model = EngagementModel(hub)
+        mgr = self.make_member(role=StaffRole.MANAGER)
+        assert model.expected(mgr, SessionFormat.ADMINISTRATIVE) > model.expected(
+            mgr, SessionFormat.HACKATHON
+        )
+
+    def test_energy_scales_engagement(self, hub):
+        model = EngagementModel(hub, energy_weight=0.5)
+        fresh = self.make_member(energy=1.0)
+        tired = self.make_member(energy=0.0)
+        assert model.expected(tired, SessionFormat.HACKATHON) == pytest.approx(
+            0.5 * model.expected(fresh, SessionFormat.HACKATHON)
+        )
+
+    def test_sample_in_unit_interval(self, hub):
+        model = EngagementModel(hub, noise_sd=0.5)
+        item = AgendaItem("x", SessionFormat.HACKATHON, 4.0)
+        for _ in range(50):
+            rec = model.sample(self.make_member(), item)
+            assert 0.0 <= rec.engagement <= 1.0
+
+    def test_aggregations(self, hub):
+        model = EngagementModel(hub, noise_sd=0.0)
+        item_a = AgendaItem("a", SessionFormat.HACKATHON, 1.0)
+        item_b = AgendaItem("b", SessionFormat.ADMINISTRATIVE, 1.0)
+        m = self.make_member()
+        records = [model.sample(m, item_a), model.sample(m, item_b)]
+        by_item = EngagementModel.by_item(records)
+        assert by_item["a"] > by_item["b"]
+        by_member = EngagementModel.by_member(records)
+        assert set(by_member) == {"m"}
+
+    def test_config_validation(self, hub):
+        with pytest.raises(ConfigurationError):
+            EngagementModel(hub, noise_sd=-0.1)
+        with pytest.raises(ConfigurationError):
+            EngagementModel(hub, energy_weight=1.5)
+
+
+class TestPlenaryMeeting:
+    def test_traditional_run_produces_records(self, small, hub):
+        network = CollaborationNetwork()
+        meeting = PlenaryMeeting(small, network, hub)
+        result = meeting.run(traditional_agenda(), "Rome")
+        assert result.meeting_name == "Rome"
+        assert result.attendee_ids
+        assert result.engagement_records
+        # Engagement sampled once per attendee per item.
+        n_items = len(traditional_agenda())
+        assert len(result.engagement_records) == n_items * len(result.attendee_ids)
+
+    def test_interactions_strengthen_network(self, small, hub):
+        network = CollaborationNetwork()
+        meeting = PlenaryMeeting(small, network, hub)
+        meeting.run(traditional_agenda(), "Rome")
+        assert network.total_strength() > 0.0
+
+    def test_knowledge_transferred_non_negative(self, small, hub):
+        network = CollaborationNetwork()
+        meeting = PlenaryMeeting(small, network, hub)
+        result = meeting.run(traditional_agenda(), "Rome")
+        assert result.knowledge_transferred >= 0.0
+
+    def test_hackathon_fallback_without_handler(self, small, hub):
+        """Hackathon items without a handler fall back to generic mixing."""
+        network = CollaborationNetwork()
+        meeting = PlenaryMeeting(small, network, hub)
+        result = meeting.run(hackathon_agenda(), "Helsinki")
+        assert result.interactions
+
+    def test_handler_invoked_per_hackathon_item(self, small, hub):
+        network = CollaborationNetwork()
+        meeting = PlenaryMeeting(small, network, hub)
+        calls = []
+
+        def handler(item, attendees):
+            calls.append(item.title)
+            return []
+
+        meeting.run(hackathon_agenda(sessions=2), "Helsinki", handler)
+        assert len(calls) == 2
+
+    def test_deterministic_given_seed(self, ):
+        from repro.consortium.presets import small_consortium
+
+        def run(seed):
+            hub = RngHub(seed)
+            consortium = small_consortium(hub)
+            meeting = PlenaryMeeting(consortium, CollaborationNetwork(), hub)
+            result = meeting.run(traditional_agenda(), "Rome")
+            return (result.attendee_ids, result.knowledge_transferred,
+                    len(result.interactions))
+
+        assert run(11) == run(11)
+
+    def test_mean_engagement_bounds(self, small, hub):
+        meeting = PlenaryMeeting(small, CollaborationNetwork(), hub)
+        result = meeting.run(traditional_agenda(), "Rome")
+        assert 0.0 <= result.mean_engagement() <= 1.0

@@ -1,0 +1,152 @@
+"""Tests for meeting modes and the interleaved agenda layout."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.meetings.agenda import (
+    SessionFormat,
+    hackathon_agenda,
+    interleaved_agenda,
+)
+from repro.meetings.attendance import AttendancePolicy
+from repro.meetings.mode import MODE_EFFECTS, MeetingMode, ModeEffects
+from repro.meetings.plenary import PlenaryMeeting
+from repro.network.graph import CollaborationNetwork
+from repro.rng import RngHub
+from repro.simulation.scenario import (
+    PlenarySpec,
+    interleaved_timeline,
+    virtual_timeline,
+)
+
+
+class TestModeEffects:
+    def test_all_modes_have_profiles(self):
+        for mode in MeetingMode:
+            assert mode in MODE_EFFECTS
+
+    def test_face_to_face_is_reference(self):
+        effects = MODE_EFFECTS[MeetingMode.FACE_TO_FACE]
+        assert effects.mixing_factor == 1.0
+        assert effects.intensity_factor == 1.0
+        assert effects.engagement_factor == 1.0
+        assert effects.attendance_cost_relief == 0.0
+        assert effects.productivity_factor == 1.0
+
+    def test_virtual_attenuates_everything_but_attendance(self):
+        virtual = MODE_EFFECTS[MeetingMode.VIRTUAL]
+        assert virtual.mixing_factor < 1.0
+        assert virtual.intensity_factor < 1.0
+        assert virtual.engagement_factor < 1.0
+        assert virtual.productivity_factor < 1.0
+        assert virtual.attendance_cost_relief == 1.0
+
+    def test_hybrid_between(self):
+        f2f = MODE_EFFECTS[MeetingMode.FACE_TO_FACE]
+        hybrid = MODE_EFFECTS[MeetingMode.HYBRID]
+        virtual = MODE_EFFECTS[MeetingMode.VIRTUAL]
+        for attr in ("mixing_factor", "intensity_factor",
+                     "engagement_factor", "productivity_factor"):
+            assert (
+                getattr(virtual, attr)
+                < getattr(hybrid, attr)
+                < getattr(f2f, attr)
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModeEffects(1.5, 1.0, 1.0, 0.0, 1.0)
+
+
+class TestVirtualPlenary:
+    def test_virtual_attracts_more_technical_staff(self, small):
+        """No travel cost -> cost pressure vanishes -> doers attend."""
+        shares = {}
+        for mode in (MeetingMode.FACE_TO_FACE, MeetingMode.VIRTUAL):
+            total = 0.0
+            for seed in range(8):
+                hub = RngHub(seed)
+                policy = AttendancePolicy(hub)
+                relief = MODE_EFFECTS[mode].attendance_cost_relief
+                delegations = policy.delegations(
+                    small, hackathon_agenda(), pressure_relief=relief
+                )
+                total += AttendancePolicy.technical_share(small, delegations)
+            shares[mode] = total / 8
+        assert shares[MeetingMode.VIRTUAL] >= shares[MeetingMode.FACE_TO_FACE]
+
+    def test_virtual_reduces_engagement_and_knowledge(self):
+        from repro.consortium.presets import small_consortium
+
+        def run(mode):
+            hub = RngHub(5)
+            consortium = small_consortium(hub)
+            meeting = PlenaryMeeting(consortium, CollaborationNetwork(), hub)
+            result = meeting.run(hackathon_agenda(), "m", mode=mode)
+            return result
+
+        f2f = run(MeetingMode.FACE_TO_FACE)
+        virtual = run(MeetingMode.VIRTUAL)
+        assert virtual.mean_engagement() < f2f.mean_engagement()
+        assert virtual.mode is MeetingMode.VIRTUAL
+
+    def test_pressure_relief_validation(self, small, hub):
+        policy = AttendancePolicy(hub)
+        with pytest.raises(ConfigurationError):
+            policy.delegation_for(small, "owner0", hackathon_agenda(),
+                                  pressure_relief=1.5)
+
+
+class TestInterleavedAgenda:
+    def test_structure(self):
+        agenda = interleaved_agenda(days=2, session_hours=2.0,
+                                    sessions_per_day=2)
+        items = agenda.hackathon_items()
+        assert len(items) == 4
+        assert sum(i.hours for i in items) == pytest.approx(8.0)
+
+    def test_hackathon_spread_over_days(self):
+        agenda = interleaved_agenda(days=2)
+        days = {i.title.split(":")[0] for i in agenda.hackathon_items()}
+        assert len(days) == 2
+
+    def test_alternation_with_coordination(self):
+        """Every day starts with a coordination block before hacking."""
+        agenda = interleaved_agenda(days=2)
+        titles = [i.title for i in agenda.items]
+        for day in ("Day 1", "Day 2"):
+            coord_idx = titles.index(f"{day}: coordination block")
+            hack_idx = titles.index(f"{day}: hackathon session 1")
+            assert coord_idx < hack_idx
+
+    def test_same_total_hackathon_hours_as_single_day(self):
+        single = hackathon_agenda(session_hours=4.0, sessions=2)
+        spread = interleaved_agenda(days=2, session_hours=2.0,
+                                    sessions_per_day=2)
+        total = lambda a: sum(i.hours for i in a.hackathon_items())
+        assert total(single) == total(spread)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            interleaved_agenda(days=0)
+        with pytest.raises(ConfigurationError):
+            interleaved_agenda(sessions_per_day=0)
+
+
+class TestScenarioExtensions:
+    def test_interleaved_spec_is_hackathon(self):
+        spec = PlenarySpec("x", 0.0, "interleaved")
+        assert spec.is_hackathon
+
+    def test_mode_validation(self):
+        with pytest.raises(ConfigurationError):
+            PlenarySpec("x", 0.0, "hackathon", mode="telepathy")
+
+    def test_interleaved_timeline(self):
+        scenario = interleaved_timeline()
+        assert scenario.hackathon_count() == 2
+        assert scenario.plenaries[1].kind == "interleaved"
+
+    def test_virtual_timeline(self):
+        scenario = virtual_timeline()
+        assert all(p.mode == "virtual" for p in scenario.plenaries)

@@ -1,0 +1,144 @@
+"""Tests for organisations and members."""
+
+import pytest
+
+from repro.cognition.knowledge import KnowledgeVector
+from repro.consortium.member import Member, Seniority, StaffRole
+from repro.consortium.organization import (
+    Organization,
+    OrgType,
+    ProjectRole,
+    make_org,
+)
+from repro.errors import ConsortiumError
+
+
+class TestOrgType:
+    def test_academic_classification(self):
+        assert OrgType.UNIVERSITY.is_academic
+        assert OrgType.RESEARCH_CENTER.is_academic
+        assert not OrgType.SME.is_academic
+        assert not OrgType.LARGE_ENTERPRISE.is_academic
+
+    def test_industrial_is_complement(self):
+        for t in OrgType:
+            assert t.is_industrial != t.is_academic
+
+
+class TestOrganization:
+    def test_roles(self):
+        org = make_org(
+            "o1", OrgType.SME, "France",
+            ProjectRole.TOOL_PROVIDER, ProjectRole.CASE_STUDY_OWNER,
+        )
+        assert org.is_tool_provider
+        assert org.is_case_study_owner
+
+    def test_no_roles_default(self):
+        org = make_org("o1", OrgType.SME, "France")
+        assert not org.is_tool_provider
+        assert not org.is_case_study_owner
+
+    def test_with_role_returns_copy(self):
+        org = make_org("o1", OrgType.SME, "France")
+        org2 = org.with_role(ProjectRole.TOOL_PROVIDER)
+        assert org2.is_tool_provider
+        assert not org.is_tool_provider
+        assert org2.org_id == org.org_id
+
+    def test_rejects_empty_id(self):
+        with pytest.raises(ConsortiumError):
+            Organization("", "x", OrgType.SME, "France")
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ConsortiumError):
+            make_org("o1", OrgType.SME, "France", budget=-1.0)
+
+    def test_frozen(self):
+        org = make_org("o1", OrgType.SME, "France")
+        with pytest.raises(AttributeError):
+            org.country = "Italy"
+
+
+class TestStaffRole:
+    def test_technical_classification(self):
+        technical = {
+            StaffRole.ENGINEER, StaffRole.RESEARCHER,
+            StaffRole.DEVELOPER, StaffRole.PROFESSOR,
+        }
+        for role in StaffRole:
+            assert role.is_technical == (role in technical)
+
+
+class TestSeniority:
+    def test_ordering(self):
+        assert Seniority.JUNIOR < Seniority.MID < Seniority.SENIOR
+        assert Seniority.SENIOR < Seniority.PRINCIPAL
+
+
+class TestMember:
+    def make(self, **kw):
+        defaults = dict(
+            member_id="m1", org_id="o1", role=StaffRole.ENGINEER,
+        )
+        defaults.update(kw)
+        return Member(**defaults)
+
+    def test_defaults(self):
+        m = self.make()
+        assert m.energy == 1.0
+        assert m.name == "m1"
+        assert m.is_technical
+
+    def test_manager_not_technical(self):
+        assert not self.make(role=StaffRole.MANAGER).is_technical
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConsortiumError):
+            self.make(member_id="")
+        with pytest.raises(ConsortiumError):
+            self.make(presentation_skill=1.4)
+        with pytest.raises(ConsortiumError):
+            self.make(energy=-0.1)
+
+    def test_energy_drain_clamped(self):
+        m = self.make()
+        m.drain_energy(0.3)
+        assert m.energy == pytest.approx(0.7)
+        m.drain_energy(5.0)
+        assert m.energy == 0.0
+
+    def test_energy_recover_clamped(self):
+        m = self.make(energy=0.5)
+        m.recover_energy(0.2)
+        assert m.energy == pytest.approx(0.7)
+        m.recover_energy(5.0)
+        assert m.energy == 1.0
+
+    def test_negative_amounts_rejected(self):
+        m = self.make()
+        with pytest.raises(ValueError):
+            m.drain_energy(-0.1)
+        with pytest.raises(ValueError):
+            m.recover_energy(-0.1)
+
+    def test_burnout_threshold(self):
+        m = self.make(energy=0.2)
+        assert not m.is_burned_out
+        m.drain_energy(0.1)
+        assert m.is_burned_out
+
+    def test_seniority_factor_monotone(self):
+        factors = [
+            self.make(seniority=s).seniority_factor() for s in Seniority
+        ]
+        assert factors == sorted(factors)
+        assert factors[0] == pytest.approx(0.7)
+        assert factors[-1] == pytest.approx(1.3)
+
+    def test_knowledge_default_empty(self):
+        assert len(self.make().knowledge) == 0
+
+    def test_custom_knowledge(self):
+        m = self.make(knowledge=KnowledgeVector({"testing": 0.9}))
+        assert m.knowledge["testing"] == 0.9

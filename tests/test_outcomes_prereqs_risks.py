@@ -1,0 +1,327 @@
+"""Tests for demos/outcomes, prerequisites, risks and follow-up."""
+
+import pytest
+
+from repro.cognition.knowledge import KnowledgeVector
+from repro.consortium.member import Member, StaffRole
+from repro.core.challenge import Challenge, ChallengeCall
+from repro.core.followup import FollowUpPlan, FollowUpRegistry
+from repro.core.outcomes import Demo, HackathonOutcome, Pitch, build_demo
+from repro.core.prerequisites import (
+    PREREQUISITE_NAMES,
+    PrerequisiteChecker,
+)
+from repro.core.risks import (
+    BurnoutModel,
+    assess_risks,
+    prototype_warnings,
+)
+from repro.core.session import SessionResult
+from repro.core.subscription import SubscriptionBook
+from repro.core.teams import Team
+from repro.errors import ConfigurationError, PrerequisiteViolation
+from repro.evaluation.voting import Criterion
+from repro.framework.catalog import build_framework
+
+
+def member(mid, org, role=StaffRole.ENGINEER, energy=1.0, skill=0.5):
+    return Member(
+        member_id=mid, org_id=org, role=role, energy=energy,
+        presentation_skill=skill,
+        knowledge=KnowledgeVector({"testing": 0.7}),
+    )
+
+
+def challenge(cid="ch1", owner="owner0"):
+    return Challenge(
+        challenge_id=cid, case_id="case00", owner_org_id=owner,
+        title="t", required_domains=frozenset({"testing"}),
+    )
+
+
+def team(cid="ch1", owner="owner0"):
+    return Team(
+        challenge=challenge(cid, owner),
+        members=[member("m1", owner), member("m2", "prov0")],
+        provider_org_ids=("prov0",),
+    )
+
+
+def session_result(cid="ch1", progress=0.5, diversity=0.5, coverage=0.7,
+                   energy=0.8):
+    return SessionResult(
+        challenge_id=cid, hours=4.0, progress=progress,
+        coverage=coverage, diversity_value=diversity,
+        mean_energy_after=energy,
+    )
+
+
+def demo(cid="ch1", completion=0.6, innovation=0.5, exploitation=0.5,
+         readiness=0.5, fun=0.5):
+    return Demo(
+        challenge_id=cid, team_member_ids=("m1", "m2"), tool_ids=("t1",),
+        completion=completion, innovation=innovation,
+        exploitation=exploitation, readiness=readiness, fun=fun,
+    )
+
+
+class TestDemo:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            demo(completion=1.5)
+        with pytest.raises(ConfigurationError):
+            Pitch("c", "m", quality=2.0)
+
+    def test_quality_mapping(self):
+        d = demo(innovation=0.9, exploitation=0.1, readiness=0.3, fun=0.7)
+        assert d.quality(Criterion.TECHNICAL_INNOVATION) == 0.9
+        assert d.quality(Criterion.EXPLOITATION_POTENTIAL) == 0.1
+        assert d.quality(Criterion.TECHNOLOGICAL_READINESS) == 0.3
+        assert d.quality(Criterion.ENTERTAINMENT) == 0.7
+        assert d.overall_quality == pytest.approx(0.5)
+
+    def test_convincing_rule(self):
+        assert demo(completion=0.6, innovation=0.6, exploitation=0.6,
+                    readiness=0.6, fun=0.6).is_convincing
+        assert not demo(completion=0.2).is_convincing
+        assert not demo(completion=0.6, innovation=0.1, exploitation=0.1,
+                        readiness=0.1, fun=0.1).is_convincing
+
+
+class TestBuildDemo:
+    def test_requires_sessions(self):
+        with pytest.raises(ConfigurationError):
+            build_demo(team(), [], Pitch("ch1", "m1", 0.5), 5.0, False)
+
+    def test_completion_sums_sessions(self):
+        d = build_demo(
+            team(),
+            [session_result(progress=0.4), session_result(progress=0.3)],
+            Pitch("ch1", "m1", 0.5), 5.0, False,
+        )
+        assert d.completion == pytest.approx(0.7)
+
+    def test_completion_capped(self):
+        d = build_demo(
+            team(), [session_result(progress=0.8), session_result(progress=0.8)],
+            Pitch("ch1", "m1", 0.5), 5.0, False,
+        )
+        assert d.completion == 1.0
+
+    def test_novel_pairing_boosts_innovation(self):
+        args = ([session_result()], Pitch("ch1", "m1", 0.5), 5.0)
+        plain = build_demo(team(), *args, False)
+        novel = build_demo(team(), *args, True)
+        assert novel.innovation > plain.innovation
+
+    def test_owner_presence_boosts_exploitation(self):
+        t_with = team()
+        t_without = Team(
+            challenge=challenge(),
+            members=[member("m2", "prov0"), member("m3", "prov1")],
+            provider_org_ids=("prov0",),
+        )
+        args = ([session_result()], Pitch("ch1", "m1", 0.5), 5.0, False)
+        assert build_demo(t_with, *args).exploitation > build_demo(
+            t_without, *args
+        ).exploitation
+
+    def test_trl_boosts_readiness(self):
+        args = ([session_result()], Pitch("ch1", "m1", 0.5))
+        low = build_demo(team(), *args, 2.0, False)
+        high = build_demo(team(), *args, 9.0, False)
+        assert high.readiness > low.readiness
+
+
+class TestHackathonOutcome:
+    def test_queries(self):
+        out = HackathonOutcome(event_id="e")
+        out.demos = [demo("a", completion=0.9), demo("b", completion=0.1)]
+        assert out.demo_for("a").challenge_id == "a"
+        assert out.demo_for("ghost") is None
+        assert [d.challenge_id for d in out.convincing_demos()] == ["a"]
+        assert out.mean_completion() == pytest.approx(0.5)
+
+    def test_empty_outcome(self):
+        out = HackathonOutcome(event_id="e")
+        assert out.mean_completion() == 0.0
+        assert out.convincing_demos() == []
+
+
+class TestPrerequisites:
+    def make_call_and_book(self, small, hub):
+        framework = build_framework(small, hub, n_tools=8)
+        call = ChallengeCall("evt")
+        from repro.core.challenge import generate_challenges
+        from repro.core.subscription import auto_subscribe
+
+        generate_challenges(small, framework, hub, call)
+        call.close()
+        book = SubscriptionBook(call, framework)
+        auto_subscribe(small, framework, book, hub)
+        return call, book
+
+    def test_all_pass_in_nominal_setup(self, small, hub):
+        call, book = self.make_call_and_book(small, hub)
+        from repro.core.teams import SubscriptionBasedFormation
+
+        teams = SubscriptionBasedFormation().form(
+            call.challenges, small.members, book, hub
+        )
+        checker = PrerequisiteChecker()
+        reports = checker.check_all(
+            attendees=small.members, call=call, book=book,
+            teams=teams, has_prizes=True,
+        )
+        assert len(reports) == 5
+        assert [r.name for r in reports] == list(PREREQUISITE_NAMES)
+        assert all(r.satisfied for r in reports), [
+            (r.name, r.detail) for r in reports if not r.satisfied
+        ]
+        checker.enforce(reports)  # should not raise
+
+    def test_no_prizes_fails_prereq4(self, small, hub):
+        call, book = self.make_call_and_book(small, hub)
+        checker = PrerequisiteChecker()
+        reports = checker.check_all(
+            attendees=small.members, call=call, book=book,
+            teams=[], has_prizes=False,
+        )
+        failed = {r.name for r in reports if not r.satisfied}
+        assert "competition_and_prizes" in failed
+        with pytest.raises(PrerequisiteViolation):
+            checker.enforce(reports)
+
+    def test_managers_only_fails_prereq1(self, small, hub):
+        call, book = self.make_call_and_book(small, hub)
+        managers = [m for m in small.members if not m.is_technical]
+        reports = PrerequisiteChecker().check_all(
+            attendees=managers, call=call, book=book, teams=[],
+            has_prizes=True,
+        )
+        assert not reports[0].satisfied
+
+    def test_unsubscribed_challenge_fails_prereq2(self, small, hub):
+        framework = build_framework(small, hub, n_tools=8)
+        call = ChallengeCall("evt")
+        from repro.core.challenge import generate_challenges
+
+        generate_challenges(small, framework, hub, call)
+        call.close()
+        book = SubscriptionBook(call, framework)  # nobody subscribes
+        reports = PrerequisiteChecker().check_all(
+            attendees=small.members, call=call, book=book, teams=[],
+            has_prizes=True,
+        )
+        assert not reports[1].satisfied
+
+    def test_oversized_timebox_fails_prereq3(self, small, hub):
+        call, book = self.make_call_and_book(small, hub)
+        reports = PrerequisiteChecker().check_all(
+            attendees=small.members, call=call, book=book, teams=[],
+            has_prizes=True, time_box_hours=24.0,
+        )
+        assert not reports[2].satisfied
+
+    def test_no_teams_fails_inclusiveness(self, small, hub):
+        call, book = self.make_call_and_book(small, hub)
+        reports = PrerequisiteChecker().check_all(
+            attendees=small.members, call=call, book=book, teams=[],
+            has_prizes=True,
+        )
+        assert not reports[4].satisfied
+
+
+class TestRisks:
+    def test_prototype_warnings(self):
+        risky = demo("a", completion=0.3, readiness=0.9)
+        safe = demo("b", completion=0.8, readiness=0.8)
+        assert prototype_warnings([risky, safe]) == ["a"]
+        with pytest.raises(ConfigurationError):
+            prototype_warnings([], readiness_margin=0.0)
+
+    def test_burnout_model_recovery(self):
+        model = BurnoutModel(recovery_per_month=0.25)
+        m = member("m1", "o1", energy=0.1)
+        model.recover([m], months=2.0)
+        assert m.energy == pytest.approx(0.6)
+        model.recover([m], months=10.0)
+        assert m.energy == 1.0
+
+    def test_burnout_rate(self):
+        members = [member("a", "o", energy=0.05), member("b", "o", energy=0.9)]
+        assert BurnoutModel.burnout_rate(members) == pytest.approx(0.5)
+        assert BurnoutModel.burnout_rate([]) == 0.0
+        assert BurnoutModel.mean_energy(members) == pytest.approx(0.475)
+
+    def test_burnout_config(self):
+        with pytest.raises(ConfigurationError):
+            BurnoutModel(recovery_per_month=0.0)
+        with pytest.raises(ConfigurationError):
+            BurnoutModel().recover([], months=-1.0)
+
+    def test_assess_risks(self):
+        demos = [demo("a", completion=0.2, readiness=0.9)]
+        members = [member("m", "o", energy=0.05)]
+        assessment = assess_risks(demos, members, followed_up_fraction=0.0)
+        assert assessment.prototype_overreach == 1.0
+        assert assessment.followup_exposure == 1.0
+        assert assessment.burnout_level == 1.0
+        with pytest.raises(ConfigurationError):
+            assess_risks([], [], followed_up_fraction=1.5)
+
+    def test_assess_risks_empty_demos(self):
+        assessment = assess_risks([], [], followed_up_fraction=1.0)
+        assert assessment.prototype_overreach == 0.0
+        assert assessment.worst() in (
+            "prototype_overreach", "followup_exposure", "burnout_level",
+        )
+
+
+class TestFollowUp:
+    def test_plan_validation(self):
+        with pytest.raises(ConfigurationError):
+            FollowUpPlan("c", frozenset(), horizon_months=0.0)
+        with pytest.raises(ConfigurationError):
+            FollowUpPlan("c", frozenset({("b", "a")}))  # unsorted pair
+
+    def test_open_for_team_cross_org_pairs_only(self):
+        registry = FollowUpRegistry()
+        t = Team(
+            challenge=challenge(),
+            members=[member("m1", "orgA"), member("m2", "orgA"),
+                     member("m3", "orgB")],
+        )
+        plan = registry.open_for_team(t, demo(completion=0.8))
+        # m1-m3 and m2-m3 cross orgs; m1-m2 does not.
+        assert plan.member_pairs == frozenset({("m1", "m3"), ("m2", "m3")})
+
+    def test_unconvincing_demo_rejected(self):
+        registry = FollowUpRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.open_for_team(team(), demo(completion=0.1))
+
+    def test_protection_expires(self):
+        registry = FollowUpRegistry()
+        plan = FollowUpPlan("c", frozenset({("a", "b")}), horizon_months=3.0)
+        registry.add(plan)
+        assert ("a", "b") in registry.protected_pairs()
+        registry.advance(2.0)
+        assert ("a", "b") in registry.protected_pairs()
+        registry.advance(2.0)
+        assert registry.protected_pairs() == frozenset()
+        assert registry.active_plans() == []
+        assert registry.plans == [plan]
+
+    def test_advance_validation(self):
+        with pytest.raises(ConfigurationError):
+            FollowUpRegistry().advance(-1.0)
+
+    def test_coverage(self):
+        registry = FollowUpRegistry()
+        demos = [demo("a", completion=0.8), demo("b", completion=0.8)]
+        assert registry.coverage(demos) == 0.0
+        registry.add(FollowUpPlan("a", frozenset({("x", "y")})))
+        assert registry.coverage(demos) == pytest.approx(0.5)
+        # No convincing demos -> trivially covered.
+        assert registry.coverage([demo("z", completion=0.1)]) == 1.0

@@ -1,0 +1,145 @@
+"""Property-based tests for analytics, scoping and questionnaire invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics.inequality import gini
+from repro.analytics.trajectory import Trajectory, TrajectoryPoint
+from repro.core.challenge import Challenge
+from repro.core.scoping import ChallengeScoper
+from repro.errors import ChallengeError
+from repro.evaluation.questionnaire import (
+    LIKERT_MAX,
+    LIKERT_MIN,
+    LikertItem,
+    Questionnaire,
+)
+from repro.rng import RngHub
+
+values = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=40,
+)
+
+
+class TestGiniProperties:
+    @given(values)
+    def test_bounds(self, data):
+        assert 0.0 <= gini(data) <= 1.0
+
+    @given(values, st.floats(min_value=0.01, max_value=100.0))
+    def test_scale_invariance(self, data, factor):
+        scaled = [v * factor for v in data]
+        assert abs(gini(data) - gini(scaled)) < 1e-9
+
+    @given(values)
+    def test_permutation_invariance(self, data):
+        assert abs(gini(data) - gini(list(reversed(data)))) < 1e-9
+
+    @given(st.floats(min_value=0.01, max_value=100.0),
+           st.integers(min_value=1, max_value=30))
+    def test_constant_sample_is_zero(self, value, n):
+        assert gini([value] * n) < 1e-9
+
+
+domains_strategy = st.lists(
+    st.sampled_from(["a", "b", "c", "d", "e", "f"]),
+    min_size=1, max_size=6, unique=True,
+)
+
+
+class TestScoperProperties:
+    @given(
+        domains_strategy,
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=80)
+    def test_descope_always_fits_or_raises(self, domains, difficulty, n_art):
+        challenge = Challenge(
+            challenge_id="p", case_id="c", owner_org_id="o", title="t",
+            required_domains=frozenset(domains),
+            difficulty=difficulty,
+            artifacts=tuple(f"a{i}" for i in range(n_art)),
+        )
+        scoper = ChallengeScoper(time_box_hours=4.0)
+        assessment = scoper.assess(challenge)
+        if assessment.fits_time_box:
+            assert assessment.descoped is None
+        else:
+            try:
+                descoped = assessment.descoped
+            except ChallengeError:
+                return
+            assert descoped is not None
+            assert scoper.estimate_hours(descoped) <= 4.0 + 1e-9
+
+    @given(domains_strategy, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50)
+    def test_estimate_positive(self, domains, difficulty):
+        challenge = Challenge(
+            challenge_id="p", case_id="c", owner_org_id="o", title="t",
+            required_domains=frozenset(domains), difficulty=difficulty,
+        )
+        assert ChallengeScoper().estimate_hours(challenge) > 0
+
+
+class TestQuestionnaireProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=-1.0, max_value=1.0),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60)
+    def test_scores_always_on_scale(self, disposition, loading, seed):
+        q = Questionnaire(
+            [LikertItem("x", "s", loading=loading)], RngHub(seed),
+            noise_sd=1.5,
+        )
+        result = q.administer({"r": disposition})
+        score = result.responses["r"]["x"]
+        assert LIKERT_MIN <= score <= LIKERT_MAX
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_expected_score_on_scale(self, disposition):
+        q = Questionnaire([LikertItem("x", "s")], RngHub(0))
+        expected = q.expected_score(LikertItem("x", "s"), disposition)
+        assert 1.0 <= expected <= 5.0
+
+
+months = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1, max_size=30,
+).map(sorted)
+
+
+class TestTrajectoryProperties:
+    @given(months, st.data())
+    @settings(max_examples=50)
+    def test_survival_fraction_bounds(self, month_list, data):
+        trajectory = Trajectory()
+        for month in month_list:
+            trajectory.record(
+                TrajectoryPoint(
+                    month=month,
+                    inter_org_ties=data.draw(
+                        st.integers(min_value=0, max_value=500)
+                    ),
+                    total_tie_strength=0.0,
+                    mean_energy=1.0,
+                )
+            )
+        fraction = trajectory.survival_fraction()
+        assert 0.0 <= fraction <= 1.0 + 1e-9
+
+    @given(months)
+    def test_months_preserved_in_order(self, month_list):
+        trajectory = Trajectory()
+        for month in month_list:
+            trajectory.record(
+                TrajectoryPoint(
+                    month=month, inter_org_ties=0,
+                    total_tie_strength=0.0, mean_energy=1.0,
+                )
+            )
+        assert trajectory.months() == month_list

@@ -1,0 +1,119 @@
+"""Property-based tests for knowledge vectors and learning invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cognition.distance import cognitive_distance, team_diversity
+from repro.cognition.knowledge import DEFAULT_DOMAINS, KnowledgeVector
+from repro.cognition.learning import LearningModel
+
+# Strategy: a knowledge vector over a bounded domain alphabet.
+domains = st.sampled_from(DEFAULT_DOMAINS)
+levels = st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+knowledge_vectors = st.dictionaries(domains, levels, max_size=8).map(
+    KnowledgeVector
+)
+nonempty_vectors = st.dictionaries(domains, levels, min_size=1, max_size=8).map(
+    KnowledgeVector
+)
+
+
+class TestKnowledgeVectorProperties:
+    @given(nonempty_vectors)
+    def test_self_similarity_is_one(self, kv):
+        assert math.isclose(kv.cosine_similarity(kv), 1.0, abs_tol=1e-9)
+
+    @given(knowledge_vectors, knowledge_vectors)
+    def test_similarity_symmetric(self, a, b):
+        assert math.isclose(
+            a.cosine_similarity(b), b.cosine_similarity(a), abs_tol=1e-12
+        )
+
+    @given(knowledge_vectors, knowledge_vectors)
+    def test_similarity_bounded(self, a, b):
+        assert 0.0 <= a.cosine_similarity(b) <= 1.0
+
+    @given(knowledge_vectors)
+    def test_norm_nonnegative_and_total_consistent(self, kv):
+        assert kv.norm() >= 0.0
+        assert kv.total() >= kv.norm() or len(kv) <= 1
+
+    @given(
+        knowledge_vectors,
+        knowledge_vectors,
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_absorb_never_decreases_any_domain(self, a, b, rate):
+        out = a.absorb(b, rate)
+        for domain in set(a.domains()) | set(b.domains()):
+            assert out[domain] >= a[domain] - 1e-12
+
+    @given(
+        knowledge_vectors,
+        knowledge_vectors,
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_absorb_bounded_by_max(self, a, b, rate):
+        out = a.absorb(b, rate)
+        for domain in out.domains():
+            assert out[domain] <= max(a[domain], b[domain]) + 1e-12
+
+    @given(st.lists(knowledge_vectors, max_size=6))
+    def test_pooled_dominates_members(self, vectors):
+        pooled = KnowledgeVector.pooled(vectors)
+        for vec in vectors:
+            for domain in vec.domains():
+                assert pooled[domain] >= vec[domain]
+
+    @given(knowledge_vectors, st.lists(st.sampled_from(DEFAULT_DOMAINS), max_size=6))
+    def test_coverage_bounded(self, kv, required):
+        assert 0.0 <= kv.coverage_of(required) <= 1.0
+
+
+class TestDistanceProperties:
+    @given(knowledge_vectors, knowledge_vectors)
+    def test_distance_bounded_and_symmetric(self, a, b):
+        d = cognitive_distance(a, b)
+        assert 0.0 <= d <= 1.0
+        assert math.isclose(d, cognitive_distance(b, a), abs_tol=1e-12)
+
+    @given(nonempty_vectors)
+    def test_distance_to_self_zero(self, kv):
+        assert cognitive_distance(kv, kv) <= 1e-9
+
+    @given(st.lists(knowledge_vectors, min_size=2, max_size=6))
+    def test_team_diversity_bounded(self, vectors):
+        assert 0.0 <= team_diversity(vectors) <= 1.0
+
+
+class TestLearningProperties:
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_learning_value_bounded(self, distance):
+        model = LearningModel()
+        assert 0.0 <= model.learning_value(distance) <= 1.0 + 1e-12
+
+    @given(
+        st.floats(min_value=0.5, max_value=3.0),
+        st.floats(min_value=0.5, max_value=3.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_peak_dominates_everywhere(self, a_exp, b_exp, distance):
+        model = LearningModel(novelty_exponent=a_exp, understanding_exponent=b_exp)
+        peak = a_exp / (a_exp + b_exp)
+        assert model.learning_value(distance) <= model.learning_value(peak) + 1e-9
+
+    @given(
+        nonempty_vectors,
+        nonempty_vectors,
+        st.floats(min_value=0.0, max_value=8.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60)
+    def test_exchange_conserves_or_creates_knowledge(
+        self, a, b, hours, cultural
+    ):
+        model = LearningModel()
+        new_a, new_b = model.exchange(a, b, hours=hours, cultural_distance=cultural)
+        assert new_a.total() + new_b.total() >= a.total() + b.total() - 1e-9

@@ -1,0 +1,129 @@
+"""Property-based tests: engine ordering, stats, reporting, culture."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.culture.distance import normalized_distance
+from repro.culture.hofstede import known_countries
+from repro.reporting.table import ascii_table
+from repro.simulation.engine import Engine
+from repro.stats.bootstrap import bootstrap_ci
+from repro.stats.summary import describe
+from repro.stats.tests import cliffs_delta
+
+countries = st.sampled_from(known_countries())
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                              allow_nan=False), max_size=30))
+    def test_events_fire_in_nondecreasing_time(self, times):
+        engine = Engine()
+        fired = []
+        for i, t in enumerate(times):
+            engine.schedule_at(t, f"e{i}", lambda e: fired.append(e.now))
+        engine.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                              allow_nan=False), min_size=1, max_size=30),
+           st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+    def test_run_until_never_fires_later_events(self, times, until):
+        engine = Engine()
+        fired = []
+        for i, t in enumerate(times):
+            engine.schedule_at(t, f"e{i}", lambda e, t=t: fired.append(t))
+        engine.run(until=until)
+        assert all(t <= until for t in fired)
+        assert len(fired) == sum(1 for t in times if t <= until)
+
+
+class TestCultureProperties:
+    @given(countries, countries)
+    def test_normalized_distance_metric_axioms(self, a, b):
+        d = normalized_distance(a, b)
+        assert 0.0 <= d <= 1.0
+        assert d == normalized_distance(b, a)
+        if a == b:
+            assert d == 0.0
+
+    @given(countries, countries, countries)
+    @settings(max_examples=60)
+    def test_triangle_inequality(self, a, b, c):
+        """Euclidean-derived distance satisfies the triangle inequality."""
+        assert normalized_distance(a, c) <= (
+            normalized_distance(a, b) + normalized_distance(b, c) + 1e-12
+        )
+
+
+samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=40,
+)
+
+
+class TestStatsProperties:
+    @given(samples)
+    def test_describe_orderings(self, data):
+        import math
+
+        s = describe(data)
+        assert s.minimum <= s.median <= s.maximum
+        # The mean can undershoot min (or overshoot max) by a few ulps
+        # when averaging nearly identical values.
+        assert s.mean >= s.minimum or math.isclose(
+            s.mean, s.minimum, rel_tol=1e-9
+        )
+        assert s.mean <= s.maximum or math.isclose(
+            s.mean, s.maximum, rel_tol=1e-9
+        )
+        assert s.sd >= 0.0
+
+    @given(samples)
+    @settings(max_examples=30)
+    def test_bootstrap_interval_ordering(self, data):
+        result = bootstrap_ci(data, resamples=50)
+        assert result.low <= result.high
+
+    @given(samples, samples)
+    @settings(max_examples=50)
+    def test_cliffs_delta_bounds_and_antisymmetry(self, a, b):
+        d = cliffs_delta(a, b)
+        assert -1.0 <= d <= 1.0
+        assert abs(d + cliffs_delta(b, a)) < 1e-12
+
+    @given(samples, st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=30)
+    def test_cliffs_delta_shift_invariance_direction(self, a, shift):
+        """Shifting a sample up can only increase delta."""
+        shifted = [x + shift for x in a]
+        assert cliffs_delta(shifted, a) >= 0.0
+
+
+class TestReportingProperties:
+    cell = st.one_of(
+        st.integers(min_value=-1000, max_value=1000),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.text(
+            alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd")),
+            max_size=12,
+        ),
+        st.booleans(),
+        st.none(),
+    )
+
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=8),
+        st.data(),
+    )
+    def test_table_always_rectangular(self, n_cols, n_rows, data):
+        headers = [f"h{i}" for i in range(n_cols)]
+        rows = [
+            [data.draw(self.cell) for _ in range(n_cols)]
+            for _ in range(n_rows)
+        ]
+        out = ascii_table(headers, rows)
+        body = [l for l in out.splitlines() if l.startswith(("|", "+"))]
+        assert len({len(l) for l in body}) == 1

@@ -1,0 +1,143 @@
+"""Property-based tests: voting aggregation and network invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.voting import Criterion, VotingSystem
+from repro.network.dynamics import Interaction, TieDynamics
+from repro.network.graph import CollaborationNetwork
+from repro.network.metrics import compute_metrics
+
+scores = st.integers(min_value=0, max_value=5)
+ballots = st.fixed_dictionaries({c: scores for c in Criterion})
+
+
+class TestVotingProperties:
+    @given(st.lists(ballots, min_size=1, max_size=30))
+    def test_means_within_score_range(self, ballot_list):
+        vs = VotingSystem("evt", ["c"])
+        for i, b in enumerate(ballot_list):
+            vs.cast(f"voter{i}", "c", b)
+        result = vs.results("c")
+        assert result.ballots == len(ballot_list)
+        for criterion in Criterion:
+            values = [b[criterion] for b in ballot_list]
+            assert min(values) <= result.means[criterion] <= max(values)
+        assert 0.0 <= result.overall <= 5.0
+
+    @given(st.lists(ballots, min_size=1, max_size=15),
+           st.lists(ballots, min_size=1, max_size=15))
+    def test_ranking_sorted_by_overall(self, b1, b2):
+        vs = VotingSystem("evt", ["c1", "c2"])
+        for i, b in enumerate(b1):
+            vs.cast(f"v{i}", "c1", b)
+        for i, b in enumerate(b2):
+            vs.cast(f"v{i}", "c2", b)
+        ranking = vs.ranking()
+        overalls = [r.overall for r in ranking]
+        assert overalls == sorted(overalls, reverse=True)
+
+    @given(st.lists(ballots, min_size=2, max_size=20))
+    def test_mean_invariant_to_ballot_order(self, ballot_list):
+        def aggregate(order):
+            vs = VotingSystem("evt", ["c"])
+            for i, b in enumerate(order):
+                vs.cast(f"v{i}", "c", b)
+            return vs.results("c").means
+
+        forward = aggregate(ballot_list)
+        backward = aggregate(list(reversed(ballot_list)))
+        for criterion in Criterion:
+            assert abs(forward[criterion] - backward[criterion]) < 1e-9
+
+
+# A random sequence of strengthen operations over a small member pool.
+member_ids = [f"m{i}" for i in range(6)]
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(member_ids),
+        st.sampled_from(member_ids),
+        st.floats(min_value=0.01, max_value=1.0),
+    ),
+    max_size=40,
+)
+
+
+class TestNetworkProperties:
+    def make_network(self):
+        net = CollaborationNetwork()
+        for i, mid in enumerate(member_ids):
+            net.add_member(mid, f"org{i % 3}")
+        return net
+
+    @given(ops)
+    def test_strength_nonnegative_and_symmetric(self, operations):
+        net = self.make_network()
+        for a, b, amount in operations:
+            if a != b:
+                net.strengthen(a, b, amount)
+        for a in member_ids:
+            for b in member_ids:
+                assert net.strength(a, b) >= 0.0
+                assert net.strength(a, b) == net.strength(b, a)
+
+    @given(ops, st.floats(min_value=0.0, max_value=1.0))
+    def test_decay_never_increases_total(self, operations, factor):
+        net = self.make_network()
+        for a, b, amount in operations:
+            if a != b:
+                net.strengthen(a, b, amount)
+        before = net.total_strength()
+        net.weaken_all(factor)
+        assert net.total_strength() <= before + 1e-9
+
+    @given(ops)
+    def test_metrics_consistent(self, operations):
+        net = self.make_network()
+        for a, b, amount in operations:
+            if a != b:
+                net.strengthen(a, b, amount)
+        m = compute_metrics(net)
+        assert m.inter_org_ties <= m.ties
+        assert 0.0 <= m.density <= 1.0
+        assert 0.0 <= m.inter_org_fraction <= 1.0
+        assert 1 <= m.components <= m.members or m.members == 0
+        assert 0.0 <= m.largest_component_fraction <= 1.0
+
+    @given(ops, st.floats(min_value=0.1, max_value=12.0))
+    @settings(max_examples=50)
+    def test_followup_pairs_never_weaker_than_unprotected(
+        self, operations, months
+    ):
+        """Protected ties always survive at least as well as unprotected."""
+        dyn = TieDynamics(monthly_decay=0.8, followup_decay=0.95)
+
+        net_plain = self.make_network()
+        net_protected = self.make_network()
+        pairs = set()
+        for a, b, amount in operations:
+            if a != b:
+                net_plain.strengthen(a, b, amount)
+                net_protected.strengthen(a, b, amount)
+                pairs.add((min(a, b), max(a, b)))
+
+        dyn.decay_period(net_plain, months)
+        dyn.decay_period(net_protected, months, frozenset(pairs))
+        for a, b in pairs:
+            assert net_protected.strength(a, b) >= net_plain.strength(a, b) - 1e-9
+
+    @given(ops)
+    def test_snapshot_new_ties_soundness(self, operations):
+        """Every reported new tie is above threshold now, below before."""
+        net = self.make_network()
+        half = len(operations) // 2
+        for a, b, amount in operations[:half]:
+            if a != b:
+                net.strengthen(a, b, amount)
+        snap = net.snapshot()
+        for a, b, amount in operations[half:]:
+            if a != b:
+                net.strengthen(a, b, amount)
+        for a, b in net.new_ties_since(snap):
+            assert net.has_tie(a, b)
+            assert snap.get((a, b), 0.0) < net.tie_threshold

@@ -1,0 +1,127 @@
+"""Property-based tests for work-plan production invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cognition.knowledge import KnowledgeVector
+from repro.consortium.consortium import Consortium
+from repro.consortium.member import Member, StaffRole
+from repro.consortium.organization import OrgType, ProjectRole, make_org
+from repro.network.graph import CollaborationNetwork
+from repro.project.workpackages import Deliverable, WorkPackage, WorkPlan
+
+
+def build_world(n_orgs, tie_pairs):
+    consortium = Consortium()
+    network = CollaborationNetwork()
+    for i in range(n_orgs):
+        role = (
+            ProjectRole.TOOL_PROVIDER if i % 2 else ProjectRole.CASE_STUDY_OWNER
+        )
+        consortium.add_organization(
+            make_org(f"o{i}", OrgType.SME, "France", role)
+        )
+        member = Member(
+            member_id=f"m{i}", org_id=f"o{i}", role=StaffRole.ENGINEER,
+            knowledge=KnowledgeVector({"testing": 0.6}),
+        )
+        consortium.add_member(member)
+        network.add_member(member.member_id, member.org_id)
+    for i, j in tie_pairs:
+        a, b = f"m{i % n_orgs}", f"m{j % n_orgs}"
+        if a != b:
+            network.strengthen(a, b, 1.0)
+    return consortium, network
+
+
+def build_plan(n_orgs, efforts, base_rate):
+    plan = WorkPlan(base_rate=base_rate)
+    wp = WorkPackage(
+        wp_id="wp1", name="wp", leader_org_id="o0",
+        partner_org_ids=frozenset(f"o{i}" for i in range(n_orgs)),
+        domains=frozenset({"testing"}),
+    )
+    for k, effort in enumerate(efforts):
+        wp.deliverables.append(
+            Deliverable(deliv_id=f"d{k}", wp_id="wp1",
+                        due_month=6.0 * (k + 1), effort=effort)
+        )
+    plan.add(wp)
+    return plan
+
+
+n_orgs_st = st.integers(min_value=2, max_value=5)
+ties_st = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=8
+)
+efforts_st = st.lists(
+    st.floats(min_value=0.1, max_value=2.0), min_size=1, max_size=4
+)
+rate_st = st.floats(min_value=0.01, max_value=2.0)
+
+
+class TestWorkPlanProperties:
+    @given(n_orgs_st, ties_st, efforts_st, rate_st,
+           st.integers(min_value=1, max_value=24))
+    @settings(max_examples=60)
+    def test_progress_monotone_and_bounded(
+        self, n_orgs, ties, efforts, rate, months
+    ):
+        consortium, network = build_world(n_orgs, ties)
+        plan = build_plan(n_orgs, efforts, rate)
+        previous_total = 0.0
+        for month in range(1, months + 1):
+            plan.advance_month(float(month), consortium, network)
+            total = sum(d.progress for d in plan.deliverables())
+            assert total >= previous_total - 1e-9
+            previous_total = total
+        for d in plan.deliverables():
+            assert 0.0 <= d.progress <= d.effort + 1e-9
+
+    @given(n_orgs_st, ties_st, efforts_st, rate_st)
+    @settings(max_examples=40)
+    def test_completion_order_follows_due_dates(
+        self, n_orgs, ties, efforts, rate
+    ):
+        consortium, network = build_world(n_orgs, ties)
+        plan = build_plan(n_orgs, efforts, rate)
+        for month in range(1, 40):
+            plan.advance_month(float(month), consortium, network)
+        completed = [
+            d for d in plan.deliverables() if d.is_complete
+        ]
+        # Earlier-due deliverables never complete after later-due ones.
+        months_by_due = [
+            d.completed_month
+            for d in sorted(completed, key=lambda d: d.due_month)
+        ]
+        assert months_by_due == sorted(months_by_due)
+
+    @given(n_orgs_st, efforts_st, rate_st)
+    @settings(max_examples=40)
+    def test_more_ties_never_slower(self, n_orgs, efforts, rate):
+        """Full connectivity produces at least as fast as isolation."""
+        all_pairs = [
+            (i, j) for i in range(n_orgs) for j in range(i + 1, n_orgs)
+        ]
+        consortium_iso, network_iso = build_world(n_orgs, [])
+        consortium_con, network_con = build_world(n_orgs, all_pairs)
+        plan_iso = build_plan(n_orgs, efforts, rate)
+        plan_con = build_plan(n_orgs, efforts, rate)
+        for month in range(1, 13):
+            plan_iso.advance_month(float(month), consortium_iso, network_iso)
+            plan_con.advance_month(float(month), consortium_con, network_con)
+        total_iso = sum(d.progress for d in plan_iso.deliverables())
+        total_con = sum(d.progress for d in plan_con.deliverables())
+        assert total_con >= total_iso - 1e-9
+
+    @given(n_orgs_st, ties_st, efforts_st)
+    @settings(max_examples=30)
+    def test_on_time_rate_bounds(self, n_orgs, ties, efforts):
+        consortium, network = build_world(n_orgs, ties)
+        plan = build_plan(n_orgs, efforts, 0.5)
+        for month in range(1, 25):
+            plan.advance_month(float(month), consortium, network)
+        assert 0.0 <= plan.on_time_rate() <= 1.0
+        assert 0.0 <= plan.completion_fraction() <= 1.0
+        assert plan.mean_delay(24.0) >= 0.0

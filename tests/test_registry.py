@@ -1,0 +1,87 @@
+"""Tests for the ECSEL project registry (Sec. III statistics)."""
+
+import pytest
+
+from repro.consortium.registry import (
+    ECSEL_PROJECT_COUNT,
+    ECSEL_SIZE_RANGE,
+    PUBLISHED_PROGRAMME_STATS,
+    ProgrammeStats,
+    ProjectRegistry,
+)
+from repro.errors import ConfigurationError
+from repro.rng import RngHub
+
+
+class TestPublishedStats:
+    def test_quoted_averages(self):
+        """The four averages quoted verbatim in Sec. III."""
+        means = {s.programme: s.mean_participants for s in PUBLISHED_PROGRAMME_STATS}
+        assert means["H2020 overall"] == pytest.approx(4.69)
+        assert means["H2020 second pillar"] == pytest.approx(5.91)
+        assert means["H2020 ICT"] == pytest.approx(7.4)
+        assert means["ECSEL"] == pytest.approx(34.22)
+
+    def test_ecsel_is_largest(self):
+        means = [s.mean_participants for s in PUBLISHED_PROGRAMME_STATS]
+        assert max(means) == 34.22
+
+    def test_constants(self):
+        assert ECSEL_PROJECT_COUNT == 40
+        assert ECSEL_SIZE_RANGE == (9, 109)
+
+    def test_programme_stats_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProgrammeStats("x", 0.0)
+
+
+class TestProjectRegistry:
+    def test_satisfies_published_constraints(self):
+        reg = ProjectRegistry(RngHub(0))
+        assert reg.count == 40
+        assert len(reg.sizes) == 40
+        assert reg.size_range() == (9, 109)
+        # Target sum is rounded to an integer, so the realised mean can
+        # differ from 34.22 by at most half a project / 40.
+        assert reg.mean_size() == pytest.approx(34.22, abs=0.02)
+
+    def test_sizes_sorted_and_in_range(self):
+        reg = ProjectRegistry(RngHub(3))
+        assert reg.sizes == sorted(reg.sizes)
+        assert all(9 <= s <= 109 for s in reg.sizes)
+
+    def test_deterministic(self):
+        assert ProjectRegistry(RngHub(5)).sizes == ProjectRegistry(RngHub(5)).sizes
+
+    def test_seed_changes_population(self):
+        assert ProjectRegistry(RngHub(5)).sizes != ProjectRegistry(RngHub(6)).sizes
+
+    def test_megamart_percentile(self):
+        """27 beneficiaries is slightly below the ECSEL average (Sec. III-A)."""
+        reg = ProjectRegistry(RngHub(0))
+        pct = reg.percentile_of(27)
+        assert 0.0 < pct < 0.8
+        assert 27 < reg.mean_size()
+
+    def test_percentile_extremes(self):
+        reg = ProjectRegistry(RngHub(0))
+        assert reg.percentile_of(9) == 0.0
+        assert reg.percentile_of(1000) == 1.0
+
+    def test_programme_comparison_includes_synthetic(self):
+        comparison = ProjectRegistry(RngHub(0)).programme_comparison()
+        assert "ECSEL (synthetic registry)" in comparison
+        assert comparison["ECSEL"] == 34.22
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProjectRegistry(RngHub(0), count=1)
+        with pytest.raises(ConfigurationError):
+            ProjectRegistry(RngHub(0), size_range=(9, 20), target_mean=30.0)
+
+    def test_custom_range(self):
+        reg = ProjectRegistry(
+            RngHub(1), count=10, size_range=(5, 50), target_mean=20.0
+        )
+        assert reg.size_range() == (5, 50)
+        assert reg.mean_size() == pytest.approx(20.0, abs=0.1)

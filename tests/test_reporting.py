@@ -1,0 +1,111 @@
+"""Tests for reporting (tables, figures, export)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting.export import read_csv_rows, rows_to_csv, to_json
+from repro.reporting.figures import bar_chart, grouped_bar_chart, histogram
+from repro.reporting.table import ascii_table, format_cell
+
+
+class TestFormatCell:
+    def test_formats(self):
+        assert format_cell(None) == ""
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+        assert format_cell(3.14159, float_digits=2) == "3.14"
+        assert format_cell("text") == "text"
+        assert format_cell(42) == "42"
+
+
+class TestAsciiTable:
+    def test_renders_all_cells(self):
+        out = ascii_table(["name", "value"], [["a", 1], ["b", 2]], title="T")
+        assert "T" in out
+        assert "name" in out and "value" in out
+        assert "a" in out and "2" in out
+
+    def test_column_alignment(self):
+        out = ascii_table(["x"], [["short"], ["much longer cell"]])
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert len({len(l) for l in lines}) == 1  # all rows same width
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_table(["a", "b"], [["only one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_table([], [])
+
+
+class TestFigures:
+    def test_bar_chart_proportions(self):
+        out = bar_chart([("full", 10.0), ("half", 5.0)], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart([])
+        with pytest.raises(ConfigurationError):
+            bar_chart([("x", -1.0)])
+        with pytest.raises(ConfigurationError):
+            bar_chart([("x", 1.0)], width=2)
+
+    def test_bar_chart_zero_values(self):
+        out = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "a" in out
+
+    def test_grouped_chart_shared_scale(self):
+        out = grouped_bar_chart(
+            [("g1", [("x", 10.0)]), ("g2", [("y", 5.0)])], width=10
+        )
+        x_line = next(l for l in out.splitlines() if " x " in l)
+        y_line = next(l for l in out.splitlines() if " y " in l)
+        assert x_line.count("#") == 10
+        assert y_line.count("#") == 5
+
+    def test_grouped_chart_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grouped_bar_chart([])
+
+    def test_histogram_preserves_order(self):
+        out = histogram({"z": 3, "a": 1})
+        lines = out.splitlines()
+        assert lines[0].lstrip().startswith("z")
+
+
+class TestExport:
+    def test_csv_roundtrip(self, tmp_path):
+        path = rows_to_csv(
+            tmp_path / "out.csv", ["a", "b"], [[1, "x"], [2, "y"]]
+        )
+        rows = read_csv_rows(path)
+        assert rows == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+
+    def test_csv_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            rows_to_csv(tmp_path / "x.csv", [], [])
+        with pytest.raises(ConfigurationError):
+            rows_to_csv(tmp_path / "x.csv", ["a"], [[1, 2]])
+
+    def test_csv_creates_parent_dirs(self, tmp_path):
+        path = rows_to_csv(tmp_path / "deep" / "dir" / "x.csv", ["a"], [[1]])
+        assert path.exists()
+
+    def test_json_roundtrip(self, tmp_path):
+        import json
+
+        path = to_json(tmp_path / "x.json", {"k": [1, 2], "s": "v"})
+        with path.open() as handle:
+            assert json.load(handle) == {"k": [1, 2], "s": "v"}
+
+    def test_json_handles_non_serialisable_via_str(self, tmp_path):
+        class Odd:
+            def __str__(self):
+                return "odd!"
+
+        path = to_json(tmp_path / "x.json", {"o": Odd()})
+        assert "odd!" in path.read_text()

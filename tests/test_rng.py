@@ -1,0 +1,117 @@
+"""Tests for repro.rng."""
+
+import numpy as np
+import pytest
+
+from repro.rng import RngHub, choice_without_replacement, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("teams") == stable_hash("teams")
+
+    def test_distinct_inputs_differ(self):
+        assert stable_hash("teams") != stable_hash("votes")
+
+    def test_fits_64_bits(self):
+        assert 0 <= stable_hash("x") < 2**64
+
+
+class TestRngHub:
+    def test_same_seed_same_stream(self):
+        a = RngHub(42).stream("s").random(5)
+        b = RngHub(42).stream("s").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngHub(42).stream("s").random(5)
+        b = RngHub(43).stream("s").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_names_differ(self):
+        hub = RngHub(42)
+        a = hub.stream("a").random(5)
+        b = hub.stream("b").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_stream_is_cached(self):
+        hub = RngHub(0)
+        assert hub.stream("x") is hub.stream("x")
+
+    def test_streams_are_independent(self):
+        """Consuming from one stream must not perturb another."""
+        hub1 = RngHub(7)
+        hub1.stream("noise").random(1000)
+        value_after_consumption = hub1.stream("target").random()
+
+        hub2 = RngHub(7)
+        value_untouched = hub2.stream("target").random()
+        assert value_after_consumption == value_untouched
+
+    def test_fresh_stream_restarts(self):
+        hub = RngHub(5)
+        first = hub.stream("s").random()
+        fresh = hub.fresh_stream("s").random()
+        assert first == fresh
+
+    def test_reset_single(self):
+        hub = RngHub(5)
+        first = hub.stream("s").random()
+        hub.reset("s")
+        assert hub.stream("s").random() == first
+
+    def test_reset_all(self):
+        hub = RngHub(5)
+        first = hub.stream("s").random()
+        hub.stream("t").random()
+        hub.reset()
+        assert hub.stream("s").random() == first
+
+    def test_spawn_independent(self):
+        hub = RngHub(3)
+        child = hub.spawn("rep0")
+        assert child.seed != hub.seed
+        a = child.stream("s").random()
+        b = RngHub(3).spawn("rep0").stream("s").random()
+        assert a == b
+
+    def test_spawn_distinct_names(self):
+        hub = RngHub(3)
+        assert hub.spawn("a").seed != hub.spawn("b").seed
+
+    def test_seed_property(self):
+        assert RngHub(17).seed == 17
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngHub("bad")
+
+    def test_stream_names_sorted(self):
+        hub = RngHub(0)
+        hub.stream("z")
+        hub.stream("a")
+        assert hub.stream_names() == ["a", "z"]
+
+
+class TestChoiceWithoutReplacement:
+    def test_returns_k_distinct(self):
+        rng = RngHub(0).stream("c")
+        out = choice_without_replacement(rng, range(10), 4)
+        assert len(out) == 4
+        assert len(set(out)) == 4
+
+    def test_k_exceeding_population_returns_all(self):
+        rng = RngHub(0).stream("c")
+        out = choice_without_replacement(rng, [1, 2, 3], 10)
+        assert sorted(out) == [1, 2, 3]
+
+    def test_preserves_item_types(self):
+        rng = RngHub(0).stream("c")
+        items = [("a", 1), ("b", 2), ("c", 3)]
+        out = choice_without_replacement(rng, items, 2)
+        assert all(isinstance(item, tuple) for item in out)
+
+    def test_deterministic(self):
+        a = choice_without_replacement(RngHub(1).stream("c"), range(100), 10)
+        b = choice_without_replacement(RngHub(1).stream("c"), range(100), 10)
+        assert a == b

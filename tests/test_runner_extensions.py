@@ -1,0 +1,207 @@
+"""Tests for runner integration of analytics, dissemination and review."""
+
+import pytest
+
+from repro.consortium.presets import small_consortium
+from repro.framework.catalog import build_framework
+from repro.simulation.runner import LongitudinalRunner
+from repro.simulation.scenario import (
+    baseline_timeline,
+    interleaved_timeline,
+    megamart_timeline,
+    virtual_timeline,
+)
+
+
+def small_runner(scenario):
+    return LongitudinalRunner(
+        scenario,
+        consortium_factory=lambda hub: small_consortium(hub),
+        framework_factory=lambda c, hub: build_framework(c, hub, n_tools=8),
+    )
+
+
+@pytest.fixture(scope="module")
+def history():
+    return small_runner(megamart_timeline(seed=0)).run()
+
+
+class TestTrajectoryIntegration:
+    def test_monthly_sampling_plus_events(self, history):
+        # 18-month horizon -> ~18 monthly points + 3 event points.
+        assert len(history.trajectory) >= 18
+        events = [p.event for p in history.trajectory.event_points()]
+        assert events == ["Rome", "Helsinki", "Paris"]
+
+    def test_trajectory_time_ordered(self, history):
+        months = history.trajectory.months()
+        assert months == sorted(months)
+
+    def test_ties_decay_between_plenaries(self, history):
+        """Between Helsinki (m6) and Paris (m12) strength decays."""
+        strength = dict(history.trajectory.series("total_tie_strength"))
+        assert strength[7.0] > strength[11.0]
+
+    def test_final_value_matches_network(self, history):
+        final = history.trajectory.points[-1]
+        assert final.inter_org_ties == history.final_network.inter_org_ties
+
+
+class TestKnowledgeIntegration:
+    def test_snapshots_per_plenary(self, history):
+        labels = [s.label for s in history.knowledge.snapshots]
+        assert labels == ["start", "Rome", "Helsinki", "Paris"]
+
+    def test_growth_matches_totals(self, history):
+        assert history.totals["knowledge_growth"] == pytest.approx(
+            history.knowledge.total_growth(), rel=0.05
+        )
+
+    def test_hackathons_drive_learning(self, history):
+        rome = history.knowledge.delta("start", "Rome")
+        helsinki = history.knowledge.delta("Rome", "Helsinki")
+        assert sum(helsinki.values()) > sum(rome.values())
+
+
+class TestDisseminationIntegration:
+    def test_showcases_registered_per_hackathon(self, history):
+        expected = sum(
+            len(r.outcome.showcase_ids) for r in history.hackathon_records()
+        )
+        assert len(history.dissemination.showcases) == expected
+
+    def test_published_through_all_channels(self, history):
+        from repro.dissemination.channels import Channel
+
+        by_channel = history.dissemination.reach_by_channel()
+        n = len(history.dissemination.showcases)
+        if n:
+            assert all(v > 0 for v in by_channel.values())
+        assert history.totals["dissemination_reach"] == float(
+            history.dissemination.total_reach()
+        )
+
+    def test_baseline_has_no_dissemination(self):
+        baseline = small_runner(baseline_timeline(seed=0)).run()
+        assert baseline.dissemination.showcases == []
+        assert baseline.totals["dissemination_reach"] == 0.0
+
+
+class TestReviewIntegration:
+    def test_review_after_first_hackathon(self, history):
+        assert history.review_verdict is not None
+        assert history.totals["review_score"] == pytest.approx(
+            history.review_verdict.mean_overall
+        )
+
+    def test_paper_outcome_appreciated(self):
+        """Sec. VI: approach and results received reviewer appreciation."""
+        full = LongitudinalRunner(megamart_timeline(seed=0)).run()
+        assert full.review_verdict is not None
+        assert full.review_verdict.appreciated
+
+    def test_baseline_never_reviewed(self):
+        baseline = small_runner(baseline_timeline(seed=0)).run()
+        assert baseline.review_verdict is None
+        assert baseline.totals["review_score"] == 0.0
+
+
+class TestPrerequisiteRecords:
+    def test_hackathon_records_carry_reports(self, history):
+        for rec in history.hackathon_records():
+            assert len(rec.prerequisites) == 5
+        for rec in history.records:
+            if rec.outcome is None:
+                assert rec.prerequisites == []
+
+
+class TestModeAndLayoutRuns:
+    def test_virtual_timeline_runs_and_underperforms(self):
+        f2f = small_runner(megamart_timeline(seed=0)).run()
+        virtual = small_runner(virtual_timeline(seed=0)).run()
+        assert (
+            virtual.totals["convincing_demos"]
+            <= f2f.totals["convincing_demos"]
+        )
+        assert (
+            virtual.totals["mean_meeting_engagement"]
+            < f2f.totals["mean_meeting_engagement"]
+        )
+
+    def test_interleaved_timeline_runs(self):
+        history = small_runner(interleaved_timeline(seed=0)).run()
+        assert len(history.hackathon_records()) == 2
+        assert history.totals["demos_total"] > 0
+
+
+class TestQuestionnaireIntegration:
+    def test_every_plenary_collects_questionnaire(self, history):
+        for rec in history.records:
+            assert rec.questionnaire is not None
+            assert rec.questionnaire.respondent_count() == len(
+                rec.meeting.attendee_ids
+            )
+
+    def test_groups_cover_both_sections(self, history):
+        rec = history.record_for("Helsinki")
+        groups = set(rec.questionnaire.groups.values())
+        assert groups == {"technical", "managerial"}
+
+    def test_acceptance_gap_improves_with_hackathon(self):
+        """The Sec. V-B tuning question: the doers stop losing out.
+
+        Needs the full consortium — on the small preset, traditional
+        plenaries may attract no technical staff at all, leaving the
+        technical group empty.
+        """
+        h = LongitudinalRunner(megamart_timeline(seed=0)).run()
+        assert (
+            h.record_for("Helsinki").acceptance_gap()
+            > h.record_for("Rome").acceptance_gap()
+        )
+
+    def test_acceptance_gap_requires_questionnaire(self, history):
+        import dataclasses
+
+        rec = history.records[0]
+        bare = dataclasses.replace(rec, questionnaire=None)
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            bare.acceptance_gap()
+
+
+class TestInjectableModels:
+    def test_custom_dynamics_changes_outcomes(self):
+        from repro.network.dynamics import TieDynamics
+
+        nominal = small_runner(megamart_timeline(seed=0)).run()
+        weak = LongitudinalRunner(
+            megamart_timeline(seed=0),
+            consortium_factory=lambda hub: small_consortium(hub),
+            framework_factory=lambda c, hub: build_framework(
+                c, hub, n_tools=8
+            ),
+            dynamics=TieDynamics(strengthen_rate=0.01),
+        ).run()
+        assert (
+            weak.totals["new_inter_org_ties"]
+            < nominal.totals["new_inter_org_ties"]
+        )
+
+    def test_custom_learning_changes_knowledge(self):
+        from repro.cognition.learning import LearningModel
+
+        nominal = small_runner(megamart_timeline(seed=0)).run()
+        slow = LongitudinalRunner(
+            megamart_timeline(seed=0),
+            consortium_factory=lambda hub: small_consortium(hub),
+            framework_factory=lambda c, hub: build_framework(
+                c, hub, n_tools=8
+            ),
+            learning=LearningModel(max_transfer_rate=0.01),
+        ).run()
+        assert (
+            slow.totals["knowledge_transferred"]
+            < nominal.totals["knowledge_transferred"]
+        )

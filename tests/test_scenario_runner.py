@@ -1,0 +1,185 @@
+"""Tests for scenarios, the longitudinal runner and experiments."""
+
+import pytest
+
+from repro.consortium.presets import small_consortium
+from repro.errors import ConfigurationError
+from repro.framework.catalog import build_framework
+from repro.simulation.experiment import (
+    compare_scenarios,
+    extract_metrics,
+    replicate,
+)
+from repro.simulation.runner import LongitudinalRunner
+from repro.simulation.scenario import (
+    PlenarySpec,
+    Scenario,
+    baseline_timeline,
+    hackathon_everywhere_timeline,
+    megamart_timeline,
+)
+
+
+def small_runner(scenario):
+    """Runner over the small consortium for fast tests."""
+    return LongitudinalRunner(
+        scenario,
+        consortium_factory=lambda hub: small_consortium(hub),
+        framework_factory=lambda c, hub: build_framework(c, hub, n_tools=8),
+    )
+
+
+class TestScenario:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(name="empty")
+        with pytest.raises(ConfigurationError):
+            PlenarySpec("x", month=-1.0, kind="traditional")
+        with pytest.raises(ConfigurationError):
+            PlenarySpec("x", month=0.0, kind="party")
+        with pytest.raises(ConfigurationError):
+            Scenario(name="bad", plenaries=(
+                PlenarySpec("a", 5.0, "traditional"),
+                PlenarySpec("b", 1.0, "traditional"),
+            ))
+        with pytest.raises(ConfigurationError):
+            Scenario(name="dup", plenaries=(
+                PlenarySpec("a", 1.0, "traditional"),
+                PlenarySpec("a", 2.0, "traditional"),
+            ))
+        with pytest.raises(ConfigurationError):
+            Scenario(name="x", team_policy="magic", plenaries=(
+                PlenarySpec("a", 1.0, "traditional"),
+            ))
+
+    def test_megamart_timeline_matches_paper(self):
+        scenario = megamart_timeline()
+        names = [p.name for p in scenario.plenaries]
+        assert names == ["Rome", "Helsinki", "Paris"]
+        kinds = [p.kind for p in scenario.plenaries]
+        assert kinds == ["traditional", "hackathon", "hackathon"]
+        assert scenario.hackathon_count() == 2
+        # The paper's format: 2 sessions x 4 hours.
+        helsinki = scenario.plenaries[1]
+        assert helsinki.sessions == 2
+        assert helsinki.session_hours == 4.0
+
+    def test_baseline_all_traditional(self):
+        assert baseline_timeline().hackathon_count() == 0
+
+    def test_with_seed(self):
+        s = megamart_timeline(seed=0).with_seed(9)
+        assert s.seed == 9
+        assert s.name == megamart_timeline().name
+
+    def test_end_month(self):
+        assert megamart_timeline().end_month == 18.0
+        s = Scenario(name="x", plenaries=(PlenarySpec("a", 4.0, "traditional"),))
+        assert s.end_month == 4.0
+
+    def test_everywhere_timeline(self):
+        s = hackathon_everywhere_timeline(interval_months=1.0, count=5)
+        assert s.hackathon_count() == 5
+        with pytest.raises(ConfigurationError):
+            hackathon_everywhere_timeline(count=0)
+        with pytest.raises(ConfigurationError):
+            hackathon_everywhere_timeline(interval_months=0.0)
+
+
+class TestLongitudinalRunner:
+    def test_history_structure(self):
+        history = small_runner(megamart_timeline(seed=0)).run()
+        assert len(history.records) == 3
+        assert history.records[0].spec.name == "Rome"
+        assert history.records[0].outcome is None  # traditional
+        assert history.records[1].outcome is not None  # hackathon
+        assert history.final_network is not None
+        assert set(history.totals) >= {
+            "knowledge_transferred", "new_inter_org_ties",
+            "applications_started", "final_provider_owner_ties",
+        }
+
+    def test_record_lookup(self):
+        history = small_runner(megamart_timeline(seed=0)).run()
+        assert history.record_for("Helsinki").spec.is_hackathon
+        with pytest.raises(ConfigurationError):
+            history.record_for("Atlantis")
+        assert len(history.hackathon_records()) == 2
+
+    def test_deterministic(self):
+        a = small_runner(megamart_timeline(seed=5)).run()
+        b = small_runner(megamart_timeline(seed=5)).run()
+        assert a.totals == b.totals
+
+    def test_seed_sensitivity(self):
+        a = small_runner(megamart_timeline(seed=5)).run()
+        b = small_runner(megamart_timeline(seed=6)).run()
+        assert a.totals != b.totals
+
+    def test_treatment_beats_baseline(self):
+        """The paper's headline claim, on one seed."""
+        t = small_runner(megamart_timeline(seed=0)).run()
+        b = small_runner(baseline_timeline(seed=0)).run()
+        assert t.totals["new_inter_org_ties"] > b.totals["new_inter_org_ties"]
+        assert t.totals["knowledge_transferred"] > b.totals["knowledge_transferred"]
+        assert t.totals["applications_started"] > b.totals["applications_started"]
+
+    def test_survey_and_sentiment_recorded(self):
+        history = small_runner(megamart_timeline(seed=0)).run()
+        rec = history.record_for("Helsinki")
+        assert rec.survey.respondents > 0
+        assert sum(rec.sentiment.values()) == len(rec.comments)
+
+    def test_requirements_progress_monotone(self):
+        history = small_runner(megamart_timeline(seed=0)).run()
+        coverages = [r.requirements_coverage for r in history.records]
+        assert coverages == sorted(coverages)
+
+    def test_full_megamart_runner_smoke(self):
+        """Default factories (full consortium) work end to end."""
+        history = LongitudinalRunner(megamart_timeline(seed=0)).run()
+        assert history.totals["demos_total"] > 0
+
+
+class TestExperiment:
+    def test_replicate_counts(self):
+        histories = replicate(
+            megamart_timeline(), seeds=[0, 1], runner_factory=small_runner
+        )
+        assert len(histories) == 2
+        assert histories[0].scenario.seed == 0
+        with pytest.raises(ConfigurationError):
+            replicate(megamart_timeline(), seeds=[])
+
+    def test_extract_metrics_keys(self):
+        history = small_runner(megamart_timeline(seed=0)).run()
+        metrics = extract_metrics(history)
+        assert metrics == history.totals
+
+    def test_compare_scenarios(self):
+        result = compare_scenarios(
+            megamart_timeline(), baseline_timeline(),
+            seeds=[0, 1, 2], runner_factory=small_runner,
+        )
+        assert result.name_a == "megamart-hackathon"
+        assert len(result.metrics_a) == 3
+        comparison = result.comparison("new_inter_org_ties")
+        assert comparison.a_wins
+        assert comparison.ratio > 1.0
+        assert comparison.test.n_a == 3
+
+    def test_all_comparisons_cover_metrics(self):
+        result = compare_scenarios(
+            megamart_timeline(), baseline_timeline(),
+            seeds=[0, 1], runner_factory=small_runner,
+        )
+        comparisons = result.all_comparisons()
+        assert {c.metric for c in comparisons} == set(result.metric_names())
+
+    def test_samples(self):
+        result = compare_scenarios(
+            megamart_timeline(), baseline_timeline(),
+            seeds=[0], runner_factory=small_runner,
+        )
+        samples = result.samples("demos_total")
+        assert set(samples) == {"megamart-hackathon", "megamart-traditional"}

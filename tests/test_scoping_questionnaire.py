@@ -1,0 +1,182 @@
+"""Tests for the challenge scoper and the Likert questionnaire engine."""
+
+import pytest
+
+from repro.core.challenge import Challenge
+from repro.core.scoping import ChallengeScoper
+from repro.errors import ChallengeError, ConfigurationError
+from repro.evaluation.questionnaire import (
+    LikertItem,
+    Questionnaire,
+    plenary_acceptance_items,
+)
+from repro.rng import RngHub
+
+
+def challenge(domains=("testing",), difficulty=0.5, artifacts=("a",),
+              cid="ch1"):
+    return Challenge(
+        challenge_id=cid, case_id="c", owner_org_id="o", title="t",
+        required_domains=frozenset(domains), difficulty=difficulty,
+        artifacts=tuple(artifacts),
+    )
+
+
+class TestChallengeScoper:
+    def test_small_challenge_fits(self):
+        scoper = ChallengeScoper(time_box_hours=4.0)
+        small = challenge(domains=("testing",), difficulty=0.2,
+                          artifacts=("a", "b", "c"))
+        assessment = scoper.assess(small)
+        assert assessment.fits_time_box
+        assert assessment.bottleneck == "none"
+        assert assessment.descoped is None
+
+    def test_broad_challenge_flagged(self):
+        scoper = ChallengeScoper(time_box_hours=4.0)
+        broad = challenge(domains=("a", "b", "c", "d"), difficulty=0.8)
+        assessment = scoper.assess(broad)
+        assert not assessment.fits_time_box
+        assert assessment.bottleneck == "too many domains"
+        assert assessment.descoped is not None
+
+    def test_descoped_version_fits(self):
+        scoper = ChallengeScoper(time_box_hours=4.0)
+        broad = challenge(domains=("a", "b", "c", "d"), difficulty=0.9,
+                          artifacts=())
+        descoped = scoper.descope(broad)
+        assert scoper.estimate_hours(descoped) <= 4.0
+        assert descoped.estimated_hours <= 4.0
+        assert len(descoped.required_domains) <= 2
+
+    def test_descoping_preserves_identity(self):
+        scoper = ChallengeScoper(time_box_hours=4.0)
+        broad = challenge(domains=("a", "b", "c"), difficulty=0.9)
+        descoped = scoper.descope(broad)
+        assert descoped.challenge_id == broad.challenge_id
+        assert descoped.case_id == broad.case_id
+
+    def test_estimate_monotone_in_breadth(self):
+        scoper = ChallengeScoper()
+        narrow = challenge(domains=("a",))
+        wide = challenge(domains=("a", "b", "c"))
+        assert scoper.estimate_hours(wide) > scoper.estimate_hours(narrow)
+
+    def test_preparation_reduces_estimate(self):
+        scoper = ChallengeScoper()
+        bare = challenge(artifacts=())
+        prepared = challenge(artifacts=("m1", "m2", "m3"))
+        assert scoper.estimate_hours(prepared) < scoper.estimate_hours(bare)
+
+    def test_difficulty_increases_estimate(self):
+        scoper = ChallengeScoper()
+        easy = challenge(difficulty=0.1)
+        hard = challenge(difficulty=0.9)
+        assert scoper.estimate_hours(hard) > scoper.estimate_hours(easy)
+
+    def test_impossible_descope_raises(self):
+        scoper = ChallengeScoper(time_box_hours=0.1)
+        with pytest.raises(ChallengeError, match="split"):
+            scoper.descope(challenge(domains=("a", "b")))
+
+    def test_assess_all_returns_ready_batch(self):
+        scoper = ChallengeScoper(time_box_hours=4.0)
+        batch = [
+            challenge(cid="small", domains=("a",), difficulty=0.2,
+                      artifacts=("x", "y", "z")),
+            challenge(cid="big", domains=("a", "b", "c", "d"),
+                      difficulty=0.9),
+        ]
+        assessments, ready = scoper.assess_all(batch)
+        assert len(assessments) == len(ready) == 2
+        for c in ready:
+            assert scoper.estimate_hours(c) <= 4.0
+
+    def test_config_validation(self):
+        with pytest.raises(ChallengeError):
+            ChallengeScoper(time_box_hours=0.0)
+        with pytest.raises(ChallengeError):
+            ChallengeScoper(hours_per_domain=0.0)
+
+
+class TestQuestionnaire:
+    def make(self, hub=None, noise=0.0):
+        return Questionnaire(
+            plenary_acceptance_items(), hub or RngHub(0), noise_sd=noise
+        )
+
+    def test_item_validation(self):
+        with pytest.raises(ConfigurationError):
+            LikertItem("", "statement")
+        with pytest.raises(ConfigurationError):
+            LikertItem("x", "statement", loading=2.0)
+        with pytest.raises(ConfigurationError):
+            Questionnaire([], RngHub(0))
+        with pytest.raises(ConfigurationError):
+            Questionnaire(
+                [LikertItem("a", "s"), LikertItem("a", "s")], RngHub(0)
+            )
+
+    def test_expected_score_tracks_disposition(self):
+        q = self.make()
+        item = LikertItem("x", "s", loading=1.0)
+        assert q.expected_score(item, 1.0) == pytest.approx(5.0)
+        assert q.expected_score(item, 0.0) == pytest.approx(1.0)
+        assert q.expected_score(item, 0.5) == pytest.approx(3.0)
+
+    def test_reverse_coded_item(self):
+        q = self.make()
+        item = LikertItem("x", "s", loading=-1.0)
+        assert q.expected_score(item, 1.0) == pytest.approx(1.0)
+        assert q.expected_score(item, 0.0) == pytest.approx(5.0)
+
+    def test_administer_scores_in_range(self):
+        q = self.make(noise=1.0)
+        result = q.administer({f"r{i}": 0.5 for i in range(20)})
+        for answers in result.responses.values():
+            for score in answers.values():
+                assert 1 <= score <= 5
+
+    def test_enthusiasts_agree(self):
+        q = self.make()
+        result = q.administer({"enthusiast": 0.95, "cynic": 0.05})
+        assert result.responses["enthusiast"]["continue_approach"] >= 4
+        assert result.responses["cynic"]["continue_approach"] <= 2
+        # Reverse-coded item flips.
+        assert result.responses["enthusiast"]["waste_of_time"] <= 2
+        assert result.responses["cynic"]["waste_of_time"] >= 4
+
+    def test_group_breakdown(self):
+        q = self.make()
+        dispositions = {"t1": 0.9, "t2": 0.85, "m1": 0.3, "m2": 0.35}
+        groups = {"t1": "technical", "t2": "technical",
+                  "m1": "managerial", "m2": "managerial"}
+        result = q.administer(dispositions, groups)
+        gap = result.group_gap("progress_significant", "technical",
+                               "managerial")
+        assert gap > 0
+        assert result.agreement_fraction(
+            "progress_significant", "technical"
+        ) > result.agreement_fraction("progress_significant", "managerial")
+
+    def test_item_table(self):
+        q = self.make()
+        result = q.administer({"a": 0.8})
+        table = result.item_table()
+        assert len(table) == 4
+        for _, mean, agreement in table:
+            assert 1.0 <= mean <= 5.0
+            assert 0.0 <= agreement <= 1.0
+
+    def test_empty_queries_raise(self):
+        q = self.make()
+        result = q.administer({"a": 0.5})
+        with pytest.raises(ConfigurationError):
+            result.mean_score("progress_significant", group="nonexistent")
+        with pytest.raises(ConfigurationError):
+            q.administer({})
+
+    def test_deterministic(self):
+        r1 = self.make(RngHub(5), noise=0.5).administer({"a": 0.6})
+        r2 = self.make(RngHub(5), noise=0.5).administer({"a": 0.6})
+        assert r1.responses == r2.responses

@@ -1,0 +1,128 @@
+"""Tests for the stats helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stats.bootstrap import bootstrap_ci
+from repro.stats.summary import describe, describe_many
+from repro.stats.tests import cliffs_delta, mann_whitney
+
+
+class TestBootstrap:
+    def test_estimate_is_statistic(self):
+        result = bootstrap_ci([1.0, 2.0, 3.0, 4.0])
+        assert result.estimate == pytest.approx(2.5)
+
+    def test_interval_contains_estimate(self):
+        result = bootstrap_ci(list(range(20)))
+        assert result.low <= result.estimate <= result.high
+
+    def test_deterministic(self):
+        a = bootstrap_ci([1, 2, 3, 4, 5], seed=7)
+        b = bootstrap_ci([1, 2, 3, 4, 5], seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_constant_sample_degenerate_interval(self):
+        result = bootstrap_ci([3.0] * 10)
+        assert result.low == result.high == 3.0
+        assert result.contains(3.0)
+        assert not result.contains(4.0)
+
+    def test_custom_statistic(self):
+        result = bootstrap_ci([1.0, 100.0, 2.0, 3.0], statistic=np.median)
+        assert result.estimate == pytest.approx(2.5)
+
+    def test_wider_sample_wider_interval(self):
+        narrow = bootstrap_ci([10.0, 10.1, 9.9, 10.0, 10.2, 9.8])
+        wide = bootstrap_ci([1.0, 20.0, 5.0, 15.0, 2.0, 18.0])
+        assert (wide.high - wide.low) > (narrow.high - narrow.low)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([])
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0], confidence=1.0)
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0], resamples=5)
+
+
+class TestCliffsDelta:
+    def test_complete_separation(self):
+        assert cliffs_delta([10, 11, 12], [1, 2, 3]) == 1.0
+        assert cliffs_delta([1, 2, 3], [10, 11, 12]) == -1.0
+
+    def test_identical_samples_zero(self):
+        assert cliffs_delta([1, 2, 3], [1, 2, 3]) == pytest.approx(0.0)
+
+    def test_antisymmetric(self):
+        a, b = [1, 5, 3, 8], [2, 4, 6]
+        assert cliffs_delta(a, b) == pytest.approx(-cliffs_delta(b, a))
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=30), rng.normal(size=25)
+        assert -1.0 <= cliffs_delta(a, b) <= 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cliffs_delta([], [1])
+
+
+class TestMannWhitney:
+    def test_separated_samples_significant(self):
+        result = mann_whitney([10 + i for i in range(10)], list(range(10)))
+        assert result.significant
+        assert result.delta == 1.0
+        assert result.magnitude == "large"
+
+    def test_identical_constant_samples(self):
+        result = mann_whitney([5.0] * 5, [5.0] * 5)
+        assert result.p_value == 1.0
+        assert result.delta == 0.0
+        assert not result.significant
+
+    def test_similar_samples_not_significant(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, 20)
+        b = rng.normal(0, 1, 20)
+        result = mann_whitney(a, b)
+        assert result.p_value > 0.01
+
+    def test_magnitude_labels(self):
+        result = mann_whitney([1, 2, 3], [1, 2, 3])
+        assert result.magnitude == "negligible"
+
+    def test_sample_sizes_recorded(self):
+        result = mann_whitney([1, 2], [3, 4, 5])
+        assert (result.n_a, result.n_b) == (2, 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mann_whitney([], [1])
+
+
+class TestDescribe:
+    def test_basic(self):
+        s = describe([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.median == pytest.approx(2.5)
+
+    def test_single_value_sd_zero(self):
+        assert describe([7.0]).sd == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            describe([])
+
+    def test_as_dict(self):
+        d = describe([1.0, 2.0]).as_dict()
+        assert set(d) == {"n", "mean", "sd", "min", "median", "max"}
+
+    def test_describe_many(self):
+        out = describe_many({"a": [1, 2], "b": [3, 4]})
+        assert out["a"].mean == pytest.approx(1.5)
+        assert out["b"].mean == pytest.approx(3.5)

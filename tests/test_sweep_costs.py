@@ -1,0 +1,169 @@
+"""Tests for the sweep utility and the meeting cost model."""
+
+import pytest
+
+from repro.consortium.presets import small_consortium
+from repro.errors import ConfigurationError
+from repro.framework.catalog import build_framework
+from repro.meetings.agenda import hackathon_agenda, traditional_agenda
+from repro.meetings.costs import CostParameters, price_meeting
+from repro.meetings.mode import MeetingMode
+from repro.meetings.plenary import PlenaryMeeting
+from repro.network.graph import CollaborationNetwork
+from repro.rng import RngHub
+from repro.simulation.runner import LongitudinalRunner
+from repro.simulation.scenario import PlenarySpec, Scenario
+from repro.simulation.sweep import run_sweep
+
+
+def small_runner(scenario):
+    return LongitudinalRunner(
+        scenario,
+        consortium_factory=lambda hub: small_consortium(hub),
+        framework_factory=lambda c, hub: build_framework(c, hub, n_tools=8),
+    )
+
+
+def cadence_scenario(interval, seed):
+    return Scenario(
+        name=f"cadence-{interval}",
+        seed=seed,
+        plenaries=tuple(
+            PlenarySpec(f"h{i}", month=i * interval, kind="hackathon")
+            for i in range(3)
+        ),
+        horizon_months=3 * interval + 3.0,
+    )
+
+
+class TestRunSweep:
+    def test_sweep_structure(self):
+        result = run_sweep(
+            "interval", [2.0, 6.0], cadence_scenario, seeds=[0, 1],
+            runner_factory=small_runner,
+        )
+        assert result.parameter_name == "interval"
+        assert result.labels() == ["2.0", "6.0"]
+        for point in result.points:
+            assert len(point.metrics) == 2
+
+    def test_series_and_best_point(self):
+        result = run_sweep(
+            "interval", [2.0, 6.0], cadence_scenario, seeds=[0],
+            runner_factory=small_runner,
+        )
+        series = result.series("knowledge_transferred")
+        assert len(series) == 2
+        best = result.best_point("knowledge_transferred")
+        assert best.summary("knowledge_transferred").mean == max(series)
+
+    def test_point_lookup(self):
+        result = run_sweep(
+            "interval", [2.0], cadence_scenario, seeds=[0],
+            runner_factory=small_runner,
+        )
+        assert result.point("2.0").parameter == 2.0
+        with pytest.raises(ConfigurationError):
+            result.point("missing")
+
+    def test_unknown_metric(self):
+        result = run_sweep(
+            "interval", [2.0], cadence_scenario, seeds=[0],
+            runner_factory=small_runner,
+        )
+        with pytest.raises(ConfigurationError):
+            result.points[0].samples("nonexistent")
+
+    def test_label_fn(self):
+        result = run_sweep(
+            "interval", [2.0], cadence_scenario, seeds=[0],
+            runner_factory=small_runner,
+            label_fn=lambda v: f"every {v:g} months",
+        )
+        assert result.labels() == ["every 2 months"]
+
+    def test_table_rows(self):
+        result = run_sweep(
+            "interval", [2.0], cadence_scenario, seeds=[0],
+            runner_factory=small_runner,
+        )
+        rows = result.table_rows(["knowledge_transferred", "demos_total"])
+        assert len(rows) == 1
+        assert len(rows[0]) == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep("x", [], cadence_scenario, seeds=[0])
+        with pytest.raises(ConfigurationError):
+            run_sweep("x", [2.0], cadence_scenario, seeds=[])
+
+
+class TestCostModel:
+    @pytest.fixture
+    def meeting_result(self):
+        hub = RngHub(3)
+        consortium = small_consortium(hub)
+        meeting = PlenaryMeeting(consortium, CollaborationNetwork(), hub)
+        return consortium, meeting.run(hackathon_agenda(), "m")
+
+    def test_parameters_validation(self):
+        with pytest.raises(ConfigurationError):
+            CostParameters(travel_cost_domestic=-1.0)
+
+    def test_price_components(self, meeting_result):
+        consortium, result = meeting_result
+        report = price_meeting(
+            result, consortium, host_country="Finland",
+            meeting_hours=16.0, days=2,
+        )
+        assert report.attendees == len(result.attendee_ids)
+        assert report.travel_cost > 0
+        assert report.accommodation_cost > 0
+        assert report.time_cost == pytest.approx(
+            report.attendees * 16.0 * CostParameters().hourly_rate
+        )
+        assert report.total_cost == pytest.approx(
+            report.travel_cost + report.time_cost + report.accommodation_cost
+        )
+
+    def test_domestic_cheaper_than_international(self, meeting_result):
+        consortium, result = meeting_result
+        # Host in a consortium country vs a country nobody is from.
+        domestic_host = price_meeting(
+            result, consortium, "Finland", meeting_hours=8.0
+        )
+        foreign_host = price_meeting(
+            result, consortium, "Atlantis", meeting_hours=8.0
+        )
+        assert domestic_host.travel_cost < foreign_host.travel_cost
+
+    def test_virtual_meeting_no_travel(self):
+        hub = RngHub(3)
+        consortium = small_consortium(hub)
+        meeting = PlenaryMeeting(consortium, CollaborationNetwork(), hub)
+        result = meeting.run(
+            hackathon_agenda(), "m", mode=MeetingMode.VIRTUAL
+        )
+        report = price_meeting(
+            result, consortium, "Finland", meeting_hours=8.0
+        )
+        assert report.travel_cost == 0.0
+        assert report.accommodation_cost == 0.0
+        assert report.time_cost > 0.0
+
+    def test_cost_per_outcome(self, meeting_result):
+        consortium, result = meeting_result
+        report = price_meeting(result, consortium, "Finland",
+                               meeting_hours=8.0)
+        assert report.cost_per(10.0) == pytest.approx(report.total_cost / 10)
+        assert report.cost_per(0.0) == float("inf")
+        with pytest.raises(ConfigurationError):
+            report.cost_per(-1.0)
+
+    def test_input_validation(self, meeting_result):
+        consortium, result = meeting_result
+        with pytest.raises(ConfigurationError):
+            price_meeting(result, consortium, "Finland", meeting_hours=0.0)
+        with pytest.raises(ConfigurationError):
+            price_meeting(result, consortium, "Finland", meeting_hours=8.0,
+                          days=0)

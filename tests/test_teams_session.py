@@ -1,0 +1,266 @@
+"""Tests for team formation policies and work sessions (during phase)."""
+
+import pytest
+
+from repro.cognition.knowledge import KnowledgeVector
+from repro.consortium.member import Member, StaffRole
+from repro.core.challenge import Challenge, ChallengeCall, generate_challenges
+from repro.core.session import WorkSession
+from repro.core.subscription import SubscriptionBook, auto_subscribe
+from repro.core.teams import (
+    BalancedFormation,
+    RandomFormation,
+    SubscriptionBasedFormation,
+    Team,
+)
+from repro.errors import ConfigurationError
+from repro.framework.catalog import build_framework
+from repro.rng import RngHub
+
+
+def make_member(mid, org, domains=None, role=StaffRole.ENGINEER, energy=1.0):
+    return Member(
+        member_id=mid, org_id=org, role=role, energy=energy,
+        knowledge=KnowledgeVector(domains or {"testing": 0.7}),
+    )
+
+
+def make_challenge(cid="ch", owner="owner0", domains=("testing",)):
+    return Challenge(
+        challenge_id=cid, case_id="case00", owner_org_id=owner,
+        title="t", required_domains=frozenset(domains),
+    )
+
+
+@pytest.fixture
+def world(hub):
+    from repro.consortium.presets import small_consortium
+
+    consortium = small_consortium(hub)
+    framework = build_framework(consortium, hub, n_tools=8)
+    call = ChallengeCall("evt")
+    generate_challenges(consortium, framework, hub, call)
+    call.close()
+    book = SubscriptionBook(call, framework)
+    auto_subscribe(consortium, framework, book, hub)
+    return consortium, framework, call, book
+
+
+class TestTeam:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            Team(challenge=make_challenge(), members=[])
+
+    def test_rejects_duplicate_member(self):
+        m = make_member("m1", "o1")
+        with pytest.raises(ConfigurationError):
+            Team(challenge=make_challenge(), members=[m, m])
+
+    def test_owner_and_provider_detection(self):
+        team = Team(
+            challenge=make_challenge(owner="owner0"),
+            members=[make_member("m1", "owner0"), make_member("m2", "prov0")],
+            provider_org_ids=("prov0",),
+        )
+        assert team.has_owner_member()
+        assert team.has_provider_member()
+
+    def test_coverage_uses_pooled_knowledge(self):
+        team = Team(
+            challenge=make_challenge(domains=("testing", "telecom")),
+            members=[
+                make_member("m1", "o1", {"testing": 0.8}),
+                make_member("m2", "o2", {"telecom": 0.6}),
+            ],
+        )
+        assert team.coverage() == pytest.approx(0.7)
+
+    def test_diversity_and_energy(self):
+        team = Team(
+            challenge=make_challenge(),
+            members=[
+                make_member("m1", "o1", {"a": 1.0}, energy=0.4),
+                make_member("m2", "o2", {"b": 1.0}, energy=0.8),
+            ],
+        )
+        assert team.diversity() == pytest.approx(1.0)
+        assert team.mean_energy() == pytest.approx(0.6)
+
+    def test_org_ids_sorted_unique(self):
+        team = Team(
+            challenge=make_challenge(),
+            members=[make_member("m1", "z"), make_member("m2", "a"),
+                     make_member("m3", "a")],
+        )
+        assert team.org_ids == ["a", "z"]
+
+
+class TestSubscriptionFormation:
+    def test_teams_formed_per_challenge(self, world, hub):
+        consortium, framework, call, book = world
+        policy = SubscriptionBasedFormation()
+        teams = policy.form(call.challenges, consortium.members, book, hub)
+        assert len(teams) == len(call.challenges)
+
+    def test_members_disjoint_across_teams(self, world, hub):
+        consortium, framework, call, book = world
+        teams = SubscriptionBasedFormation().form(
+            call.challenges, consortium.members, book, hub
+        )
+        seen = set()
+        for team in teams:
+            for mid in team.member_ids:
+                assert mid not in seen
+                seen.add(mid)
+
+    def test_only_technical_members(self, world, hub):
+        consortium, framework, call, book = world
+        teams = SubscriptionBasedFormation().form(
+            call.challenges, consortium.members, book, hub
+        )
+        for team in teams:
+            assert all(m.is_technical for m in team.members)
+
+    def test_team_size_capped(self, world, hub):
+        consortium, framework, call, book = world
+        policy = SubscriptionBasedFormation(target_size=4)
+        teams = policy.form(call.challenges, consortium.members, book, hub)
+        # provider slots may exceed target when several providers
+        # subscribed, but never by more than providers * slots + owner.
+        for team in teams:
+            assert len(team.members) <= 4 + 2 * len(team.provider_org_ids)
+
+    def test_requires_book(self, world, hub):
+        consortium, framework, call, book = world
+        with pytest.raises(ConfigurationError):
+            SubscriptionBasedFormation().form(
+                call.challenges, consortium.members, None, hub
+            )
+
+    def test_burned_out_members_excluded(self, world, hub):
+        consortium, framework, call, book = world
+        for m in consortium.members:
+            m.energy = 0.05  # everyone burned out
+        teams = SubscriptionBasedFormation().form(
+            call.challenges, consortium.members, book, hub
+        )
+        assert teams == []
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SubscriptionBasedFormation(target_size=1)
+        with pytest.raises(ConfigurationError):
+            SubscriptionBasedFormation(owner_slots=0)
+
+
+class TestOtherPolicies:
+    def test_balanced_covers_challenges(self, world, hub):
+        consortium, framework, call, book = world
+        teams = BalancedFormation().form(
+            call.challenges, consortium.members, book, hub
+        )
+        assert len(teams) == len(call.challenges)
+        for team in teams:
+            assert len(team.members) <= BalancedFormation().target_size
+
+    def test_balanced_without_book(self, world, hub):
+        consortium, framework, call, book = world
+        teams = BalancedFormation().form(
+            call.challenges, consortium.members, None, hub
+        )
+        assert teams
+
+    def test_random_disjoint(self, world, hub):
+        consortium, framework, call, book = world
+        teams = RandomFormation().form(
+            call.challenges, consortium.members, book, hub
+        )
+        all_ids = [mid for t in teams for mid in t.member_ids]
+        assert len(all_ids) == len(set(all_ids))
+
+    def test_random_deterministic_per_seed(self, world):
+        consortium, framework, call, book = world
+
+        def run(seed):
+            teams = RandomFormation().form(
+                call.challenges, consortium.members, book, RngHub(seed)
+            )
+            return [t.member_ids for t in teams]
+
+        assert run(1) == run(1)
+        assert run(1) != run(2)
+
+    def test_policy_names(self):
+        assert SubscriptionBasedFormation.name == "subscription"
+        assert BalancedFormation.name == "balanced"
+        assert RandomFormation.name == "random"
+
+
+class TestWorkSession:
+    def make_team(self, energy=1.0):
+        return Team(
+            challenge=make_challenge(domains=("testing",)),
+            members=[
+                make_member("m1", "o1", {"testing": 0.8, "a": 0.4}, energy=energy),
+                make_member("m2", "o2", {"testing": 0.5, "b": 0.6}, energy=energy),
+            ],
+        )
+
+    def test_progress_in_unit_interval(self, hub):
+        session = WorkSession(hub)
+        result = session.run(self.make_team(), hours=4.0)
+        assert 0.0 <= result.progress <= 1.0
+
+    def test_energy_drained(self, hub):
+        session = WorkSession(hub, energy_drain_per_hour=0.05)
+        team = self.make_team()
+        session.run(team, hours=4.0)
+        for m in team.members:
+            assert m.energy == pytest.approx(0.8)
+
+    def test_interactions_all_pairs_each_hour(self, hub):
+        session = WorkSession(hub)
+        team = self.make_team()
+        result = session.run(team, hours=4.0)
+        assert len(result.interactions) == 4  # 1 pair x 4 hours
+
+    def test_more_hours_more_progress_expected(self, hub):
+        session = WorkSession(RngHub(0), noise_sd=0.0)
+        short = session.run(self.make_team(), hours=1.0).progress
+        session2 = WorkSession(RngHub(0), noise_sd=0.0)
+        long = session2.run(self.make_team(), hours=4.0).progress
+        assert long > short
+
+    def test_fatigue_diminishing_returns(self, hub):
+        """Hour 10 is less productive than hour 0 (fatigue halflife)."""
+        session = WorkSession(hub, noise_sd=0.0)
+        team = self.make_team()
+        assert session.hourly_productivity(team, 10) < session.hourly_productivity(
+            team, 0
+        )
+
+    def test_tired_team_less_productive(self, hub):
+        session = WorkSession(hub, noise_sd=0.0)
+        fresh = session.hourly_productivity(self.make_team(energy=1.0), 0)
+        tired = session.hourly_productivity(self.make_team(energy=0.2), 0)
+        assert tired < fresh
+
+    def test_invalid_hours(self, hub):
+        with pytest.raises(ConfigurationError):
+            WorkSession(hub).run(self.make_team(), hours=0.0)
+
+    def test_config_validation(self, hub):
+        with pytest.raises(ConfigurationError):
+            WorkSession(hub, productivity_per_hour=0.0)
+        with pytest.raises(ConfigurationError):
+            WorkSession(hub, fatigue_halflife_hours=0.0)
+        with pytest.raises(ConfigurationError):
+            WorkSession(hub, energy_drain_per_hour=-0.1)
+        with pytest.raises(ConfigurationError):
+            WorkSession(hub, noise_sd=-0.1)
+
+    def test_fractional_hours(self, hub):
+        session = WorkSession(hub)
+        result = session.run(self.make_team(), hours=2.5)
+        assert result.hours == 2.5
+        assert result.progress > 0.0

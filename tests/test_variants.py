@@ -1,0 +1,144 @@
+"""Tests for the hackathon format variants (paper Sec. IV)."""
+
+import pytest
+
+from repro.consortium.presets import small_consortium
+from repro.core.variants import (
+    ALL_VARIANTS,
+    InclusiveFormation,
+    VariantSpec,
+    build_variant_event,
+    datathon_format,
+    innovation_driven_format,
+    internal_innovation_format,
+    megamart_format,
+    tghl_format,
+)
+from repro.core.teams import SubscriptionBasedFormation
+from repro.errors import ConfigurationError
+from repro.framework.catalog import build_framework
+from repro.rng import RngHub
+
+
+@pytest.fixture
+def world():
+    hub = RngHub(77)
+    consortium = small_consortium(hub)
+    framework = build_framework(consortium, hub, n_tools=8)
+    return consortium, framework, hub
+
+
+class TestVariantSpecs:
+    def test_registry_complete(self):
+        assert set(ALL_VARIANTS) == {
+            "megamart", "datathon", "tghl", "internal", "innovation",
+        }
+        for factory in ALL_VARIANTS.values():
+            spec = factory()
+            assert isinstance(spec, VariantSpec)
+            assert spec.description
+
+    def test_megamart_is_reference(self):
+        spec = megamart_format()
+        assert spec.config_overrides == {}
+        assert spec.preparation_factor == 1.0
+
+    def test_tghl_is_non_competitive(self):
+        assert tghl_format().config_overrides["has_prizes"] is False
+
+    def test_innovation_driven_iterates(self):
+        overrides = innovation_driven_format().config_overrides
+        assert overrides["sessions"] == 4
+        assert overrides["time_box_hours"] == 2.0
+        # Total hacking time matches the reference 2 x 4 h.
+        assert overrides["sessions"] * overrides["time_box_hours"] == 8.0
+
+    def test_internal_emphasises_preparation(self):
+        assert internal_innovation_format().preparation_factor > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VariantSpec("", "x", {}, SubscriptionBasedFormation)
+        with pytest.raises(ConfigurationError):
+            VariantSpec("k", "x", {}, SubscriptionBasedFormation,
+                        preparation_factor=0.0)
+
+
+class TestInclusiveFormation:
+    def test_includes_non_technical(self, world):
+        consortium, framework, hub = world
+        from repro.core.challenge import ChallengeCall, generate_challenges
+        from repro.core.subscription import SubscriptionBook, auto_subscribe
+
+        call = ChallengeCall("evt")
+        generate_challenges(consortium, framework, hub, call)
+        call.close()
+        book = SubscriptionBook(call, framework)
+        auto_subscribe(consortium, framework, book, hub)
+
+        inclusive = InclusiveFormation().form(
+            call.challenges, consortium.members, book, hub
+        )
+        strict = SubscriptionBasedFormation().form(
+            call.challenges, consortium.members, book, RngHub(77)
+        )
+        inclusive_ids = {m for t in inclusive for m in t.member_ids}
+        non_technical = {
+            m.member_id for m in consortium.members if not m.is_technical
+        }
+        # The inclusive pool can place managers; the strict one cannot.
+        strict_ids = {m for t in strict for m in t.member_ids}
+        assert not strict_ids & non_technical
+        assert len(inclusive_ids) >= len(strict_ids)
+
+
+class TestBuildVariantEvent:
+    @pytest.mark.parametrize("key", sorted(ALL_VARIANTS))
+    def test_every_variant_runs_end_to_end(self, world, key):
+        consortium, framework, hub = world
+        variant = ALL_VARIANTS[key]()
+        event = build_variant_event(variant, consortium, framework, hub)
+        outcome = event.run(consortium.members)
+        assert outcome.demos
+        assert outcome.scores
+        # Session count honours the variant's configuration.
+        sessions = variant.config_overrides.get("sessions", 2)
+        assert len(outcome.session_results) == sessions * len(outcome.teams)
+
+    def test_tghl_fails_prize_prerequisite_by_design(self, world):
+        consortium, framework, hub = world
+        event = build_variant_event(tghl_format(), consortium, framework, hub)
+        event.run(consortium.members)
+        prize_report = next(
+            r for r in event.prerequisite_reports
+            if r.name == "competition_and_prizes"
+        )
+        assert not prize_report.satisfied  # deliberately non-competitive
+
+    def test_preparation_scales_productivity(self, world):
+        consortium, framework, hub = world
+        event = build_variant_event(
+            internal_innovation_format(), consortium, framework, hub
+        )
+        reference = build_variant_event(
+            megamart_format(), consortium, framework, RngHub(77)
+        )
+        assert (
+            event.work_session.productivity_per_hour
+            > reference.work_session.productivity_per_hour
+        )
+
+    def test_event_id_override(self, world):
+        consortium, framework, hub = world
+        event = build_variant_event(
+            megamart_format(), consortium, framework, hub, event_id="custom"
+        )
+        assert event.config.event_id == "custom"
+
+    def test_datathon_single_long_session(self, world):
+        consortium, framework, hub = world
+        event = build_variant_event(
+            datathon_format(), consortium, framework, hub
+        )
+        assert event.config.sessions == 1
+        assert event.config.time_box_hours == 6.0

@@ -1,0 +1,273 @@
+"""Tests for work packages, deliverables and the work-plan builder."""
+
+import pytest
+
+from repro.cognition.knowledge import KnowledgeVector
+from repro.consortium.consortium import Consortium
+from repro.consortium.member import Member, StaffRole
+from repro.consortium.organization import OrgType, ProjectRole, make_org
+from repro.errors import ConfigurationError
+from repro.framework.catalog import build_framework
+from repro.network.graph import CollaborationNetwork
+from repro.project.builder import build_workplan
+from repro.project.workpackages import Deliverable, WorkPackage, WorkPlan
+from repro.rng import RngHub
+
+
+def deliverable(deliv_id="d0", due=6.0, effort=1.0):
+    return Deliverable(deliv_id=deliv_id, wp_id="wp1", due_month=due,
+                       effort=effort)
+
+
+def make_wp(partners=("A", "B"), leader="A", domains=("testing",)):
+    return WorkPackage(
+        wp_id="wp1", name="test wp", leader_org_id=leader,
+        partner_org_ids=frozenset(partners), domains=frozenset(domains),
+    )
+
+
+def tiny_world(tie=False):
+    """Two-org consortium with optional inter-org tie."""
+    consortium = Consortium()
+    consortium.add_organization(
+        make_org("A", OrgType.SME, "France", ProjectRole.TOOL_PROVIDER)
+    )
+    consortium.add_organization(
+        make_org("B", OrgType.LARGE_ENTERPRISE, "Sweden",
+                 ProjectRole.CASE_STUDY_OWNER)
+    )
+    for org, mid in (("A", "a1"), ("B", "b1")):
+        consortium.add_member(Member(
+            member_id=mid, org_id=org, role=StaffRole.ENGINEER,
+            knowledge=KnowledgeVector({"testing": 0.8}),
+        ))
+    network = CollaborationNetwork()
+    for m in consortium.members:
+        network.add_member(m.member_id, m.org_id)
+    if tie:
+        network.strengthen("a1", "b1", 1.0)
+    return consortium, network
+
+
+class TestDeliverable:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Deliverable("", "wp", 1.0)
+        with pytest.raises(ConfigurationError):
+            deliverable(due=-1.0)
+        with pytest.raises(ConfigurationError):
+            deliverable(effort=0.0)
+
+    def test_progress_and_completion(self):
+        d = deliverable(effort=1.0)
+        d.add_progress(0.6, month=2.0)
+        assert not d.is_complete
+        d.add_progress(0.6, month=4.0)
+        assert d.is_complete
+        assert d.completed_month == 4.0
+        assert d.progress == 1.0  # clamped
+
+    def test_progress_after_completion_noop(self):
+        d = deliverable(effort=0.5)
+        d.add_progress(0.5, month=1.0)
+        d.add_progress(1.0, month=5.0)
+        assert d.completed_month == 1.0
+
+    def test_on_time_and_delay(self):
+        on_time = deliverable(due=6.0)
+        on_time.add_progress(1.0, month=5.0)
+        assert on_time.is_on_time()
+        assert on_time.delay(as_of_month=10.0) == 0.0
+
+        late = deliverable(due=6.0)
+        late.add_progress(1.0, month=9.0)
+        assert not late.is_on_time()
+        assert late.delay(as_of_month=20.0) == pytest.approx(3.0)
+
+        open_overdue = deliverable(due=6.0)
+        assert open_overdue.delay(as_of_month=10.0) == pytest.approx(4.0)
+
+    def test_negative_progress_rejected(self):
+        with pytest.raises(ConfigurationError):
+            deliverable().add_progress(-0.1, 1.0)
+
+
+class TestWorkPackage:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_wp(leader="C")  # leader not a partner
+        with pytest.raises(ConfigurationError):
+            make_wp(domains=())
+
+    def test_open_deliverables_sorted(self):
+        wp = make_wp()
+        wp.deliverables = [deliverable("late", due=12.0),
+                           deliverable("early", due=6.0)]
+        assert [d.deliv_id for d in wp.open_deliverables()] == ["early", "late"]
+
+    def test_collaboration_factor(self):
+        consortium, net_no_tie = tiny_world(tie=False)
+        _, net_tie = tiny_world(tie=True)
+        wp = make_wp()
+        assert wp.collaboration_factor(consortium, net_no_tie) == 0.0
+        assert wp.collaboration_factor(consortium, net_tie) == 1.0
+
+    def test_single_partner_full_collaboration(self):
+        consortium, network = tiny_world()
+        wp = WorkPackage("wp1", "solo", "A", frozenset({"A"}),
+                         frozenset({"testing"}))
+        assert wp.collaboration_factor(consortium, network) == 1.0
+
+    def test_knowledge_coverage(self):
+        consortium, _ = tiny_world()
+        wp = make_wp(domains=("testing",))
+        assert wp.knowledge_coverage(consortium) == pytest.approx(0.8)
+        wp_unknown = make_wp(domains=("quantum",))
+        assert wp_unknown.knowledge_coverage(consortium) == 0.0
+
+    def test_rate_higher_with_ties(self):
+        consortium, net_no = tiny_world(tie=False)
+        _, net_yes = tiny_world(tie=True)
+        wp = make_wp()
+        assert wp.monthly_progress_rate(
+            consortium, net_yes, 0.2
+        ) > wp.monthly_progress_rate(consortium, net_no, 0.2)
+
+
+class TestWorkPlan:
+    def test_advance_month_spills_over(self):
+        consortium, network = tiny_world(tie=True)
+        plan = WorkPlan(base_rate=5.0)  # huge rate: everything finishes
+        wp = make_wp()
+        wp.deliverables = [deliverable("d0", due=6.0, effort=0.5),
+                           deliverable("d1", due=12.0, effort=0.5)]
+        plan.add(wp)
+        completed = plan.advance_month(1.0, consortium, network)
+        assert completed == ["d0", "d1"]
+        assert plan.completion_fraction() == 1.0
+        assert plan.on_time_rate() == 1.0
+
+    def test_no_progress_without_rate(self):
+        consortium, network = tiny_world(tie=False)
+        plan = WorkPlan(base_rate=0.0001)
+        wp = make_wp()
+        wp.deliverables = [deliverable()]
+        plan.add(wp)
+        plan.advance_month(1.0, consortium, network)
+        assert plan.completion_fraction() == 0.0
+
+    def test_duplicate_wp_rejected(self):
+        plan = WorkPlan()
+        plan.add(make_wp())
+        with pytest.raises(ConfigurationError):
+            plan.add(make_wp())
+
+    def test_unknown_wp(self):
+        with pytest.raises(ConfigurationError):
+            WorkPlan().work_package("ghost")
+
+    def test_metrics_on_empty_plan(self):
+        plan = WorkPlan()
+        assert plan.completion_fraction() == 0.0
+        assert plan.on_time_rate() == 0.0
+        assert plan.mean_delay(10.0) == 0.0
+
+    def test_status_rows(self):
+        consortium, network = tiny_world(tie=True)
+        plan = WorkPlan(base_rate=5.0)
+        wp = make_wp()
+        wp.deliverables = [deliverable("d0", due=6.0, effort=0.5)]
+        plan.add(wp)
+        plan.advance_month(1.0, consortium, network)
+        rows = plan.status_rows(as_of_month=2.0)
+        assert rows[0][0] == "d0"
+        assert rows[0][4] == "on time"
+
+    def test_base_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkPlan(base_rate=0.0)
+
+
+class TestBuildWorkplan:
+    def test_structure(self, small, hub):
+        framework = build_framework(small, hub, n_tools=8)
+        plan = build_workplan(small, framework, hub, n_technical_wps=3,
+                              deliverables_per_wp=2, horizon_months=12.0)
+        assert len(plan.work_packages) == 4  # wp0 + 3 technical
+        assert len(plan.deliverables()) == 8
+        for d in plan.deliverables():
+            assert 0 < d.due_month <= 12.0
+
+    def test_wp0_spans_consortium(self, small, hub):
+        framework = build_framework(small, hub, n_tools=8)
+        plan = build_workplan(small, framework, hub)
+        wp0 = plan.work_package("wp0")
+        assert wp0.partner_org_ids == {o.org_id for o in small.organizations}
+
+    def test_technical_wps_mix_roles(self, small, hub):
+        framework = build_framework(small, hub, n_tools=8)
+        plan = build_workplan(small, framework, hub)
+        owners = {o.org_id for o in small.case_study_owners}
+        providers = {o.org_id for o in small.tool_providers}
+        for wp in plan.work_packages:
+            if wp.wp_id == "wp0":
+                continue
+            assert wp.partner_org_ids & owners
+            assert wp.partner_org_ids & providers
+
+    def test_validation(self, small, hub):
+        framework = build_framework(small, hub, n_tools=8)
+        with pytest.raises(ConfigurationError):
+            build_workplan(small, framework, hub, n_technical_wps=0)
+        with pytest.raises(ConfigurationError):
+            build_workplan(small, framework, hub, deliverables_per_wp=0)
+        with pytest.raises(ConfigurationError):
+            build_workplan(small, framework, hub, horizon_months=0.0)
+
+    def test_deterministic(self, small, hub):
+        framework = build_framework(small, hub, n_tools=8)
+        a = build_workplan(small, framework, RngHub(4))
+        b = build_workplan(small, framework, RngHub(4))
+        assert [(d.deliv_id, d.due_month, d.effort)
+                for d in a.deliverables()] == [
+            (d.deliv_id, d.due_month, d.effort) for d in b.deliverables()
+        ]
+
+
+class TestRunnerIntegration:
+    def test_deliverable_metrics_in_totals(self):
+        from repro.simulation.runner import LongitudinalRunner
+        from repro.simulation.scenario import megamart_timeline
+        from repro.consortium.presets import small_consortium
+
+        runner = LongitudinalRunner(
+            megamart_timeline(seed=0),
+            consortium_factory=lambda hub: small_consortium(hub),
+            framework_factory=lambda c, hub: build_framework(c, hub, n_tools=8),
+        )
+        history = runner.run()
+        assert "deliverables_completed" in history.totals
+        assert "deliverable_on_time_rate" in history.totals
+        assert history.workplan is not None
+        # Per-plenary record counts are monotone.
+        counts = [r.deliverables_completed for r in history.records]
+        assert counts == sorted(counts)
+
+    def test_hackathon_improves_delivery(self):
+        """The paper's implied causal chain, end to end."""
+        from repro.simulation.runner import LongitudinalRunner
+        from repro.simulation.scenario import (
+            baseline_timeline,
+            megamart_timeline,
+        )
+
+        t = LongitudinalRunner(megamart_timeline(seed=0)).run()
+        b = LongitudinalRunner(baseline_timeline(seed=0)).run()
+        assert (
+            t.totals["deliverables_completed"]
+            > b.totals["deliverables_completed"]
+        )
+        assert (
+            t.totals["deliverable_mean_delay"]
+            < b.totals["deliverable_mean_delay"]
+        )
