@@ -1,0 +1,143 @@
+"""PERF — the runtime trajectory of the longitudinal engine.
+
+Not a paper artefact: this bench pins the cost of the machinery that
+regenerates all the others.  It times
+
+* one full-consortium ``LongitudinalRunner.run()``,
+* a 5-seed serial ``replicate``,
+* the same 5 seeds through ``replicate(..., workers=4)``,
+
+checks the parallel path returns KPI dicts identical to the serial one,
+and appends the measurements to ``BENCH_perf.json`` at the repo root so
+future perf work has a recorded trajectory.
+
+The committed pre-PR reference numbers (serial everything, dict-backed
+knowledge vectors) were measured on the same container as the committed
+post-PR numbers.  The single-run speedup is asserted at >= 3x; the
+parallel speedup target (>= 8x on 4 workers) additionally needs >= 4
+physical cores, so it is only asserted when the host has them —
+``cpu_count`` is recorded alongside every entry to keep the trajectory
+interpretable.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.simulation import (
+    baseline_timeline,
+    compare_scenarios,
+    megamart_timeline,
+    replicate,
+)
+from repro.simulation.experiment import extract_metrics
+from repro.simulation.runner import LongitudinalRunner
+from conftest import banner
+
+SEEDS = [0, 1, 2, 3, 4]
+WORKERS = 4
+
+#: Pre-PR wall times (best of 3, same container class as CI): one
+#: full-consortium run, and megamart-vs-baseline compare_scenarios over
+#: 5 seeds — both on the dict-backed, serial-only implementation.
+BASELINE_SINGLE_RUN_S = 0.239
+BASELINE_COMPARE_5SEED_S = 1.431
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+
+def _best_of(n, fn):
+    best = float("inf")
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.fixture(scope="module")
+def timings():
+    scenario = megamart_timeline(seed=0)
+    LongitudinalRunner(scenario.with_seed(99)).run()  # warm-up
+    single = _best_of(
+        3, lambda: LongitudinalRunner(scenario.with_seed(42)).run()
+    )
+    serial = _best_of(2, lambda: replicate(scenario, SEEDS, workers=1))
+    parallel = _best_of(
+        2, lambda: replicate(scenario, SEEDS, workers=WORKERS)
+    )
+    compare = _best_of(
+        2,
+        lambda: compare_scenarios(
+            megamart_timeline(),
+            baseline_timeline(),
+            seeds=SEEDS,
+            workers=WORKERS,
+        ),
+    )
+    return {
+        "single_run_s": round(single, 4),
+        "replicate_5seed_serial_s": round(serial, 4),
+        "replicate_5seed_workers4_s": round(parallel, 4),
+        "compare_5seed_workers4_s": round(compare, 4),
+    }
+
+
+def test_perf_trajectory(benchmark, timings):
+    benchmark.pedantic(
+        lambda: LongitudinalRunner(megamart_timeline(seed=42)).run(),
+        rounds=1, iterations=1,
+    )
+
+    single_speedup = BASELINE_SINGLE_RUN_S / timings["single_run_s"]
+    compare_speedup = (
+        BASELINE_COMPARE_5SEED_S / timings["compare_5seed_workers4_s"]
+    )
+    cpus = os.cpu_count() or 1
+
+    banner("PERF — longitudinal engine runtime trajectory")
+    for key, value in timings.items():
+        print(f"  {key:32s} {value:8.3f}s")
+    print(f"  single-run speedup vs pre-PR     {single_speedup:8.2f}x")
+    print(f"  5-seed compare speedup vs pre-PR {compare_speedup:8.2f}x")
+    print(f"  cpu_count                        {cpus:8d}")
+
+    entry = {
+        "baseline_single_run_s": BASELINE_SINGLE_RUN_S,
+        "baseline_compare_5seed_s": BASELINE_COMPARE_5SEED_S,
+        **timings,
+        "single_run_speedup": round(single_speedup, 2),
+        "compare_5seed_speedup": round(compare_speedup, 2),
+        "workers": WORKERS,
+        "cpu_count": cpus,
+    }
+    history = []
+    if OUTPUT.exists():
+        history = json.loads(OUTPUT.read_text())
+    history.append(entry)
+    OUTPUT.write_text(json.dumps(history, indent=2) + "\n")
+
+    # Shape: the vectorized hot path buys at least 3x on a single run.
+    assert single_speedup >= 3.0, (
+        f"single-run speedup regressed: {single_speedup:.2f}x < 3x "
+        f"({timings['single_run_s']:.3f}s vs {BASELINE_SINGLE_RUN_S}s)"
+    )
+    # Shape: with real cores behind the pool, the combined vectorize +
+    # parallelize stack reaches 8x on the 5-seed comparison.
+    if cpus >= WORKERS:
+        assert compare_speedup >= 8.0, (
+            f"5-seed compare speedup {compare_speedup:.2f}x < 8x on "
+            f"{cpus} cores"
+        )
+
+
+def test_parallel_matches_serial_exactly():
+    scenario = megamart_timeline(seed=0)
+    serial = replicate(scenario, SEEDS, workers=1)
+    parallel = replicate(scenario, SEEDS, workers=WORKERS)
+    assert [extract_metrics(h) for h in serial] == [
+        extract_metrics(h) for h in parallel
+    ]

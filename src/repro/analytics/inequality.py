@@ -36,7 +36,10 @@ def gini(values: Sequence[float]) -> float:
     data = np.sort(data)
     n = data.size
     index = np.arange(1, n + 1)
-    return float((2.0 * (index * data).sum() - (n + 1) * total) / (n * total))
+    raw = float((2.0 * (index * data).sum() - (n + 1) * total) / (n * total))
+    # Floating-point cancellation can leave an equal-valued sample a few
+    # ulps outside [0, 1] (e.g. -1.7e-16); clamp to the documented range.
+    return min(1.0, max(0.0, raw))
 
 
 def participation_counts(

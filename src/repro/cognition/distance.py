@@ -52,14 +52,27 @@ def understanding(distance: float) -> float:
 def pairwise_distance_matrix(
     vectors: Sequence[KnowledgeVector],
 ) -> np.ndarray:
-    """Symmetric matrix of cognitive distances with zero diagonal."""
+    """Symmetric matrix of cognitive distances with zero diagonal.
+
+    Computed as one Gram-matrix product over the stacked dense
+    profiles rather than O(n^2) per-pair similarity calls.
+    """
     n = len(vectors)
     matrix = np.zeros((n, n), dtype=float)
-    for i in range(n):
-        for j in range(i + 1, n):
-            d = cognitive_distance(vectors[i], vectors[j])
-            matrix[i, j] = d
-            matrix[j, i] = d
+    if n < 2:
+        return matrix
+    stacked = KnowledgeVector.stack(vectors)
+    norms = np.sqrt(np.einsum("ij,ij->i", stacked, stacked))
+    denom = np.outer(norms, norms)
+    gram = stacked @ stacked.T
+    with np.errstate(divide="ignore", invalid="ignore"):
+        similarity = np.where(denom > 0.0, gram / denom, 0.0)
+    np.clip(similarity, 0.0, 1.0, out=similarity)
+    matrix = 1.0 - similarity
+    # Empty profiles are maximally distant from everything (no shared
+    # frame of reference), matching cognitive_distance's convention.
+    matrix[denom == 0.0] = 1.0
+    np.fill_diagonal(matrix, 0.0)
     return matrix
 
 

@@ -16,6 +16,7 @@ exponent and converts interaction events into knowledge-transfer rates.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.cognition.distance import cognitive_distance
@@ -65,6 +66,13 @@ class LearningModel:
                 "cultural_attenuation must be in [0,1], "
                 f"got {self.cultural_attenuation}"
             )
+        # The inverted-U normalisation peak depends only on the (frozen)
+        # exponents; precompute it once instead of on every call.
+        a, b = self.novelty_exponent, self.understanding_exponent
+        peak_d = a / (a + b)
+        object.__setattr__(
+            self, "_peak", (peak_d**a) * ((1.0 - peak_d) ** b)
+        )
 
     def learning_value(self, distance: float) -> float:
         """Inverted-U value of an interaction at ``distance``, in [0, 1].
@@ -73,10 +81,10 @@ class LearningModel:
         """
         if not 0.0 <= distance <= 1.0:
             raise ValueError(f"distance must be in [0,1], got {distance}")
-        a, b = self.novelty_exponent, self.understanding_exponent
-        raw = (distance**a) * ((1.0 - distance) ** b)
-        peak_d = a / (a + b)
-        peak = (peak_d**a) * ((1.0 - peak_d) ** b)
+        raw = (distance**self.novelty_exponent) * (
+            (1.0 - distance) ** self.understanding_exponent
+        )
+        peak = self._peak
         return raw / peak if peak > 0 else 0.0
 
     def transfer_rate(
@@ -100,7 +108,7 @@ class LearningModel:
         value = self.learning_value(cognitive_distance(a, b))
         cultural_factor = 1.0 - self.cultural_attenuation * cultural_distance
         # Saturating time response: 1h -> ~0.39 of asymptote, 4h -> ~0.86.
-        time_factor = 1.0 - 2.718281828 ** (-hours / 2.0)
+        time_factor = 1.0 - math.exp(-hours / 2.0)
         return self.max_transfer_rate * value * cultural_factor * time_factor
 
     def exchange(

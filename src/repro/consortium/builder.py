@@ -176,7 +176,9 @@ class StaffGenerator:
             role=role,
             seniority=seniority,
             knowledge=knowledge,
-            presentation_skill=float(np.clip(self._rng.normal(0.55, 0.18), 0.0, 1.0)),
+            presentation_skill=min(
+                1.0, max(0.0, float(self._rng.normal(0.55, 0.18)))
+            ),
         )
 
     def _draw_seniority(self, profile: StaffingProfile) -> Seniority:
@@ -192,8 +194,8 @@ class StaffGenerator:
         spec_set = set(specialities)
         depth = 0.85 if role.is_technical else 0.4
         for domain in specialities:
-            levels[domain] = float(
-                np.clip(self._rng.normal(depth, 0.1), 0.05, 1.0)
+            levels[domain] = min(
+                1.0, max(0.05, float(self._rng.normal(depth, 0.1)))
             )
         # Background breadth outside the speciality.
         n_extra = int(self._rng.integers(1, 4))
@@ -203,7 +205,7 @@ class StaffGenerator:
                 len(others), size=min(n_extra, len(others)), replace=False
             )
             for i in idx:
-                levels[others[i]] = float(
-                    np.clip(self._rng.normal(0.25, 0.1), 0.05, 1.0)
+                levels[others[i]] = min(
+                    1.0, max(0.05, float(self._rng.normal(0.25, 0.1)))
                 )
         return KnowledgeVector(levels)

@@ -45,6 +45,16 @@ class Consortium:
         self._orgs: Dict[str, Organization] = {}
         self._members: Dict[str, Member] = {}
         self._members_by_org: Dict[str, List[str]] = {}
+        #: Monotonic counter bumped whenever member knowledge profiles
+        #: change (knowledge exchange at plenaries).  Derived quantities
+        #: that depend only on knowledge — e.g. work-package coverage,
+        #: recomputed monthly between events — key their caches on it.
+        self.knowledge_version = 0
+
+    def bump_knowledge_version(self) -> int:
+        """Signal that member knowledge changed; returns the new version."""
+        self.knowledge_version += 1
+        return self.knowledge_version
 
     # -- construction -----------------------------------------------------
 

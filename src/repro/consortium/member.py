@@ -38,12 +38,20 @@ class StaffRole(enum.Enum):
         Managers, administrators and entrepreneurs coordinate; engineers,
         researchers, developers and professors produce deliverables.
         """
-        return self in (
-            StaffRole.ENGINEER,
-            StaffRole.RESEARCHER,
-            StaffRole.DEVELOPER,
-            StaffRole.PROFESSOR,
-        )
+        return self in _TECHNICAL_ROLES
+
+
+#: Frozen lookup set — ``is_technical`` sits on the engagement and
+#: questionnaire hot paths (tens of thousands of calls per run), where
+#: rebuilding a tuple of enum members per call measurably dominates.
+_TECHNICAL_ROLES = frozenset(
+    (
+        StaffRole.ENGINEER,
+        StaffRole.RESEARCHER,
+        StaffRole.DEVELOPER,
+        StaffRole.PROFESSOR,
+    )
+)
 
 
 class Seniority(enum.Enum):
@@ -108,10 +116,14 @@ class Member:
             )
         if self.name is None:
             self.name = self.member_id
+        # Role is fixed after construction, so the technical flag —
+        # queried on the engagement hot path for every (member, agenda
+        # item) pair — is resolved once here.
+        self._is_technical = self.role in _TECHNICAL_ROLES
 
     @property
     def is_technical(self) -> bool:
-        return self.role.is_technical
+        return self._is_technical
 
     def drain_energy(self, amount: float) -> None:
         """Reduce energy by ``amount``, clamped at zero."""

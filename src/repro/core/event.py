@@ -35,7 +35,7 @@ from repro.core.teams import (
     TeamFormationPolicy,
 )
 from repro.errors import ConfigurationError, SimulationError
-from repro.evaluation.voting import Criterion, VotingSystem
+from repro.evaluation.voting import MAX_SCORE, Criterion, VotingSystem
 from repro.framework.catalog import FrameworkModel
 from repro.framework.integration import AdoptionState
 from repro.meetings.agenda import AgendaItem
@@ -306,15 +306,31 @@ class HackathonEvent:
             event_id=self.config.event_id,
             challenge_ids=[d.challenge_id for d in demos],
         )
+        criteria = list(Criterion)
+        # Demo qualities are voter-independent; noise is drawn in one
+        # batch per voter (same stream sequence as scalar draws) and the
+        # whole ballot sheet is rounded/clipped as one array — np.rint
+        # rounds half-to-even exactly like builtin round().
+        base = np.array(
+            [
+                [demo.quality(criterion) * 5.0 for criterion in criteria]
+                for demo in demos
+            ]
+        )
         for voter in voters:
-            for demo in demos:
-                scores = {}
-                for criterion in Criterion:
-                    raw = demo.quality(criterion) * 5.0 + self._rng.normal(
-                        0.0, self.config.vote_noise_sd
-                    )
-                    scores[criterion] = int(np.clip(round(raw), 0, 5))
-                voting.cast(voter.member_id, demo.challenge_id, scores)
+            raw = self._rng.normal(
+                0.0, self.config.vote_noise_sd, size=base.shape
+            )
+            raw += base
+            np.rint(raw, out=raw)
+            np.clip(raw, 0, MAX_SCORE, out=raw)
+            sheet = raw.astype(int).tolist()
+            for demo, row in zip(demos, sheet):
+                voting.cast(
+                    voter.member_id,
+                    demo.challenge_id,
+                    dict(zip(criteria, row)),
+                )
         return voting
 
     def _apply_framework_progress(self, outcome: HackathonOutcome) -> None:

@@ -90,8 +90,26 @@ class WorkSession:
 
     def hourly_productivity(self, team: Team, hour_index: int) -> float:
         """Expected progress in the ``hour_index``-th hour (0-based)."""
-        coverage = team.coverage()
-        diversity_value = self.learning.learning_value(team.diversity())
+        return self._hourly_productivity(
+            team,
+            hour_index,
+            team.coverage(),
+            self.learning.learning_value(team.diversity()),
+        )
+
+    def _hourly_productivity(
+        self,
+        team: Team,
+        hour_index: int,
+        coverage: float,
+        diversity_value: float,
+    ) -> float:
+        """Hourly productivity with the knowledge-derived factors given.
+
+        Coverage and diversity depend only on team knowledge, which is
+        constant within one session run (exchanges apply afterwards at
+        the plenary level) — callers hoist them out of the hour loop.
+        """
         fatigue = 0.5 ** (hour_index / self.fatigue_halflife_hours)
         energy = team.mean_energy()
         difficulty_factor = 1.0 - 0.5 * team.challenge.difficulty
@@ -117,9 +135,14 @@ class WorkSession:
         progress = 0.0
         interactions: List[Interaction] = []
         whole_hours = int(math.ceil(hours))
+        coverage = team.coverage()
+        diversity_value = self.learning.learning_value(team.diversity())
         for hour in range(whole_hours):
             slice_hours = min(1.0, hours - hour)
-            progress += self.hourly_productivity(team, hour) * slice_hours
+            progress += (
+                self._hourly_productivity(team, hour, coverage, diversity_value)
+                * slice_hours
+            )
             for member in team.members:
                 member.drain_energy(self.energy_drain_per_hour * slice_hours)
             interactions.extend(self._team_interactions(team, slice_hours))
@@ -129,8 +152,8 @@ class WorkSession:
             challenge_id=team.challenge.challenge_id,
             hours=hours,
             progress=progress,
-            coverage=team.coverage(),
-            diversity_value=self.learning.learning_value(team.diversity()),
+            coverage=coverage,
+            diversity_value=diversity_value,
             mean_energy_after=team.mean_energy(),
             interactions=interactions,
         )

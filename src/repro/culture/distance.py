@@ -28,9 +28,19 @@ __all__ = [
     "euclidean_distance",
     "normalized_distance",
     "pairwise_matrix",
+    "cached_pairwise_matrix",
     "most_distant_pair",
     "CulturalDistanceModel",
 ]
+
+#: Normalised distances are pure functions of the (static) Hofstede
+#: table, so every model instance — one per simulation run — shares one
+#: process-wide cache instead of recomputing profile lookups per run.
+_SHARED_PAIR_CACHE: Dict[Tuple[str, str], float] = {}
+
+#: Memoized pairwise matrices keyed by (countries, metric); stored
+#: read-only so cached results cannot be corrupted by callers.
+_SHARED_MATRIX_CACHE: Dict[Tuple[Tuple[str, ...], str], np.ndarray] = {}
 
 
 def kogut_singh_index(
@@ -105,13 +115,32 @@ def pairwise_matrix(
     return matrix
 
 
+def cached_pairwise_matrix(
+    countries: Sequence[str],
+    metric: str = "kogut_singh",
+) -> np.ndarray:
+    """Memoized :func:`pairwise_matrix` (returned array is read-only).
+
+    The Hofstede table is static, so a (countries, metric) pair always
+    yields the same matrix; simulation code that rebuilds models per
+    run should prefer this entry point.
+    """
+    key = (tuple(countries), metric)
+    matrix = _SHARED_MATRIX_CACHE.get(key)
+    if matrix is None:
+        matrix = pairwise_matrix(countries, metric)
+        matrix.flags.writeable = False
+        _SHARED_MATRIX_CACHE[key] = matrix
+    return matrix
+
+
 def most_distant_pair(
     countries: Sequence[str], metric: str = "kogut_singh"
 ) -> Tuple[str, str, float]:
     """The pair of countries with the largest distance under ``metric``."""
     if len(countries) < 2:
         raise ValueError("need at least two countries")
-    matrix = pairwise_matrix(countries, metric)
+    matrix = cached_pairwise_matrix(countries, metric)
     flat_idx = int(np.argmax(matrix))
     i, j = divmod(flat_idx, len(countries))
     return countries[i], countries[j], float(matrix[i, j])
@@ -122,20 +151,26 @@ class CulturalDistanceModel:
 
     The simulator queries cultural distance for every interacting pair of
     members; caching avoids recomputing profile lookups in the hot loop.
-    Same-country pairs have distance zero by definition.
+    The cache is shared process-wide (the Hofstede table is static), so
+    per-run model instances warm each other.  Same-country pairs have
+    distance zero by definition.
     """
 
     def __init__(self) -> None:
-        self._cache: Dict[Tuple[str, str], float] = {}
+        self._cache = _SHARED_PAIR_CACHE
 
     def distance(self, country_a: str, country_b: str) -> float:
         """Normalised [0, 1] distance between two countries."""
         if country_a == country_b:
             return 0.0
-        key = (min(country_a, country_b), max(country_a, country_b))
-        if key not in self._cache:
-            self._cache[key] = normalized_distance(*key)
-        return self._cache[key]
+        if country_a < country_b:
+            key = (country_a, country_b)
+        else:
+            key = (country_b, country_a)
+        value = self._cache.get(key)
+        if value is None:
+            value = self._cache[key] = normalized_distance(*key)
+        return value
 
     def mean_distance(self, countries: Sequence[str]) -> float:
         """Mean pairwise distance over a group of countries."""

@@ -148,8 +148,8 @@ class Questionnaire:
                 raw = self.expected_score(item, disposition) + self._rng.normal(
                     0.0, self.noise_sd
                 )
-                answers[item.item_id] = int(
-                    np.clip(round(raw), LIKERT_MIN, LIKERT_MAX)
+                answers[item.item_id] = min(
+                    LIKERT_MAX, max(LIKERT_MIN, round(raw))
                 )
             responses[respondent] = answers
         return QuestionnaireResult(

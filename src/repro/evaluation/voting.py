@@ -36,6 +36,10 @@ class Criterion(enum.Enum):
         return _QUESTIONS[self]
 
 
+#: Canonical criterion order, hoisted once — ballot validation runs per
+#: (voter, challenge) pair and re-iterating the enum class is measurable.
+_CRITERIA: Tuple[Criterion, ...] = tuple(Criterion)
+
 _QUESTIONS: Dict[Criterion, str] = {
     Criterion.TECHNICAL_INNOVATION: (
         "How novel is the presented result — a breakthrough or an evolution?"
@@ -62,7 +66,7 @@ class Ballot:
     scores: Mapping[Criterion, int]
 
     def __post_init__(self) -> None:
-        missing = [c for c in Criterion if c not in self.scores]
+        missing = [c for c in _CRITERIA if c not in self.scores]
         if missing:
             raise VotingError(
                 f"ballot for {self.challenge_id!r} missing criteria: "

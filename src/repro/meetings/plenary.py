@@ -14,9 +14,13 @@ generic mixing — useful for quick what-if runs.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+import numpy as np
+
+from repro.cognition.knowledge import KnowledgeVector
 from repro.cognition.learning import LearningModel
 from repro.consortium.consortium import Consortium
 from repro.consortium.member import Member
@@ -56,6 +60,10 @@ class MeetingResult:
     knowledge_transferred: float = 0.0
     new_ties: List[Tuple[str, str]] = field(default_factory=list)
     new_inter_org_ties: List[Tuple[str, str]] = field(default_factory=list)
+    #: New ties pairing a case-study-owner member with a tool-provider
+    #: member — the paper's "notably between tool providers and use
+    #: case owners" observation, now reported per meeting.
+    new_provider_owner_ties: List[Tuple[str, str]] = field(default_factory=list)
 
     def engagement_by_item(self) -> Dict[str, float]:
         return EngagementModel.by_item(self.engagement_records)
@@ -97,6 +105,12 @@ class PlenaryMeeting:
         # Make sure every member has a network node.
         for member in consortium.members:
             network.add_member(member.member_id, member.org_id)
+        # Member -> country is static for the consortium's lifetime;
+        # resolve it once instead of per interaction in the hot loop.
+        self._country_of: Dict[str, str] = {
+            member.member_id: consortium.organization_of(member).country
+            for member in consortium.members
+        }
 
     # -- public API ---------------------------------------------------------
 
@@ -140,11 +154,14 @@ class PlenaryMeeting:
         result.new_ties = self.network.new_ties_since(before)
         owners = {o.org_id for o in self.consortium.case_study_owners}
         providers = {o.org_id for o in self.consortium.tool_providers}
-        result.new_inter_org_ties = [
-            (a, b)
-            for a, b in result.new_ties
-            if self.network.org_of(a) != self.network.org_of(b)
-        ]
+        for a, b in result.new_ties:
+            org_a, org_b = self.network.org_of(a), self.network.org_of(b)
+            if org_a != org_b:
+                result.new_inter_org_ties.append((a, b))
+                if (org_a in owners and org_b in providers) or (
+                    org_a in providers and org_b in owners
+                ):
+                    result.new_provider_owner_ties.append((a, b))
         return result
 
     # -- internals ----------------------------------------------------------
@@ -157,16 +174,18 @@ class PlenaryMeeting:
         hackathon_handler: Optional[HackathonHandler],
         effects: ModeEffects,
     ) -> None:
-        for member in attendees:
-            record = self.engagement.sample(member, item)
-            if effects.engagement_factor < 1.0:
-                record = EngagementRecord(
+        records = self.engagement.sample_many(attendees, item)
+        if effects.engagement_factor < 1.0:
+            records = [
+                EngagementRecord(
                     member_id=record.member_id,
                     item_title=record.item_title,
                     format=record.format,
                     engagement=record.engagement * effects.engagement_factor,
                 )
-            result.engagement_records.append(record)
+                for record in records
+            ]
+        result.engagement_records.extend(records)
 
         if item.format is SessionFormat.HACKATHON and hackathon_handler is not None:
             interactions = hackathon_handler(item, attendees)
@@ -185,10 +204,115 @@ class PlenaryMeeting:
                 )
                 for i in interactions
             ]
-        for interaction in interactions:
-            self.dynamics.apply_interaction(self.network, interaction)
-            result.knowledge_transferred += self._exchange_knowledge(interaction)
+        self._apply_interactions(interactions, result)
         result.interactions.extend(interactions)
+
+    def _apply_interactions(
+        self, interactions: List[Interaction], result: MeetingResult
+    ) -> None:
+        """Apply a whole item's interactions in one batched pass.
+
+        The item's participants are stacked into one dense knowledge
+        matrix and every exchange mutates rows in place, so the
+        sequential dependency (each exchange shifts the cognitive
+        distance the next one sees) is preserved while the per-exchange
+        cost drops to a handful of fused array ops — no KnowledgeVector
+        allocation until the batch write-back.  Tie strengthening is
+        aggregated per pair: one network mutation per distinct pair
+        instead of one per interaction, which also keeps the network's
+        derived-view caches warm.
+        """
+        if not interactions:
+            return
+        consortium = self.consortium
+        members: Dict[str, Member] = {}
+        for interaction in interactions:
+            for mid in (interaction.member_a, interaction.member_b):
+                if mid not in members:
+                    members[mid] = consortium.member(mid)
+        index = {mid: i for i, mid in enumerate(members)}
+        # The dense matrix rows are unboxed into plain Python lists for
+        # the sequential loop below: profile widths (~14 domains) are far
+        # below the break-even point where NumPy's per-call dispatch pays
+        # for itself, and the loop is inherently serial (each exchange
+        # shifts the cognitive distance the next one sees).
+        rows = KnowledgeVector.stack(
+            m.knowledge for m in members.values()
+        ).tolist()
+        norms = [math.sqrt(sum(x * x for x in row)) for row in rows]
+        start_total = sum(map(sum, rows))
+
+        learning = self.learning
+        learning_value = learning.learning_value
+        max_rate = learning.max_transfer_rate
+        attenuation = learning.cultural_attenuation
+        country_of = self._country_of
+        culture_distance = self.culture.distance
+        cultural_factor: Dict[Tuple[str, str], float] = {}
+        pair_intensity: Dict[Tuple[str, str], float] = {}
+        exp = math.exp
+        for interaction in interactions:
+            id_a, id_b = interaction.member_a, interaction.member_b
+            pair = (id_a, id_b) if id_a <= id_b else (id_b, id_a)
+            intensity = interaction.intensity
+            pair_intensity[pair] = pair_intensity.get(pair, 0.0) + intensity
+            ia, ib = index[id_a], index[id_b]
+            row_a, row_b = rows[ia], rows[ib]
+            na, nb = norms[ia], norms[ib]
+            if na == 0.0 or nb == 0.0:
+                # Empty profiles share no frame of reference — maximal
+                # distance, matching cognitive_distance's convention.
+                distance = 1.0
+            else:
+                dot = 0.0
+                for x, y in zip(row_a, row_b):
+                    dot += x * y
+                distance = 1.0 - min(1.0, max(0.0, dot / (na * nb)))
+            factor = cultural_factor.get(pair)
+            if factor is None:
+                factor = 1.0 - attenuation * culture_distance(
+                    country_of[id_a], country_of[id_b]
+                )
+                cultural_factor[pair] = factor
+            hours = intensity if intensity > 0.25 else 0.25
+            # Saturating time response as in LearningModel.transfer_rate.
+            rate = (
+                max_rate
+                * learning_value(distance)
+                * factor
+                * (1.0 - exp(-hours / 2.0))
+            )
+            if rate == 0.0:
+                continue
+            # Mutual absorb toward the domain-wise max (KnowledgeVector
+            # .absorb): a' = a + rate*max(b-a, 0), b' = b + rate*max(a-b, 0).
+            for j, x in enumerate(row_a):
+                y = row_b[j]
+                if y > x:
+                    row_a[j] = x + rate * (y - x)
+                elif x > y:
+                    row_b[j] = y + rate * (x - y)
+            sq = 0.0
+            for x in row_a:
+                sq += x * x
+            norms[ia] = math.sqrt(sq)
+            sq = 0.0
+            for x in row_b:
+                sq += x * x
+            norms[ib] = math.sqrt(sq)
+
+        # Absorption only ever raises proficiencies, so the item's total
+        # knowledge gain is the matrix-sum delta.
+        result.knowledge_transferred += sum(map(sum, rows)) - start_total
+        for mid, i in index.items():
+            members[mid].knowledge = KnowledgeVector._from_array(
+                np.array(rows[i])
+            )
+        consortium.bump_knowledge_version()
+        rate = self.dynamics.strengthen_rate
+        strengthen = self.network.strengthen
+        for (id_a, id_b), intensity in pair_intensity.items():
+            strengthen(id_a, id_b, rate * intensity)
 
     def _generic_interactions(
         self,
@@ -210,22 +334,33 @@ class PlenaryMeeting:
         by_org: Dict[str, List[Member]] = {}
         for m in attendees:
             by_org.setdefault(m.org_id, []).append(m)
+        # Candidate pools and noise-free engagement are fixed for the
+        # whole item (energy only drains after sampling), so build them
+        # once instead of per sampled interaction.
+        cross_org: Dict[str, List[Member]] = {
+            org: [m for m in attendees if m.org_id != org] for org in by_org
+        }
+        expected_engagement = {
+            m.member_id: self.engagement.expected(m, item.format)
+            for m in attendees
+        }
 
         interactions: List[Interaction] = []
+        intensity_scale = item.format.interaction_intensity
         for _ in range(count):
             a = attendees[int(self._rng.integers(0, len(attendees)))]
-            b = self._pick_partner(a, attendees, by_org, item.format.same_org_bias)
+            b = self._pick_partner(a, by_org, cross_org, item.format.same_org_bias)
             if b is None:
                 continue
             mean_engagement = 0.5 * (
-                self.engagement.expected(a, item.format)
-                + self.engagement.expected(b, item.format)
+                expected_engagement[a.member_id]
+                + expected_engagement[b.member_id]
             )
             interactions.append(
                 Interaction(
                     member_a=a.member_id,
                     member_b=b.member_id,
-                    intensity=item.format.interaction_intensity * mean_engagement,
+                    intensity=intensity_scale * mean_engagement,
                     context=item.title,
                 )
             )
@@ -234,12 +369,12 @@ class PlenaryMeeting:
     def _pick_partner(
         self,
         a: Member,
-        attendees: List[Member],
         by_org: Dict[str, List[Member]],
+        cross_org: Dict[str, List[Member]],
         same_org_bias: float,
     ) -> Optional[Member]:
         same_org = [m for m in by_org.get(a.org_id, []) if m is not a]
-        other_org = [m for m in attendees if m.org_id != a.org_id]
+        other_org = cross_org.get(a.org_id, [])
         use_same = self._rng.random() < same_org_bias
         pool = same_org if (use_same and same_org) else other_org
         if not pool:
@@ -248,20 +383,3 @@ class PlenaryMeeting:
             return None
         return pool[int(self._rng.integers(0, len(pool)))]
 
-    def _exchange_knowledge(self, interaction: Interaction) -> float:
-        """Apply mutual learning for one interaction; return the gain."""
-        a = self.consortium.member(interaction.member_a)
-        b = self.consortium.member(interaction.member_b)
-        cultural = self.culture.distance(
-            self.consortium.organization_of(a).country,
-            self.consortium.organization_of(b).country,
-        )
-        before = a.knowledge.total() + b.knowledge.total()
-        new_a, new_b = self.learning.exchange(
-            a.knowledge,
-            b.knowledge,
-            hours=max(0.25, interaction.intensity),
-            cultural_distance=cultural,
-        )
-        a.knowledge, b.knowledge = new_a, new_b
-        return (new_a.total() + new_b.total()) - before

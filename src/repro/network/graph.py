@@ -34,6 +34,15 @@ class CollaborationNetwork:
             )
         self._graph = nx.Graph()
         self.tie_threshold = tie_threshold
+        # Generation counter for the derived-view caches below: every
+        # weight mutation bumps it, so ties()/inter_org_ties() rescan
+        # and re-sort edges only after an actual change instead of on
+        # every query (tie_count, metrics, trajectory points...).
+        self._generation = 0
+        self._ties_cache: List[Tuple[str, str, float]] = []
+        self._ties_generation = -1
+        self._inter_org_cache: List[Tuple[str, str, float]] = []
+        self._inter_org_generation = -1
 
     # -- construction -----------------------------------------------------
 
@@ -65,9 +74,10 @@ class CollaborationNetwork:
         for node in (a, b):
             if node not in self._graph:
                 raise ConfigurationError(f"unknown member {node!r}")
-        current = self._graph.edges.get((a, b), {}).get("weight", 0.0)
-        new = current + amount
+        data = self._graph._adj[a].get(b)
+        new = (data["weight"] if data is not None else 0.0) + amount
         self._graph.add_edge(a, b, weight=new)
+        self._generation += 1
         return new
 
     def weaken_all(self, factor: float, floor: float = 1e-3) -> int:
@@ -79,17 +89,26 @@ class CollaborationNetwork:
         if not 0.0 <= factor <= 1.0:
             raise ConfigurationError(f"decay factor must be in [0,1], got {factor}")
         to_drop = []
-        for a, b, data in self._graph.edges(data=True):
-            data["weight"] *= factor
-            if data["weight"] < floor:
-                to_drop.append((a, b))
+        # Raw adjacency iteration: an undirected edge appears once per
+        # endpoint, so the a < b guard visits (and decays) it exactly once.
+        for a, nbrs in self._graph._adj.items():
+            for b, data in nbrs.items():
+                if a < b:
+                    data["weight"] *= factor
+                    if data["weight"] < floor:
+                        to_drop.append((a, b))
         self._graph.remove_edges_from(to_drop)
+        self._generation += 1
         return len(to_drop)
 
     # -- queries ----------------------------------------------------------
 
     def strength(self, a: str, b: str) -> float:
-        return self._graph.edges.get((a, b), {}).get("weight", 0.0)
+        nbrs = self._graph._adj.get(a)
+        if nbrs is None:
+            return 0.0
+        data = nbrs.get(b)
+        return data["weight"] if data is not None else 0.0
 
     def has_tie(self, a: str, b: str) -> bool:
         """True when the pair's strength reaches the tie threshold."""
@@ -97,7 +116,7 @@ class CollaborationNetwork:
 
     def org_of(self, member_id: str) -> str:
         try:
-            return self._graph.nodes[member_id]["org"]
+            return self._graph._node[member_id]["org"]
         except KeyError:
             raise ConfigurationError(f"unknown member {member_id!r}") from None
 
@@ -106,25 +125,41 @@ class CollaborationNetwork:
         return sorted(self._graph.nodes)
 
     def ties(self) -> List[Tuple[str, str, float]]:
-        """Edges at/above threshold as sorted (a, b, strength) rows."""
-        rows = [
-            (min(a, b), max(a, b), data["weight"])
-            for a, b, data in self._graph.edges(data=True)
-            if data["weight"] >= self.tie_threshold
-        ]
-        rows.sort()
-        return rows
+        """Edges at/above threshold as sorted (a, b, strength) rows.
+
+        The result is cached until the next weight mutation; treat the
+        returned list as read-only.
+        """
+        if self._ties_generation != self._generation:
+            threshold = self.tie_threshold
+            rows = [
+                (a, b, data["weight"])
+                for a, nbrs in self._graph._adj.items()
+                for b, data in nbrs.items()
+                if a < b and data["weight"] >= threshold
+            ]
+            rows.sort()
+            self._ties_cache = rows
+            self._ties_generation = self._generation
+        return self._ties_cache
 
     def tie_count(self) -> int:
         return len(self.ties())
 
     def inter_org_ties(self) -> List[Tuple[str, str, float]]:
-        """Ties whose endpoints belong to different organisations."""
-        return [
-            (a, b, w)
-            for a, b, w in self.ties()
-            if self.org_of(a) != self.org_of(b)
-        ]
+        """Ties whose endpoints belong to different organisations.
+
+        Cached like :meth:`ties`; treat the returned list as read-only.
+        """
+        if self._inter_org_generation != self._generation:
+            nodes = self._graph._node
+            self._inter_org_cache = [
+                (a, b, w)
+                for a, b, w in self.ties()
+                if nodes[a]["org"] != nodes[b]["org"]
+            ]
+            self._inter_org_generation = self._generation
+        return self._inter_org_cache
 
     def org_tie_pairs(self) -> frozenset:
         """Unordered organisation pairs connected by at least one tie.
@@ -156,7 +191,12 @@ class CollaborationNetwork:
         return out
 
     def total_strength(self) -> float:
-        return sum(data["weight"] for _, _, data in self._graph.edges(data=True))
+        return sum(
+            data["weight"]
+            for a, nbrs in self._graph._adj.items()
+            for b, data in nbrs.items()
+            if a < b
+        )
 
     def copy(self) -> "CollaborationNetwork":
         clone = CollaborationNetwork(tie_threshold=self.tie_threshold)
@@ -170,8 +210,10 @@ class CollaborationNetwork:
     def snapshot(self) -> Dict[Tuple[str, str], float]:
         """All edge strengths keyed by sorted pair (including sub-threshold)."""
         return {
-            (min(a, b), max(a, b)): data["weight"]
-            for a, b, data in self._graph.edges(data=True)
+            (a, b): data["weight"]
+            for a, nbrs in self._graph._adj.items()
+            for b, data in nbrs.items()
+            if a < b
         }
 
     def new_ties_since(

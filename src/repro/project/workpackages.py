@@ -109,16 +109,29 @@ class WorkPackage:
     # -- production model ---------------------------------------------------
 
     def knowledge_coverage(self, consortium: Consortium) -> float:
-        """Joint proficiency of the WP's technical staff over its domains."""
+        """Joint proficiency of the WP's technical staff over its domains.
+
+        Memoized on the consortium's ``knowledge_version``: the monthly
+        advancement loop queries coverage every simulated month, but
+        knowledge only changes at plenaries, so most queries hit the
+        cache.
+        """
+        version = consortium.knowledge_version
+        cached = getattr(self, "_coverage_cache", None)
+        if cached is not None and cached[0] is consortium and cached[1] == version:
+            return cached[2]
         members = [
             m
             for org_id in self.partner_org_ids
             for m in consortium.technical_members(org_id)
         ]
         if not members:
-            return 0.0
-        pooled = KnowledgeVector.pooled(m.knowledge for m in members)
-        return pooled.coverage_of(self.domains)
+            coverage = 0.0
+        else:
+            pooled = KnowledgeVector.pooled(m.knowledge for m in members)
+            coverage = pooled.coverage_of(self.domains)
+        self._coverage_cache = (consortium, version, coverage)
+        return coverage
 
     def collaboration_factor(
         self,

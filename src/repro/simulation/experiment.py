@@ -8,6 +8,8 @@ and attaches Mann–Whitney / Cliff's-delta comparisons per metric.
 
 from __future__ import annotations
 
+import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -31,20 +33,76 @@ def extract_metrics(history: ProjectHistory) -> Dict[str, float]:
     return dict(history.totals)
 
 
+def _run_history(
+    scenario: Scenario,
+    runner_factory: Optional[Callable[[Scenario], LongitudinalRunner]],
+) -> ProjectHistory:
+    """Execute one seeded scenario — the unit of work a pool ships out.
+
+    Module-level so it pickles by reference into worker processes.  Each
+    run builds its own :class:`~repro.rng.RngHub` from the scenario seed,
+    so results are independent of which process (or order) runs it.
+    """
+    factory = runner_factory or LongitudinalRunner
+    return factory(scenario).run()
+
+
+def _pool_supported(workers: int, payload: object) -> bool:
+    """True when ``workers`` asks for a pool and ``payload`` can ship.
+
+    A custom ``runner_factory`` may be a lambda or closure, which cannot
+    cross a process boundary; those silently fall back to the serial
+    path rather than failing mid-experiment.
+    """
+    if workers <= 1:
+        return False
+    try:
+        pickle.dumps(payload)
+    except Exception:
+        return False
+    return True
+
+
+def _run_many(
+    scenarios: Sequence[Scenario],
+    runner_factory: Optional[Callable[[Scenario], LongitudinalRunner]],
+    workers: int,
+) -> List[ProjectHistory]:
+    """Run already-seeded scenarios, fanning out across processes.
+
+    Results come back in input order regardless of completion order, and
+    each history is bit-identical to what a serial run would produce —
+    every run derives all randomness from its own seed.
+    """
+    if _pool_supported(workers, (scenarios, runner_factory)):
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(scenarios))
+        ) as pool:
+            futures = [
+                pool.submit(_run_history, scenario, runner_factory)
+                for scenario in scenarios
+            ]
+            return [f.result() for f in futures]
+    return [_run_history(scenario, runner_factory) for scenario in scenarios]
+
+
 def replicate(
     scenario: Scenario,
     seeds: Sequence[int],
     runner_factory: Optional[Callable[[Scenario], LongitudinalRunner]] = None,
+    workers: int = 1,
 ) -> List[ProjectHistory]:
-    """Run ``scenario`` once per seed and return all histories."""
+    """Run ``scenario`` once per seed and return all histories.
+
+    ``workers`` > 1 distributes the seeds over that many processes; the
+    returned histories are in seed order and identical to a serial run.
+    """
     if not seeds:
         raise ConfigurationError("need at least one seed")
-    factory = runner_factory or LongitudinalRunner
-    histories = []
-    for seed in seeds:
-        runner = factory(scenario.with_seed(int(seed)))
-        histories.append(runner.run())
-    return histories
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    seeded = [scenario.with_seed(int(seed)) for seed in seeds]
+    return _run_many(seeded, runner_factory, workers)
 
 
 @dataclass(frozen=True)
@@ -108,10 +166,24 @@ def compare_scenarios(
     scenario_b: Scenario,
     seeds: Sequence[int],
     runner_factory: Optional[Callable[[Scenario], LongitudinalRunner]] = None,
+    workers: int = 1,
 ) -> ComparisonResult:
-    """Run both scenarios over the same seeds and compare their KPIs."""
-    histories_a = replicate(scenario_a, seeds, runner_factory)
-    histories_b = replicate(scenario_b, seeds, runner_factory)
+    """Run both scenarios over the same seeds and compare their KPIs.
+
+    With ``workers`` > 1 both arms share one process pool, so a
+    2-scenario x N-seed comparison keeps every worker busy instead of
+    draining arm A before starting arm B.
+    """
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    seeded = [scenario_a.with_seed(int(s)) for s in seeds] + [
+        scenario_b.with_seed(int(s)) for s in seeds
+    ]
+    histories = _run_many(seeded, runner_factory, workers)
+    histories_a = histories[: len(seeds)]
+    histories_b = histories[len(seeds):]
     result = ComparisonResult(
         name_a=scenario_a.name,
         name_b=scenario_b.name,

@@ -432,6 +432,9 @@ class LongitudinalRunner:
             "new_inter_org_ties": sum(
                 len(r.meeting.new_inter_org_ties) for r in records
             ),
+            "new_provider_owner_ties": sum(
+                len(r.meeting.new_provider_owner_ties) for r in records
+            ),
             "applications_started": (
                 records[-1].applications_started if records else 0
             ),

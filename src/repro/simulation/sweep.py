@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
-from repro.simulation.experiment import extract_metrics
+from repro.simulation.experiment import _run_many, extract_metrics
 from repro.simulation.runner import LongitudinalRunner
 from repro.simulation.scenario import Scenario
 from repro.stats.summary import SampleSummary, describe
@@ -86,33 +86,46 @@ def run_sweep(
         Callable[[Scenario], LongitudinalRunner]
     ] = None,
     label_fn: Optional[Callable[[object], str]] = None,
+    workers: int = 1,
 ) -> SweepResult:
     """Run a full sweep.
 
     Parameters
     ----------
     scenario_factory:
-        ``(parameter_value, seed) -> Scenario``.
+        ``(parameter_value, seed) -> Scenario``.  Always invoked in the
+        parent process, so it may be a lambda even when ``workers`` > 1.
     seeds:
         Replicate seeds, shared across all parameter values (paired
         design — differences are not confounded by world randomness).
     label_fn:
         Optional pretty-printer for parameter values.
+    workers:
+        Processes to spread the ``len(parameter_values) * len(seeds)``
+        grid over.  Point/seed ordering and results match a serial run.
     """
     if not parameter_values:
         raise ConfigurationError("sweep needs at least one parameter value")
     if not seeds:
         raise ConfigurationError("sweep needs at least one seed")
-    make_runner = runner_factory or LongitudinalRunner
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
     label_of = label_fn or str
+    scenarios = [
+        scenario_factory(value, int(seed))
+        for value in parameter_values
+        for seed in seeds
+    ]
+    histories = _run_many(scenarios, runner_factory, workers)
     result = SweepResult(parameter_name=parameter_name)
-    for value in parameter_values:
-        metrics = []
-        for seed in seeds:
-            scenario = scenario_factory(value, int(seed))
-            history = make_runner(scenario).run()
-            metrics.append(extract_metrics(history))
+    per_point = len(seeds)
+    for i, value in enumerate(parameter_values):
+        chunk = histories[i * per_point : (i + 1) * per_point]
         result.points.append(
-            SweepPoint(label=label_of(value), parameter=value, metrics=metrics)
+            SweepPoint(
+                label=label_of(value),
+                parameter=value,
+                metrics=[extract_metrics(h) for h in chunk],
+            )
         )
     return result

@@ -1,0 +1,214 @@
+"""Equivalence guards for the vectorized/parallel hot paths.
+
+The perf work rebuilt :class:`KnowledgeVector` on a dense array, cached
+the network's derived views, and fanned replication out over processes.
+None of that is allowed to change a single observable number, so these
+tests pin each rewrite against an independent reference:
+
+* the array-backed vector against a straightforward dict-of-floats
+  implementation of the same maths;
+* ``replicate(workers=4)`` against the serial path, KPI dict for KPI
+  dict;
+* the ties/inter-org caches against explicit invalidation on every
+  mutating network operation.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cognition.knowledge import DEFAULT_DOMAINS, KnowledgeVector
+from repro.network.graph import CollaborationNetwork
+from repro.simulation.experiment import (
+    compare_scenarios,
+    extract_metrics,
+    replicate,
+)
+from repro.simulation.scenario import megamart_timeline
+
+# ---------------------------------------------------------------------------
+# Reference implementation: the pre-vectorization dict semantics.
+# ---------------------------------------------------------------------------
+
+
+class DictVector:
+    """Plain dict-of-floats mirror of the KnowledgeVector contract."""
+
+    def __init__(self, levels):
+        self.levels = {d: float(v) for d, v in dict(levels).items() if v != 0.0}
+
+    def __getitem__(self, domain):
+        return self.levels.get(domain, 0.0)
+
+    def norm(self):
+        return math.sqrt(sum(v * v for v in self.levels.values()))
+
+    def total(self):
+        return sum(self.levels.values())
+
+    def cosine_similarity(self, other):
+        na, nb = self.norm(), other.norm()
+        if na == 0.0 or nb == 0.0:
+            return 0.0
+        dot = sum(v * other[d] for d, v in self.levels.items())
+        return min(1.0, max(0.0, dot / (na * nb)))
+
+    def absorb(self, other, rate):
+        out = dict(self.levels)
+        for domain in set(self.levels) | set(other.levels):
+            mine, theirs = self[domain], other[domain]
+            if theirs > mine:
+                out[domain] = mine + rate * (theirs - mine)
+        return DictVector(out)
+
+    @staticmethod
+    def pooled(vectors):
+        out = {}
+        for vec in vectors:
+            for domain, level in vec.levels.items():
+                if level > out.get(domain, 0.0):
+                    out[domain] = level
+        return DictVector(out)
+
+    def coverage_of(self, required):
+        req = list(required)
+        if not req:
+            return 0.0
+        return sum(self[d] for d in req) / len(req)
+
+
+domains = st.sampled_from(DEFAULT_DOMAINS)
+levels = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+profiles = st.dictionaries(domains, levels, max_size=8)
+
+
+class TestArrayMatchesDictReference:
+    @given(profiles, profiles)
+    def test_similarity(self, a, b):
+        fast = KnowledgeVector(a).cosine_similarity(KnowledgeVector(b))
+        slow = DictVector(a).cosine_similarity(DictVector(b))
+        assert math.isclose(fast, slow, abs_tol=1e-12)
+
+    @given(profiles)
+    def test_norm_and_total(self, levels_map):
+        fast = KnowledgeVector(levels_map)
+        slow = DictVector(levels_map)
+        assert math.isclose(fast.norm(), slow.norm(), abs_tol=1e-12)
+        assert math.isclose(fast.total(), slow.total(), abs_tol=1e-12)
+
+    @given(profiles, profiles, st.floats(min_value=0.0, max_value=1.0))
+    def test_absorb(self, a, b, rate):
+        fast = KnowledgeVector(a).absorb(KnowledgeVector(b), rate)
+        slow = DictVector(a).absorb(DictVector(b), rate)
+        for domain in DEFAULT_DOMAINS:
+            assert math.isclose(fast[domain], slow[domain], abs_tol=1e-12)
+
+    @given(st.lists(profiles, max_size=5))
+    def test_pooled(self, maps):
+        fast = KnowledgeVector.pooled(KnowledgeVector(m) for m in maps)
+        slow = DictVector.pooled(DictVector(m) for m in maps)
+        for domain in DEFAULT_DOMAINS:
+            assert fast[domain] == slow[domain]
+
+    @given(profiles, st.lists(domains, max_size=6))
+    def test_coverage(self, levels_map, required):
+        fast = KnowledgeVector(levels_map).coverage_of(required)
+        slow = DictVector(levels_map).coverage_of(required)
+        assert math.isclose(fast, slow, abs_tol=1e-12)
+
+    @given(profiles)
+    def test_dict_round_trip(self, levels_map):
+        kv = KnowledgeVector(levels_map)
+        nonzero = {d: v for d, v in levels_map.items() if v != 0.0}
+        assert kv.as_dict() == nonzero
+
+
+# ---------------------------------------------------------------------------
+# Parallel replication: bit-identical to serial.
+# ---------------------------------------------------------------------------
+
+
+class TestParallelDeterminism:
+    SEEDS = [11, 12, 13]
+
+    def test_replicate_workers_match_serial(self):
+        scenario = megamart_timeline(seed=0)
+        serial = replicate(scenario, self.SEEDS, workers=1)
+        parallel = replicate(scenario, self.SEEDS, workers=4)
+        assert [extract_metrics(h) for h in serial] == [
+            extract_metrics(h) for h in parallel
+        ]
+
+    def test_compare_scenarios_workers_match_serial(self):
+        a = megamart_timeline(seed=0)
+        b = megamart_timeline(seed=1)
+        seeds = self.SEEDS[:2]
+        serial = compare_scenarios(a, b, seeds, workers=1)
+        parallel = compare_scenarios(a, b, seeds, workers=4)
+        assert serial.metrics_a == parallel.metrics_a
+        assert serial.metrics_b == parallel.metrics_b
+
+    def test_lambda_factory_falls_back_to_serial(self):
+        from repro.simulation.runner import LongitudinalRunner
+
+        scenario = megamart_timeline(seed=0)
+        factory = lambda sc: LongitudinalRunner(sc)  # noqa: E731
+        histories = replicate(
+            scenario, self.SEEDS[:1], runner_factory=factory, workers=4
+        )
+        baseline = replicate(scenario, self.SEEDS[:1], workers=1)
+        assert extract_metrics(histories[0]) == extract_metrics(baseline[0])
+
+    def test_workers_validation(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            replicate(megamart_timeline(seed=0), [1], workers=0)
+
+
+# ---------------------------------------------------------------------------
+# Network view caches: invalidated by every mutation.
+# ---------------------------------------------------------------------------
+
+
+class TestTiesCacheInvalidation:
+    def _network(self):
+        net = CollaborationNetwork(tie_threshold=0.1)
+        net.add_members([("a", "org1"), ("b", "org2"), ("c", "org3")])
+        return net
+
+    def test_strengthen_invalidates(self):
+        net = self._network()
+        assert net.ties() == []
+        net.strengthen("a", "b", 0.5)
+        assert net.ties() == [("a", "b", 0.5)]
+        net.strengthen("a", "c", 0.2)
+        assert [t[:2] for t in net.ties()] == [("a", "b"), ("a", "c")]
+        assert [t[:2] for t in net.inter_org_ties()] == [("a", "b"), ("a", "c")]
+
+    def test_weaken_all_invalidates(self):
+        net = self._network()
+        net.strengthen("a", "b", 0.5)
+        net.strengthen("a", "c", 0.11)
+        assert net.tie_count() == 2
+        net.weaken_all(0.5)
+        # a-c drops below threshold (0.055), a-b stays (0.25).
+        assert net.ties() == [("a", "b", 0.25)]
+        assert net.inter_org_ties() == [("a", "b", 0.25)]
+
+    def test_sub_threshold_strengthen_still_invalidates(self):
+        net = self._network()
+        net.strengthen("a", "b", 0.06)
+        assert net.ties() == []
+        net.strengthen("a", "b", 0.06)
+        assert net.ties() == [("a", "b", pytest.approx(0.12))]
+
+    def test_repeated_queries_stable_between_mutations(self):
+        net = self._network()
+        net.strengthen("a", "b", 0.3)
+        first = net.ties()
+        assert net.ties() is first  # cache hit, not a rebuild
+        net.strengthen("b", "c", 0.3)
+        assert net.ties() is not first
