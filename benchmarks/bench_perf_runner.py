@@ -6,10 +6,13 @@ regenerates all the others.  It times
 * one full-consortium ``LongitudinalRunner.run()``,
 * a 5-seed serial ``replicate``,
 * the same 5 seeds through ``replicate(..., workers=4)``,
+* a cold-vs-warm ``RunCache.compare_scenarios`` pair over a fresh store,
 
 checks the parallel path returns KPI dicts identical to the serial one,
-and appends the measurements to ``BENCH_perf.json`` at the repo root so
-future perf work has a recorded trajectory.
+checks the warm cache serves bit-identical KPI dicts at >= 10x the cold
+cost, and appends the measurements (including
+``warm_cache_compare_speedup``) to ``BENCH_perf.json`` at the repo root
+so future perf work has a recorded trajectory.
 
 The committed pre-PR reference numbers (serial everything, dict-backed
 knowledge vectors) were measured on the same container as the committed
@@ -22,6 +25,8 @@ interpretable.
 
 import json
 import os
+import shutil
+import tempfile
 import time
 from pathlib import Path
 
@@ -35,6 +40,7 @@ from repro.simulation import (
 )
 from repro.simulation.experiment import extract_metrics
 from repro.simulation.runner import LongitudinalRunner
+from repro.store import RunCache
 from conftest import banner
 
 SEEDS = [0, 1, 2, 3, 4]
@@ -78,11 +84,35 @@ def timings():
             workers=WORKERS,
         ),
     )
+    cache_root = tempfile.mkdtemp(prefix="repro-cache-bench-")
+    try:
+        cache = RunCache(cache_root)
+        t0 = time.perf_counter()
+        cold_result = cache.compare_scenarios(
+            megamart_timeline(), baseline_timeline(), seeds=SEEDS
+        )
+        cache_cold = time.perf_counter() - t0
+        cache_warm = _best_of(
+            3,
+            lambda: cache.compare_scenarios(
+                megamart_timeline(), baseline_timeline(), seeds=SEEDS
+            ),
+        )
+        warm_result = cache.compare_scenarios(
+            megamart_timeline(), baseline_timeline(), seeds=SEEDS
+        )
+        # The store must be invisible in the numbers it returns.
+        assert warm_result.metrics_a == cold_result.metrics_a
+        assert warm_result.metrics_b == cold_result.metrics_b
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
     return {
         "single_run_s": round(single, 4),
         "replicate_5seed_serial_s": round(serial, 4),
         "replicate_5seed_workers4_s": round(parallel, 4),
         "compare_5seed_workers4_s": round(compare, 4),
+        "cache_cold_compare_5seed_s": round(cache_cold, 4),
+        "cache_warm_compare_5seed_s": round(cache_warm, 4),
     }
 
 
@@ -96,6 +126,10 @@ def test_perf_trajectory(benchmark, timings):
     compare_speedup = (
         BASELINE_COMPARE_5SEED_S / timings["compare_5seed_workers4_s"]
     )
+    warm_cache_speedup = (
+        timings["cache_cold_compare_5seed_s"]
+        / timings["cache_warm_compare_5seed_s"]
+    )
     cpus = os.cpu_count() or 1
 
     banner("PERF — longitudinal engine runtime trajectory")
@@ -103,6 +137,7 @@ def test_perf_trajectory(benchmark, timings):
         print(f"  {key:32s} {value:8.3f}s")
     print(f"  single-run speedup vs pre-PR     {single_speedup:8.2f}x")
     print(f"  5-seed compare speedup vs pre-PR {compare_speedup:8.2f}x")
+    print(f"  warm-cache compare speedup       {warm_cache_speedup:8.2f}x")
     print(f"  cpu_count                        {cpus:8d}")
 
     entry = {
@@ -111,6 +146,7 @@ def test_perf_trajectory(benchmark, timings):
         **timings,
         "single_run_speedup": round(single_speedup, 2),
         "compare_5seed_speedup": round(compare_speedup, 2),
+        "warm_cache_compare_speedup": round(warm_cache_speedup, 2),
         "workers": WORKERS,
         "cpu_count": cpus,
     }
@@ -132,6 +168,12 @@ def test_perf_trajectory(benchmark, timings):
             f"5-seed compare speedup {compare_speedup:.2f}x < 8x on "
             f"{cpus} cores"
         )
+    # Shape: a warm run store serves the whole comparison from disk.
+    assert warm_cache_speedup >= 10.0, (
+        f"warm-cache compare speedup {warm_cache_speedup:.2f}x < 10x "
+        f"({timings['cache_warm_compare_5seed_s']:.4f}s warm vs "
+        f"{timings['cache_cold_compare_5seed_s']:.3f}s cold)"
+    )
 
 
 def test_parallel_matches_serial_exactly():

@@ -34,13 +34,19 @@ from repro.simulation import (
 
 __version__ = "1.0.0"
 
+# Imported after __version__ is bound: the store fingerprints scenarios
+# with the model version, so it reads it back off this module.
+from repro.store import BlobStore, RunCache, scenario_fingerprint
+
 __all__ = [
+    "BlobStore",
     "Consortium",
     "HackathonConfig",
     "HackathonEvent",
     "LongitudinalRunner",
     "ReproError",
     "RngHub",
+    "RunCache",
     "Scenario",
     "__version__",
     "baseline_timeline",
@@ -48,5 +54,6 @@ __all__ = [
     "compare_scenarios",
     "megamart2",
     "megamart_timeline",
+    "scenario_fingerprint",
     "small_consortium",
 ]

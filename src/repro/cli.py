@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands, all seeded and deterministic:
+Seven subcommands, all seeded and deterministic:
 
 * ``repro-sim run`` — run one timeline and print the per-plenary table.
 * ``repro-sim compare`` — hackathon vs traditional over N seeds.
@@ -8,19 +8,27 @@ Four subcommands, all seeded and deterministic:
 * ``repro-sim hackathon`` — one standalone hackathon event.
 * ``repro-sim sweep`` — sweep hackathon cadence or session length.
 * ``repro-sim export`` — run a timeline and export the full history.
+* ``repro-sim cache`` — inspect, garbage-collect or clear the run store.
+
+``compare`` and ``sweep`` take ``--workers N`` to fan seeds out over a
+process pool, and ``--cache`` to memoize per-seed KPI dictionaries in
+the content-addressed run store (``--cache-dir``, default
+``.repro-cache``) so repeated invocations only compute missing cells.
 
 Usage (installed via the ``repro-sim`` console script, or
 ``python -m repro.cli``)::
 
     repro-sim run --timeline hackathon --seed 3
-    repro-sim compare --seeds 5
+    repro-sim compare --seeds 5 --workers 4 --cache
     repro-sim figures --seed 0
     repro-sim hackathon --variant tghl --json out.json
+    repro-sim cache stats
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -47,6 +55,7 @@ from repro.simulation import (
     run_sweep,
     virtual_timeline,
 )
+from repro.store import DEFAULT_CACHE_DIR, RunCache
 
 __all__ = ["main", "build_parser"]
 
@@ -76,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
                              help="hackathon vs traditional over N seeds")
     compare.add_argument("--seeds", type=int, default=3,
                          help="number of replicate seeds (default 3)")
+    _add_execution_options(compare)
 
     figures = sub.add_parser("figures", help="regenerate Figs. 1-4 as text")
     figures.add_argument("--seed", type=int, default=0)
@@ -91,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--parameter", choices=("cadence", "session-hours"),
                        default="cadence")
     sweep.add_argument("--seeds", type=int, default=2)
+    _add_execution_options(sweep)
 
     export = sub.add_parser("export",
                             help="run a timeline and export the history")
@@ -99,7 +110,27 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--seed", type=int, default=0)
     export.add_argument("--json", metavar="PATH", required=True)
     export.add_argument("--trajectory-csv", metavar="PATH", default=None)
+
+    cache = sub.add_parser("cache",
+                           help="inspect or maintain the run store")
+    cache.add_argument("action", choices=("stats", "gc", "clear"))
+    cache.add_argument("--cache-dir", metavar="DIR",
+                       default=DEFAULT_CACHE_DIR,
+                       help=f"store location (default {DEFAULT_CACHE_DIR})")
     return parser
+
+
+def _add_execution_options(sub_parser: argparse.ArgumentParser) -> None:
+    """``--workers`` / ``--cache`` knobs shared by compare and sweep."""
+    sub_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="processes for the per-seed runs (default 1 = serial)")
+    sub_parser.add_argument(
+        "--cache", action="store_true",
+        help="memoize per-seed KPI results in the run store")
+    sub_parser.add_argument(
+        "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
+        help=f"store location (default {DEFAULT_CACHE_DIR})")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -129,9 +160,21 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if args.seeds < 1:
         print("error: --seeds must be >= 1", file=sys.stderr)
         return 2
-    result = compare_scenarios(
-        megamart_timeline(), baseline_timeline(), seeds=range(args.seeds)
-    )
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    cache: Optional[RunCache] = None
+    if args.cache:
+        cache = RunCache(args.cache_dir)
+        result = cache.compare_scenarios(
+            megamart_timeline(), baseline_timeline(),
+            seeds=range(args.seeds), workers=args.workers,
+        )
+    else:
+        result = compare_scenarios(
+            megamart_timeline(), baseline_timeline(),
+            seeds=range(args.seeds), workers=args.workers,
+        )
     rows = []
     for comparison in result.all_comparisons():
         rows.append([
@@ -146,7 +189,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         ["KPI", "hackathon", "traditional", "ratio", "p (MWU)"],
         rows, title=f"hackathon vs traditional over {args.seeds} seeds",
     ))
+    _print_cache_summary(cache)
     return 0
+
+
+def _print_cache_summary(cache: Optional[RunCache]) -> None:
+    if cache is not None:
+        print(
+            f"\ncache: {cache.session_hits} hit(s), "
+            f"{cache.session_misses} computed ({cache.root})"
+        )
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -202,6 +254,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.seeds < 1:
         print("error: --seeds must be >= 1", file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
     if args.parameter == "cadence":
         values = [1.0, 2.0, 6.0]
         factory = lambda interval, seed: hackathon_everywhere_timeline(
@@ -227,10 +282,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         label_fn = lambda v: f"2 x {v:g} h"
 
-    result = run_sweep(
-        args.parameter, values, factory, seeds=range(args.seeds),
-        label_fn=label_fn,
-    )
+    cache: Optional[RunCache] = None
+    if args.cache:
+        cache = RunCache(args.cache_dir)
+        result = cache.run_sweep(
+            args.parameter, values, factory, seeds=range(args.seeds),
+            label_fn=label_fn, workers=args.workers,
+        )
+    else:
+        result = run_sweep(
+            args.parameter, values, factory, seeds=range(args.seeds),
+            label_fn=label_fn, workers=args.workers,
+        )
     metrics = ("convincing_demos", "knowledge_transferred",
                "final_burnout_rate")
     print(ascii_table(
@@ -238,6 +301,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         result.table_rows(metrics),
         title=f"sweep of {args.parameter} over {args.seeds} seed(s)",
     ))
+    _print_cache_summary(cache)
     return 0
 
 
@@ -252,6 +316,34 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.action == "stats" and not os.path.isdir(args.cache_dir):
+        print(f"cache {args.cache_dir!r} is empty (directory not created)")
+        return 0
+    cache = RunCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        rows = [
+            ["scenarios (fingerprints)", stats.fingerprints],
+            ["cached runs", stats.runs],
+            ["hits recorded", stats.hits_recorded],
+            ["objects on disk", stats.objects],
+            ["store size (KiB)", round(stats.total_bytes / 1024, 1)],
+        ]
+        print(ascii_table(["metric", "value"], rows,
+                          title=f"run store at {args.cache_dir}"))
+    elif args.action == "gc":
+        report = cache.gc()
+        print(
+            f"gc: removed {report['blobs_removed']} unreferenced blob(s), "
+            f"dropped {report['runs_dropped']} dangling run(s)"
+        )
+    else:  # clear
+        cache.clear()
+        print(f"cleared run store at {args.cache_dir}")
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
@@ -259,6 +351,7 @@ _COMMANDS = {
     "hackathon": _cmd_hackathon,
     "sweep": _cmd_sweep,
     "export": _cmd_export,
+    "cache": _cmd_cache,
 }
 
 

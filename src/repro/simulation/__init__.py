@@ -13,6 +13,7 @@ from repro.simulation.experiment import (
     ComparisonResult,
     MetricComparison,
     compare_scenarios,
+    comparison_from_metrics,
     extract_metrics,
     replicate,
 )
@@ -21,7 +22,12 @@ from repro.simulation.runner import (
     PlenaryRecord,
     ProjectHistory,
 )
-from repro.simulation.sweep import SweepPoint, SweepResult, run_sweep
+from repro.simulation.sweep import (
+    SweepPoint,
+    SweepResult,
+    run_sweep,
+    sweep_from_metrics,
+)
 from repro.simulation.scenario import (
     PlenarySpec,
     Scenario,
@@ -46,11 +52,13 @@ __all__ = [
     "SweepResult",
     "baseline_timeline",
     "compare_scenarios",
+    "comparison_from_metrics",
     "extract_metrics",
     "hackathon_everywhere_timeline",
     "interleaved_timeline",
     "megamart_timeline",
     "replicate",
     "run_sweep",
+    "sweep_from_metrics",
     "virtual_timeline",
 ]

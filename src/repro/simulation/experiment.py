@@ -24,6 +24,7 @@ __all__ = [
     "replicate",
     "MetricComparison",
     "ComparisonResult",
+    "comparison_from_metrics",
     "compare_scenarios",
 ]
 
@@ -161,6 +162,27 @@ class ComparisonResult:
         return [self.comparison(m) for m in self.metric_names()]
 
 
+def comparison_from_metrics(
+    name_a: str,
+    name_b: str,
+    seeds: Sequence[int],
+    metrics_a: Sequence[Dict[str, float]],
+    metrics_b: Sequence[Dict[str, float]],
+) -> ComparisonResult:
+    """Assemble a :class:`ComparisonResult` from precomputed KPI dicts.
+
+    Shared by the live path below and :class:`repro.store.RunCache`,
+    which serves the per-seed dictionaries from disk — both produce
+    structurally identical results.
+    """
+    result = ComparisonResult(
+        name_a=name_a, name_b=name_b, seeds=[int(s) for s in seeds]
+    )
+    result.metrics_a = list(metrics_a)
+    result.metrics_b = list(metrics_b)
+    return result
+
+
 def compare_scenarios(
     scenario_a: Scenario,
     scenario_b: Scenario,
@@ -182,13 +204,10 @@ def compare_scenarios(
         scenario_b.with_seed(int(s)) for s in seeds
     ]
     histories = _run_many(seeded, runner_factory, workers)
-    histories_a = histories[: len(seeds)]
-    histories_b = histories[len(seeds):]
-    result = ComparisonResult(
-        name_a=scenario_a.name,
-        name_b=scenario_b.name,
-        seeds=[int(s) for s in seeds],
+    return comparison_from_metrics(
+        scenario_a.name,
+        scenario_b.name,
+        seeds,
+        [extract_metrics(h) for h in histories[: len(seeds)]],
+        [extract_metrics(h) for h in histories[len(seeds):]],
     )
-    result.metrics_a = [extract_metrics(h) for h in histories_a]
-    result.metrics_b = [extract_metrics(h) for h in histories_b]
-    return result

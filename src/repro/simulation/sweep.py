@@ -17,7 +17,7 @@ from repro.simulation.runner import LongitudinalRunner
 from repro.simulation.scenario import Scenario
 from repro.stats.summary import SampleSummary, describe
 
-__all__ = ["SweepPoint", "SweepResult", "run_sweep"]
+__all__ = ["SweepPoint", "SweepResult", "sweep_from_metrics", "run_sweep"]
 
 
 @dataclass(frozen=True)
@@ -77,6 +77,34 @@ class SweepResult:
         return rows
 
 
+def sweep_from_metrics(
+    parameter_name: str,
+    parameter_values: Sequence[object],
+    per_point_metrics: Sequence[List[Dict[str, float]]],
+    label_fn: Optional[Callable[[object], str]] = None,
+) -> SweepResult:
+    """Assemble a :class:`SweepResult` from precomputed KPI dicts.
+
+    ``per_point_metrics[i]`` holds the per-seed dictionaries for
+    ``parameter_values[i]``.  Shared by :func:`run_sweep` and
+    :class:`repro.store.RunCache`, which fills the grid from disk.
+    """
+    if len(per_point_metrics) != len(parameter_values):
+        raise ConfigurationError(
+            f"got metrics for {len(per_point_metrics)} points, expected "
+            f"{len(parameter_values)}"
+        )
+    label_of = label_fn or str
+    result = SweepResult(parameter_name=parameter_name)
+    for value, metrics in zip(parameter_values, per_point_metrics):
+        result.points.append(
+            SweepPoint(
+                label=label_of(value), parameter=value, metrics=list(metrics)
+            )
+        )
+    return result
+
+
 def run_sweep(
     parameter_name: str,
     parameter_values: Sequence[object],
@@ -110,22 +138,20 @@ def run_sweep(
         raise ConfigurationError("sweep needs at least one seed")
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
-    label_of = label_fn or str
     scenarios = [
         scenario_factory(value, int(seed))
         for value in parameter_values
         for seed in seeds
     ]
     histories = _run_many(scenarios, runner_factory, workers)
-    result = SweepResult(parameter_name=parameter_name)
     per_point = len(seeds)
-    for i, value in enumerate(parameter_values):
-        chunk = histories[i * per_point : (i + 1) * per_point]
-        result.points.append(
-            SweepPoint(
-                label=label_of(value),
-                parameter=value,
-                metrics=[extract_metrics(h) for h in chunk],
-            )
-        )
-    return result
+    chunks = [
+        [
+            extract_metrics(h)
+            for h in histories[i * per_point : (i + 1) * per_point]
+        ]
+        for i in range(len(parameter_values))
+    ]
+    return sweep_from_metrics(
+        parameter_name, parameter_values, chunks, label_fn=label_fn
+    )

@@ -1,0 +1,146 @@
+"""Content-addressed on-disk blob store.
+
+Payloads (JSON-serializable objects) are stored gzip-compressed under
+``objects/ab/cdef…`` where ``abcdef…`` is the SHA-256 of the canonical
+JSON encoding — identical payloads share one object regardless of who
+writes them or how often.  Writes go through a temp file in the target
+directory followed by :func:`os.replace`, so concurrent writers racing
+on the same key are safe (last rename wins, all renames carry identical
+bytes) and a crashed writer never leaves a half-written object behind.
+
+Reads verify the content hash, so a corrupted or truncated object is
+indistinguishable from an absent one — callers just recompute.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import tempfile
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.errors import ConfigurationError
+from repro.store.fingerprint import canonical_json
+
+__all__ = ["BlobStats", "BlobStore"]
+
+_TMP_PREFIX = ".tmp-"
+
+
+@dataclass(frozen=True)
+class BlobStats:
+    """Object count and on-disk footprint of one store."""
+
+    objects: int
+    total_bytes: int
+
+
+class BlobStore:
+    """Sharded, content-addressed object store rooted at ``root``."""
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- addressing -------------------------------------------------------
+
+    @staticmethod
+    def key_for(payload: Any) -> str:
+        """The content key ``put`` would assign to ``payload``."""
+        data = canonical_json(payload).encode("ascii")
+        return hashlib.sha256(data).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        if len(key) < 3 or not all(c in "0123456789abcdef" for c in key):
+            raise ConfigurationError(f"malformed blob key {key!r}")
+        return self.objects_dir / key[:2] / key[2:]
+
+    # -- primitives -------------------------------------------------------
+
+    def put(self, payload: Any) -> str:
+        """Store ``payload`` and return its content key (idempotent)."""
+        data = canonical_json(payload).encode("ascii")
+        key = hashlib.sha256(data).hexdigest()
+        path = self._path(key)
+        if path.exists():
+            return key
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # mtime=0 keeps the compressed bytes deterministic, so two
+        # concurrent writers rename byte-identical files over each other.
+        blob = gzip.compress(data, mtime=0)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=_TMP_PREFIX)
+        try:
+            os.write(fd, blob)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
+        return key
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Load a payload; ``default`` when absent, corrupt or truncated."""
+        path = self._path(key)
+        try:
+            data = gzip.decompress(path.read_bytes())
+        except (OSError, EOFError, gzip.BadGzipFile, zlib.error):
+            return default
+        if hashlib.sha256(data).hexdigest() != key:
+            return default
+        try:
+            return json.loads(data.decode("ascii"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return default
+
+    def has(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def delete(self, key: str) -> bool:
+        try:
+            self._path(key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def keys(self) -> Iterator[str]:
+        for shard in sorted(self.objects_dir.iterdir()):
+            if not shard.is_dir():
+                continue
+            for obj in sorted(shard.iterdir()):
+                if not obj.name.startswith(_TMP_PREFIX):
+                    yield shard.name + obj.name
+
+    # -- maintenance ------------------------------------------------------
+
+    def gc(self, keep: Iterable[str]) -> int:
+        """Delete every object not in ``keep``; return how many died.
+
+        Leftover temp files from crashed writers are swept as well.
+        """
+        live = set(keep)
+        removed = 0
+        for shard in list(self.objects_dir.iterdir()):
+            if not shard.is_dir():
+                continue
+            for obj in list(shard.iterdir()):
+                if obj.name.startswith(_TMP_PREFIX):
+                    obj.unlink(missing_ok=True)
+                    continue
+                if shard.name + obj.name not in live:
+                    obj.unlink(missing_ok=True)
+                    removed += 1
+            if not any(shard.iterdir()):
+                shard.rmdir()
+        return removed
+
+    def stats(self) -> BlobStats:
+        objects = 0
+        total = 0
+        for key in self.keys():
+            objects += 1
+            total += self._path(key).stat().st_size
+        return BlobStats(objects=objects, total_bytes=total)

@@ -1,0 +1,84 @@
+"""Canonical fingerprints for scenarios and configuration mappings.
+
+The run store keys cached results by *what was simulated*, not by how
+the caller happened to spell it: two :class:`~repro.simulation.scenario.Scenario`
+objects that describe the same timeline under the same knobs must hash
+to the same fingerprint, and any change that can alter a run's output
+(a plenary month, a session length, the team policy, the model version)
+must change it.
+
+The fingerprint deliberately **excludes the seed** — the store's unit of
+work is ``(fingerprint, seed)``, so one fingerprint indexes the whole
+replicate family of a scenario.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import Any, Dict, Mapping
+
+from repro.simulation.scenario import Scenario
+
+__all__ = [
+    "canonical_json",
+    "config_fingerprint",
+    "scenario_payload",
+    "scenario_fingerprint",
+    "scenario_summary",
+]
+
+
+def _model_version() -> str:
+    # Imported lazily so repro.store never participates in an import
+    # cycle with the repro package root.
+    from repro import __version__
+
+    return __version__
+
+
+def canonical_json(payload: Any) -> str:
+    """Serialize ``payload`` to a canonical, byte-stable JSON string.
+
+    Keys are sorted and separators fixed, so mappings that differ only
+    in insertion order serialize identically; floats use Python's
+    shortest round-trip repr, so they parse back bit-identical.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def config_fingerprint(config: Mapping[str, Any]) -> str:
+    """SHA-256 over the canonical JSON of an arbitrary config mapping."""
+    return hashlib.sha256(canonical_json(config).encode("ascii")).hexdigest()
+
+
+def scenario_payload(scenario: Scenario) -> Dict[str, Any]:
+    """The scenario's semantic content: every knob except the seed.
+
+    The model version rides along so results cached under one release
+    are never served after the simulator's behaviour changes.
+    """
+    payload = asdict(scenario)
+    payload.pop("seed", None)
+    payload["model_version"] = _model_version()
+    return payload
+
+
+def scenario_fingerprint(scenario: Scenario) -> str:
+    """Stable content hash identifying a scenario across processes."""
+    return config_fingerprint(scenario_payload(scenario))
+
+
+def scenario_summary(scenario: Scenario) -> Dict[str, Any]:
+    """Human-readable manifest entry for a fingerprint."""
+    return {
+        "name": scenario.name,
+        "plenaries": len(scenario.plenaries),
+        "hackathons": scenario.hackathon_count(),
+        "team_policy": scenario.team_policy,
+        "end_month": scenario.end_month,
+        "model_version": _model_version(),
+    }

@@ -1,0 +1,211 @@
+"""JSON-lines manifest mapping fingerprints to cached runs.
+
+The index is the store's directory: one entry per scenario fingerprint
+recording a human-readable summary, the seeds cached so far (seed →
+blob key), creation / last-use timestamps, and a hit counter.  On disk
+it is an append-only JSONL journal — every ``store`` and ``hit`` is one
+line, so concurrent appenders interleave whole records and a crashed
+writer costs at most its last line.  :meth:`RunIndex.compact` rewrites
+the journal as one ``entry`` snapshot per fingerprint.
+
+Unreadable journal lines are skipped on load, mirroring the blob
+store's stance: corruption downgrades to a cache miss, never an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set
+
+__all__ = ["IndexEntry", "IndexStats", "RunIndex"]
+
+
+@dataclass
+class IndexEntry:
+    """All cached runs of one scenario fingerprint."""
+
+    fingerprint: str
+    scenario: Dict[str, Any] = field(default_factory=dict)
+    seeds: Dict[int, str] = field(default_factory=dict)  # seed -> blob key
+    created: float = 0.0
+    last_used: float = 0.0
+    hits: int = 0
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """Aggregate counters over the whole manifest."""
+
+    fingerprints: int
+    runs: int
+    hits: int
+
+
+class RunIndex:
+    """In-memory view over an append-only JSONL manifest."""
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+        self._entries: Dict[str, IndexEntry] = {}
+        self._load()
+
+    # -- journal ----------------------------------------------------------
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="ascii", errors="replace") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn or corrupt line: skip, don't fail
+                if isinstance(record, dict):
+                    self._apply(record)
+
+    def _apply(self, record: Dict[str, Any]) -> None:
+        kind = record.get("event")
+        fingerprint = record.get("fingerprint")
+        if not isinstance(fingerprint, str):
+            return
+        if kind == "store":
+            entry = self._entries.setdefault(
+                fingerprint, IndexEntry(fingerprint=fingerprint)
+            )
+            entry.scenario = record.get("scenario", entry.scenario)
+            entry.seeds[int(record["seed"])] = record["blob"]
+            ts = float(record.get("ts", 0.0))
+            entry.created = entry.created or ts
+            entry.last_used = max(entry.last_used, ts)
+        elif kind == "hit":
+            entry = self._entries.get(fingerprint)
+            if entry is not None:
+                entry.hits += 1
+                entry.last_used = max(
+                    entry.last_used, float(record.get("ts", 0.0))
+                )
+        elif kind == "entry":  # compacted snapshot
+            self._entries[fingerprint] = IndexEntry(
+                fingerprint=fingerprint,
+                scenario=record.get("scenario", {}),
+                seeds={
+                    int(s): b for s, b in record.get("seeds", {}).items()
+                },
+                created=float(record.get("created", 0.0)),
+                last_used=float(record.get("last_used", 0.0)),
+                hits=int(record.get("hits", 0)),
+            )
+
+    def _append(self, records: List[Dict[str, Any]]) -> None:
+        if not records:
+            return
+        lines = "".join(
+            json.dumps(r, sort_keys=True, separators=(",", ":")) + "\n"
+            for r in records
+        )
+        with self.path.open("a", encoding="ascii") as fh:
+            fh.write(lines)
+
+    # -- recording --------------------------------------------------------
+
+    def record_store(
+        self,
+        fingerprint: str,
+        seed: int,
+        blob: str,
+        scenario: Dict[str, Any],
+    ) -> None:
+        record = {
+            "event": "store",
+            "fingerprint": fingerprint,
+            "seed": int(seed),
+            "blob": blob,
+            "scenario": scenario,
+            "ts": time.time(),
+        }
+        self._apply(record)
+        self._append([record])
+
+    def record_hits(self, pairs: List[tuple]) -> None:
+        """Record ``(fingerprint, seed)`` hits in one journal write."""
+        now = time.time()
+        records = [
+            {"event": "hit", "fingerprint": fp, "seed": int(seed), "ts": now}
+            for fp, seed in pairs
+        ]
+        for record in records:
+            self._apply(record)
+        self._append(records)
+
+    # -- queries ----------------------------------------------------------
+
+    def lookup(self, fingerprint: str, seed: int) -> Optional[str]:
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            return None
+        return entry.seeds.get(int(seed))
+
+    def entries(self) -> List[IndexEntry]:
+        return sorted(self._entries.values(), key=lambda e: e.fingerprint)
+
+    def referenced_blobs(self) -> Set[str]:
+        return {
+            blob
+            for entry in self._entries.values()
+            for blob in entry.seeds.values()
+        }
+
+    def stats(self) -> IndexStats:
+        return IndexStats(
+            fingerprints=len(self._entries),
+            runs=sum(len(e.seeds) for e in self._entries.values()),
+            hits=sum(e.hits for e in self._entries.values()),
+        )
+
+    # -- maintenance ------------------------------------------------------
+
+    def drop_blobs(self, dead: Set[str]) -> int:
+        """Forget seeds whose blob is in ``dead``; return runs dropped."""
+        dropped = 0
+        for fingerprint in list(self._entries):
+            entry = self._entries[fingerprint]
+            for seed in [s for s, b in entry.seeds.items() if b in dead]:
+                del entry.seeds[seed]
+                dropped += 1
+            if not entry.seeds:
+                del self._entries[fingerprint]
+        return dropped
+
+    def compact(self) -> None:
+        """Rewrite the journal as one snapshot line per fingerprint."""
+        records = [
+            {
+                "event": "entry",
+                "fingerprint": e.fingerprint,
+                "scenario": e.scenario,
+                "seeds": {str(s): b for s, b in sorted(e.seeds.items())},
+                "created": e.created,
+                "last_used": e.last_used,
+                "hits": e.hits,
+            }
+            for e in self.entries()
+        ]
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with tmp.open("w", encoding="ascii") as fh:
+            for record in records:
+                fh.write(
+                    json.dumps(record, sort_keys=True, separators=(",", ":"))
+                    + "\n"
+                )
+        os.replace(tmp, self.path)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.path.unlink(missing_ok=True)

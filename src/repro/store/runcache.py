@@ -1,0 +1,257 @@
+"""Memoized replication backed by the content-addressed run store.
+
+Every run of the longitudinal simulator is fully determined by
+``(scenario, seed)``, so its KPI dictionary is a pure function of the
+scenario fingerprint and the seed.  :class:`RunCache` exploits that:
+it serves previously computed KPI dictionaries from disk and computes
+only the missing ``(fingerprint, seed)`` cells, fanning misses out over
+the same process pool :func:`~repro.simulation.experiment.replicate`
+uses.  Cached results are **bit-identical** to fresh ones — JSON floats
+round-trip exactly, and the stored value is exactly what
+:func:`~repro.simulation.experiment.extract_metrics` returns.
+
+Because the cache is keyed per cell, interrupted work resumes for free:
+re-invoking a killed or extended sweep recomputes only the cells that
+never made it to disk.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.errors import ConfigurationError
+from repro.simulation.experiment import (
+    ComparisonResult,
+    _pool_supported,
+    _run_history,
+    comparison_from_metrics,
+    extract_metrics,
+)
+from repro.simulation.runner import LongitudinalRunner
+from repro.simulation.scenario import Scenario
+from repro.simulation.sweep import SweepResult, sweep_from_metrics
+from repro.store.blobstore import BlobStore
+from repro.store.fingerprint import scenario_fingerprint, scenario_summary
+from repro.store.index import RunIndex
+
+__all__ = ["CacheStats", "RunCache"]
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """One snapshot of the store, for ``repro-sim cache stats``."""
+
+    fingerprints: int
+    runs: int
+    hits_recorded: int
+    objects: int
+    total_bytes: int
+
+
+class RunCache:
+    """Disk-backed ``(scenario, seed) → KPI dictionary`` memo table.
+
+    Wraps the three experiment entry points — :meth:`replicate`,
+    :meth:`compare_scenarios` and :meth:`run_sweep` — behind the store.
+    ``workers`` only ever applies to the cells actually computed.
+    """
+
+    def __init__(
+        self,
+        root: os.PathLike = DEFAULT_CACHE_DIR,
+        runner_factory: Optional[
+            Callable[[Scenario], LongitudinalRunner]
+        ] = None,
+    ) -> None:
+        self.root = os.fspath(root)
+        self.blobs = BlobStore(self.root)
+        self.index = RunIndex(os.path.join(self.root, "index.jsonl"))
+        self.runner_factory = runner_factory
+        #: Cells served from disk / computed since this instance opened.
+        self.session_hits = 0
+        self.session_misses = 0
+
+    # -- core -------------------------------------------------------------
+
+    def fetch_metrics(
+        self, scenarios: Sequence[Scenario], workers: int = 1
+    ) -> List[Dict[str, float]]:
+        """KPI dictionaries for already-seeded scenarios, in input order.
+
+        Hits load from the blob store; misses (including entries whose
+        blob turns out corrupt) are computed, stored and returned.
+        """
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        fingerprints = [scenario_fingerprint(s) for s in scenarios]
+        metrics: List[Optional[Dict[str, float]]] = [None] * len(scenarios)
+        missing: List[int] = []
+        hit_pairs = []
+        for i, (scenario, fingerprint) in enumerate(
+            zip(scenarios, fingerprints)
+        ):
+            blob = self.index.lookup(fingerprint, scenario.seed)
+            payload = self.blobs.get(blob) if blob is not None else None
+            if payload is None:
+                missing.append(i)
+            else:
+                metrics[i] = payload
+                hit_pairs.append((fingerprint, scenario.seed))
+        if hit_pairs:
+            self.index.record_hits(hit_pairs)
+            self.session_hits += len(hit_pairs)
+        if missing:
+            self._compute_missing(scenarios, fingerprints, metrics,
+                                  missing, workers)
+        return metrics  # type: ignore[return-value]
+
+    def _compute_missing(
+        self,
+        scenarios: Sequence[Scenario],
+        fingerprints: List[str],
+        metrics: List[Optional[Dict[str, float]]],
+        missing: List[int],
+        workers: int,
+    ) -> None:
+        """Run the missing cells, persisting each as soon as it lands.
+
+        Per-cell persistence is what makes interrupted work resumable: a
+        sweep killed mid-grid keeps every cell that finished, whether
+        the runs were serial or pooled.
+        """
+
+        def store(i: int, history) -> None:
+            computed = extract_metrics(history)
+            blob = self.blobs.put(computed)
+            self.index.record_store(
+                fingerprints[i],
+                scenarios[i].seed,
+                blob,
+                scenario_summary(scenarios[i]),
+            )
+            # Serve the disk round-trip, not the in-memory dict, so a
+            # cold call returns exactly what every warm call will.
+            metrics[i] = self.blobs.get(blob, computed)
+            self.session_misses += 1
+
+        pending = [scenarios[i] for i in missing]
+        if _pool_supported(workers, (pending, self.runner_factory)):
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending))
+            ) as pool:
+                futures = [
+                    pool.submit(_run_history, s, self.runner_factory)
+                    for s in pending
+                ]
+                for i, future in zip(missing, futures):
+                    store(i, future.result())
+        else:
+            for i, scenario in zip(missing, pending):
+                store(i, _run_history(scenario, self.runner_factory))
+
+    # -- experiment API ---------------------------------------------------
+
+    def replicate(
+        self, scenario: Scenario, seeds: Sequence[int], workers: int = 1
+    ) -> List[Dict[str, float]]:
+        """KPI dictionaries of ``scenario`` under each seed, memoized."""
+        if not seeds:
+            raise ConfigurationError("need at least one seed")
+        seeded = [scenario.with_seed(int(seed)) for seed in seeds]
+        return self.fetch_metrics(seeded, workers=workers)
+
+    def compare_scenarios(
+        self,
+        scenario_a: Scenario,
+        scenario_b: Scenario,
+        seeds: Sequence[int],
+        workers: int = 1,
+    ) -> ComparisonResult:
+        """Memoized :func:`~repro.simulation.experiment.compare_scenarios`."""
+        if not seeds:
+            raise ConfigurationError("need at least one seed")
+        seeded = [scenario_a.with_seed(int(s)) for s in seeds] + [
+            scenario_b.with_seed(int(s)) for s in seeds
+        ]
+        metrics = self.fetch_metrics(seeded, workers=workers)
+        return comparison_from_metrics(
+            scenario_a.name,
+            scenario_b.name,
+            seeds,
+            metrics[: len(seeds)],
+            metrics[len(seeds):],
+        )
+
+    def run_sweep(
+        self,
+        parameter_name: str,
+        parameter_values: Sequence[object],
+        scenario_factory: Callable[[object, int], Scenario],
+        seeds: Sequence[int],
+        label_fn: Optional[Callable[[object], str]] = None,
+        workers: int = 1,
+    ) -> SweepResult:
+        """Memoized :func:`~repro.simulation.sweep.run_sweep`.
+
+        Resume comes for free: a sweep interrupted mid-grid, or extended
+        with new parameter values or seeds, recomputes only the
+        ``(value, seed)`` cells absent from the store.
+        """
+        if not parameter_values:
+            raise ConfigurationError(
+                "sweep needs at least one parameter value"
+            )
+        if not seeds:
+            raise ConfigurationError("sweep needs at least one seed")
+        scenarios = [
+            scenario_factory(value, int(seed))
+            for value in parameter_values
+            for seed in seeds
+        ]
+        metrics = self.fetch_metrics(scenarios, workers=workers)
+        per_point = len(seeds)
+        chunks = [
+            metrics[i * per_point : (i + 1) * per_point]
+            for i in range(len(parameter_values))
+        ]
+        return sweep_from_metrics(
+            parameter_name, parameter_values, chunks, label_fn=label_fn
+        )
+
+    # -- maintenance ------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        index_stats = self.index.stats()
+        blob_stats = self.blobs.stats()
+        return CacheStats(
+            fingerprints=index_stats.fingerprints,
+            runs=index_stats.runs,
+            hits_recorded=index_stats.hits,
+            objects=blob_stats.objects,
+            total_bytes=blob_stats.total_bytes,
+        )
+
+    def gc(self) -> Dict[str, int]:
+        """Drop unreferenced blobs and index rows whose blob vanished.
+
+        Returns ``{"blobs_removed": ..., "runs_dropped": ...}``.
+        """
+        referenced = self.index.referenced_blobs()
+        blobs_removed = self.blobs.gc(keep=referenced)
+        dead = {key for key in referenced if not self.blobs.has(key)}
+        runs_dropped = self.index.drop_blobs(dead) if dead else 0
+        self.index.compact()
+        return {"blobs_removed": blobs_removed, "runs_dropped": runs_dropped}
+
+    def clear(self) -> None:
+        """Delete every object and the manifest."""
+        self.index.clear()
+        shutil.rmtree(self.blobs.objects_dir, ignore_errors=True)
+        self.blobs.objects_dir.mkdir(parents=True, exist_ok=True)

@@ -25,6 +25,48 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["hackathon", "--variant", "nope"])
 
+    def test_compare_execution_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.workers == 1
+        assert args.cache is False
+        assert args.cache_dir == ".repro-cache"
+
+    def test_sweep_accepts_workers_and_cache(self):
+        args = build_parser().parse_args(
+            ["sweep", "--workers", "4", "--cache", "--cache-dir", "/tmp/c"]
+        )
+        assert args.workers == 4
+        assert args.cache is True
+        assert args.cache_dir == "/tmp/c"
+
+    def test_cache_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "defrag"])
+
+    def test_docstring_lists_every_subcommand(self):
+        """The module docstring count stays in sync with the parser."""
+        import repro.cli as cli_module
+
+        documented = {
+            line.split("``")[1].split()[1]
+            for line in cli_module.__doc__.splitlines()
+            if line.startswith("* ``repro-sim ")
+        }
+        sub_actions = [
+            a for a in build_parser()._actions
+            if hasattr(a, "choices") and a.choices
+            and "compare" in a.choices
+        ]
+        assert documented == set(sub_actions[0].choices)
+        count_words = {1: "One", 2: "Two", 3: "Three", 4: "Four", 5: "Five",
+                       6: "Six", 7: "Seven", 8: "Eight", 9: "Nine",
+                       10: "Ten"}
+        assert cli_module.__doc__.splitlines()[2].startswith(
+            f"{count_words[len(documented)]} subcommands"
+        )
+
 
 class TestCommands:
     def test_run_prints_timeline_table(self, capsys):
@@ -49,6 +91,14 @@ class TestCommands:
     def test_compare_invalid_seeds(self, capsys):
         assert main(["compare", "--seeds", "0"]) == 2
 
+    def test_compare_invalid_workers(self, capsys):
+        assert main(["compare", "--workers", "0"]) == 2
+
+    def test_compare_with_workers(self, capsys):
+        assert main(["compare", "--seeds", "1", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "new_inter_org_ties" in out
+
     def test_figures(self, capsys):
         assert main(["figures", "--seed", "0"]) == 0
         out = capsys.readouterr().out
@@ -66,6 +116,58 @@ class TestCommands:
         payload = json.loads(path.read_text())
         assert payload["variant"] == "tghl"
         assert payload["showcases"]
+
+
+class TestCacheCommands:
+    def test_compare_cache_cold_then_warm(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "store")
+        assert main(["compare", "--seeds", "1", "--cache",
+                     "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "cache: 0 hit(s), 2 computed" in out
+        assert main(["compare", "--seeds", "1", "--cache",
+                     "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "cache: 2 hit(s), 0 computed" in out
+
+    def test_compare_cache_extends_seed_range(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "store")
+        assert main(["compare", "--seeds", "1", "--cache",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["compare", "--seeds", "2", "--cache",
+                     "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "cache: 2 hit(s), 2 computed" in out
+
+    def test_sweep_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "store")
+        assert main(["sweep", "--seeds", "1", "--cache",
+                     "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "cache: 0 hit(s), 3 computed" in out
+
+    def test_sweep_invalid_workers(self, capsys):
+        assert main(["sweep", "--workers", "0"]) == 2
+
+    def test_cache_stats_missing_dir(self, tmp_path, capsys):
+        assert main(["cache", "stats",
+                     "--cache-dir", str(tmp_path / "absent")]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_cache_stats_gc_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "store")
+        main(["compare", "--seeds", "1", "--cache", "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "cached runs" in out and "| 2" in out
+        assert main(["cache", "gc", "--cache-dir", cache_dir]) == 0
+        assert "removed 0 unreferenced" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "| 0" in capsys.readouterr().out
 
 
 class TestSweepAndExport:

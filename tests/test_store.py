@@ -1,0 +1,368 @@
+"""Tests for the content-addressed run store (repro.store)."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation import (
+    LongitudinalRunner,
+    baseline_timeline,
+    compare_scenarios,
+    megamart_timeline,
+    replicate,
+    run_sweep,
+)
+from repro.simulation.experiment import extract_metrics
+from repro.simulation.scenario import PlenarySpec, Scenario
+from repro.store import (
+    BlobStore,
+    RunCache,
+    RunIndex,
+    config_fingerprint,
+    scenario_fingerprint,
+    scenario_summary,
+)
+
+
+def tiny_timeline(seed=0, cadence=6.0, session_hours=4.0):
+    return Scenario(
+        name="tiny",
+        seed=seed,
+        plenaries=(
+            PlenarySpec("Rome", 0.0, "traditional"),
+            PlenarySpec("Helsinki", cadence, "hackathon",
+                        session_hours=session_hours),
+        ),
+        horizon_months=cadence + 3.0,
+    )
+
+
+class CountingFactory:
+    """Runner factory that counts how many simulations actually run."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, scenario):
+        self.calls += 1
+        return LongitudinalRunner(scenario)
+
+
+# ---------------------------------------------------------------------------
+# fingerprints
+
+
+class TestFingerprint:
+    def test_stable_across_objects(self):
+        assert scenario_fingerprint(megamart_timeline()) == \
+            scenario_fingerprint(megamart_timeline())
+
+    def test_seed_excluded(self):
+        s = megamart_timeline()
+        assert scenario_fingerprint(s) == scenario_fingerprint(s.with_seed(9))
+
+    def test_reordered_but_equal_config_hashes_equal(self):
+        a = {"cadence": 6.0, "policy": "subscription", "sessions": 2}
+        b = {"sessions": 2, "cadence": 6.0, "policy": "subscription"}
+        assert list(a) != list(b)  # genuinely different insertion order
+        assert config_fingerprint(a) == config_fingerprint(b)
+
+    def test_changed_cadence_hashes_differ(self):
+        assert scenario_fingerprint(tiny_timeline(cadence=6.0)) != \
+            scenario_fingerprint(tiny_timeline(cadence=3.0))
+
+    def test_changed_session_hours_differ(self):
+        assert scenario_fingerprint(tiny_timeline(session_hours=4.0)) != \
+            scenario_fingerprint(tiny_timeline(session_hours=2.0))
+
+    def test_different_timelines_differ(self):
+        assert scenario_fingerprint(megamart_timeline()) != \
+            scenario_fingerprint(baseline_timeline())
+
+    def test_model_version_in_payload(self, monkeypatch):
+        import repro
+
+        before = scenario_fingerprint(megamart_timeline())
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        assert scenario_fingerprint(megamart_timeline()) != before
+
+    def test_summary_is_json_serializable(self):
+        summary = scenario_summary(megamart_timeline())
+        assert summary["name"] == "megamart-hackathon"
+        assert summary["hackathons"] == 2
+        json.dumps(summary)
+
+
+# ---------------------------------------------------------------------------
+# blob store
+
+
+class TestBlobStore:
+    def test_roundtrip(self, tmp_path):
+        store = BlobStore(tmp_path)
+        payload = {"knowledge": 12.5, "ties": 3}
+        key = store.put(payload)
+        assert store.has(key)
+        assert store.get(key) == payload
+
+    def test_content_addressing_dedupes(self, tmp_path):
+        store = BlobStore(tmp_path)
+        k1 = store.put({"a": 1, "b": 2})
+        k2 = store.put({"b": 2, "a": 1})  # same content, other order
+        assert k1 == k2
+        assert store.stats().objects == 1
+
+    def test_sharded_layout(self, tmp_path):
+        store = BlobStore(tmp_path)
+        key = store.put({"x": 1})
+        assert (tmp_path / "objects" / key[:2] / key[2:]).exists()
+
+    def test_missing_returns_default(self, tmp_path):
+        store = BlobStore(tmp_path)
+        assert store.get("ab" + "0" * 62, default="nope") == "nope"
+
+    def test_corrupted_blob_returns_default(self, tmp_path):
+        store = BlobStore(tmp_path)
+        key = store.put({"x": 1})
+        path = tmp_path / "objects" / key[:2] / key[2:]
+        path.write_bytes(b"not gzip at all")
+        assert store.get(key, default=None) is None
+
+    def test_wrong_content_rejected_by_hash_check(self, tmp_path):
+        store = BlobStore(tmp_path)
+        key = store.put({"x": 1})
+        path = tmp_path / "objects" / key[:2] / key[2:]
+        # Valid gzip, wrong content for this address.
+        path.write_bytes(gzip.compress(b'{"x":2}', mtime=0))
+        assert store.get(key) is None
+
+    def test_concurrent_writers_same_root(self, tmp_path):
+        a = BlobStore(tmp_path)
+        b = BlobStore(tmp_path)
+        ka = a.put({"shared": True})
+        kb = b.put({"shared": True})
+        assert ka == kb
+        assert a.get(ka) == b.get(kb) == {"shared": True}
+
+    def test_gc_removes_unreferenced_and_tmp_files(self, tmp_path):
+        store = BlobStore(tmp_path)
+        keep = store.put({"keep": 1})
+        store.put({"drop": 1})
+        shard = (tmp_path / "objects" / keep[:2])
+        (shard / ".tmp-crashed").write_bytes(b"partial")
+        removed = store.gc(keep=[keep])
+        assert removed == 1
+        assert store.has(keep)
+        assert not (shard / ".tmp-crashed").exists()
+        assert store.stats().objects == 1
+
+    def test_malformed_key_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            BlobStore(tmp_path).get("../../etc/passwd")
+
+
+# ---------------------------------------------------------------------------
+# index
+
+
+class TestRunIndex:
+    def test_store_lookup_and_hits(self, tmp_path):
+        index = RunIndex(tmp_path / "index.jsonl")
+        index.record_store("f" * 64, 3, "b" * 64, {"name": "x"})
+        assert index.lookup("f" * 64, 3) == "b" * 64
+        assert index.lookup("f" * 64, 4) is None
+        index.record_hits([("f" * 64, 3)])
+        assert index.stats().hits == 1
+
+    def test_reload_from_journal(self, tmp_path):
+        path = tmp_path / "index.jsonl"
+        index = RunIndex(path)
+        index.record_store("f" * 64, 1, "b" * 64, {"name": "x"})
+        index.record_hits([("f" * 64, 1), ("f" * 64, 1)])
+        reloaded = RunIndex(path)
+        assert reloaded.lookup("f" * 64, 1) == "b" * 64
+        assert reloaded.stats().hits == 2
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        path = tmp_path / "index.jsonl"
+        index = RunIndex(path)
+        index.record_store("f" * 64, 1, "b" * 64, {"name": "x"})
+        with path.open("a") as fh:
+            fh.write("{torn line\n")
+        index.record_store("e" * 64, 2, "c" * 64, {"name": "y"})
+        reloaded = RunIndex(path)
+        assert reloaded.stats().runs == 2
+
+    def test_compact_preserves_state(self, tmp_path):
+        path = tmp_path / "index.jsonl"
+        index = RunIndex(path)
+        index.record_store("f" * 64, 1, "b" * 64, {"name": "x"})
+        index.record_hits([("f" * 64, 1)] * 3)
+        index.compact()
+        assert len(path.read_text().splitlines()) == 1
+        reloaded = RunIndex(path)
+        assert reloaded.lookup("f" * 64, 1) == "b" * 64
+        assert reloaded.stats().hits == 3
+
+
+# ---------------------------------------------------------------------------
+# run cache
+
+
+class TestRunCache:
+    def test_cached_metrics_bit_identical_to_fresh(self, tmp_path):
+        cache = RunCache(tmp_path)
+        seeds = [0, 1]
+        cold = cache.compare_scenarios(
+            megamart_timeline(), baseline_timeline(), seeds=seeds
+        )
+        warm = cache.compare_scenarios(
+            megamart_timeline(), baseline_timeline(), seeds=seeds
+        )
+        fresh = compare_scenarios(
+            megamart_timeline(), baseline_timeline(), seeds=seeds
+        )
+        assert cold.metrics_a == warm.metrics_a == fresh.metrics_a
+        assert cold.metrics_b == warm.metrics_b == fresh.metrics_b
+        assert [c.metric for c in warm.all_comparisons()] == \
+            [c.metric for c in fresh.all_comparisons()]
+
+    def test_replicate_matches_live_replicate(self, tmp_path):
+        factory = CountingFactory()
+        cache = RunCache(tmp_path, runner_factory=factory)
+        cached = cache.replicate(tiny_timeline(), seeds=[0, 1, 2])
+        live = [
+            extract_metrics(h)
+            for h in replicate(tiny_timeline(), seeds=[0, 1, 2])
+        ]
+        assert cached == live
+        assert factory.calls == 3
+
+    def test_warm_call_runs_nothing(self, tmp_path):
+        factory = CountingFactory()
+        cache = RunCache(tmp_path, runner_factory=factory)
+        cache.replicate(tiny_timeline(), seeds=[0, 1])
+        assert factory.calls == 2
+        again = cache.replicate(tiny_timeline(), seeds=[0, 1])
+        assert factory.calls == 2  # pure disk serve
+        assert cache.session_hits == 2
+        assert len(again) == 2
+
+    def test_corrupt_blob_recomputed(self, tmp_path):
+        factory = CountingFactory()
+        cache = RunCache(tmp_path, runner_factory=factory)
+        [metrics] = cache.replicate(tiny_timeline(), seeds=[5])
+        fingerprint = scenario_fingerprint(tiny_timeline())
+        blob = cache.index.lookup(fingerprint, 5)
+        path = cache.blobs._path(blob)
+        path.write_bytes(b"garbage")
+        [recomputed] = cache.replicate(tiny_timeline(), seeds=[5])
+        assert factory.calls == 2
+        assert recomputed == metrics
+
+    def test_persists_across_instances(self, tmp_path):
+        cache = RunCache(tmp_path)
+        first = cache.replicate(tiny_timeline(), seeds=[0])
+        factory = CountingFactory()
+        reopened = RunCache(tmp_path, runner_factory=factory)
+        second = reopened.replicate(tiny_timeline(), seeds=[0])
+        assert factory.calls == 0
+        assert first == second
+
+    def test_validation(self, tmp_path):
+        cache = RunCache(tmp_path)
+        with pytest.raises(ConfigurationError):
+            cache.replicate(tiny_timeline(), seeds=[])
+        with pytest.raises(ConfigurationError):
+            cache.replicate(tiny_timeline(), seeds=[0], workers=0)
+        with pytest.raises(ConfigurationError):
+            cache.run_sweep("p", [], lambda v, s: tiny_timeline(s), [0])
+
+    def test_clear_and_stats(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.replicate(tiny_timeline(), seeds=[0, 1])
+        stats = cache.stats()
+        assert stats.runs == 2 and stats.objects == 2
+        cache.clear()
+        stats = cache.stats()
+        assert stats.runs == 0 and stats.objects == 0
+
+    def test_gc_drops_unreferenced_blobs(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.replicate(tiny_timeline(), seeds=[0])
+        cache.blobs.put({"orphan": True})
+        report = cache.gc()
+        assert report["blobs_removed"] == 1
+        assert cache.stats().runs == 1
+
+    def test_gc_drops_runs_with_missing_blobs(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.replicate(tiny_timeline(), seeds=[0])
+        fingerprint = scenario_fingerprint(tiny_timeline())
+        blob = cache.index.lookup(fingerprint, 0)
+        cache.blobs.delete(blob)
+        report = cache.gc()
+        assert report["runs_dropped"] == 1
+        assert cache.stats().runs == 0
+
+
+class TestSweepResume:
+    def test_resumed_sweep_recomputes_only_missing_cells(self, tmp_path):
+        def factory_for(counter):
+            def scenario_factory(cadence, seed):
+                return tiny_timeline(seed=seed, cadence=cadence)
+            return scenario_factory
+
+        counting = CountingFactory()
+        cache = RunCache(tmp_path, runner_factory=counting)
+        scenario_factory = factory_for(counting)
+
+        # "Interrupted" sweep: only 2 of 3 cadences, 2 of 3 seeds done.
+        cache.run_sweep("cadence", [3.0, 6.0], scenario_factory,
+                        seeds=[0, 1])
+        assert counting.calls == 4
+
+        # Resume with the full grid: 3 cadences x 3 seeds = 9 cells,
+        # 4 already on disk -> exactly 5 new simulations.
+        full = cache.run_sweep("cadence", [3.0, 6.0, 9.0],
+                               scenario_factory, seeds=[0, 1, 2])
+        assert counting.calls == 4 + 5
+        assert cache.session_hits == 4
+
+        fresh = run_sweep("cadence", [3.0, 6.0, 9.0], scenario_factory,
+                          seeds=[0, 1, 2])
+        assert full.labels() == fresh.labels()
+        for cached_point, fresh_point in zip(full.points, fresh.points):
+            assert cached_point.metrics == fresh_point.metrics
+
+    def test_interrupted_mid_grid_resumes(self, tmp_path):
+        """A crash mid-sweep leaves completed cells usable."""
+        counting = CountingFactory()
+
+        class Boom(RuntimeError):
+            pass
+
+        class ExplodingFactory:
+            def __init__(self, fuse):
+                self.fuse = fuse
+
+            def __call__(self, scenario):
+                if counting.calls >= self.fuse:
+                    raise Boom()
+                return counting(scenario)
+
+        cache = RunCache(tmp_path, runner_factory=ExplodingFactory(fuse=2))
+        scenario_factory = lambda cadence, seed: tiny_timeline(
+            seed=seed, cadence=cadence
+        )
+        with pytest.raises(Boom):
+            cache.run_sweep("cadence", [3.0, 6.0], scenario_factory,
+                            seeds=[0, 1])
+        assert cache.stats().runs == 2  # the cells that finished
+
+        cache2 = RunCache(tmp_path, runner_factory=counting)
+        cache2.run_sweep("cadence", [3.0, 6.0], scenario_factory,
+                         seeds=[0, 1])
+        assert counting.calls == 4  # 2 before the crash + 2 resumed
