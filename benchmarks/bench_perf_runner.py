@@ -7,11 +7,15 @@ regenerates all the others.  It times
 * a 5-seed serial ``replicate``,
 * the same 5 seeds through ``replicate(..., workers=4)``,
 * a cold-vs-warm ``RunCache.compare_scenarios`` pair over a fresh store,
+* the HTTP service: sustained cached-job throughput (jobs/sec) and the
+  p50/p99 submit→done latency of a 5-seed compare served entirely from
+  a warm store over ``repro.service``,
 
 checks the parallel path returns KPI dicts identical to the serial one,
 checks the warm cache serves bit-identical KPI dicts at >= 10x the cold
-cost, and appends the measurements (including
-``warm_cache_compare_speedup``) to ``BENCH_perf.json`` at the repo root
+cost, checks the served KPIs equal the in-process ones, and appends the
+measurements (including ``warm_cache_compare_speedup`` and
+``service_cached_jobs_per_s``) to ``BENCH_perf.json`` at the repo root
 so future perf work has a recorded trajectory.
 
 The committed pre-PR reference numbers (serial everything, dict-backed
@@ -106,6 +110,7 @@ def timings():
         assert warm_result.metrics_b == cold_result.metrics_b
     finally:
         shutil.rmtree(cache_root, ignore_errors=True)
+    service = _service_timings()
     return {
         "single_run_s": round(single, 4),
         "replicate_5seed_serial_s": round(serial, 4),
@@ -113,6 +118,59 @@ def timings():
         "compare_5seed_workers4_s": round(compare, 4),
         "cache_cold_compare_5seed_s": round(cache_cold, 4),
         "cache_warm_compare_5seed_s": round(cache_warm, 4),
+        **service,
+    }
+
+
+SERVICE_JOBS = 40
+
+
+def _service_timings():
+    """Sustained cached-job throughput and latency over real HTTP."""
+    from repro.service import ServiceClient, build_server, serve
+
+    cache_root = tempfile.mkdtemp(prefix="repro-service-bench-")
+    try:
+        cache = RunCache(cache_root)
+        # Warm the store so every served job is a pure cache workload.
+        warm = cache.compare_scenarios(
+            megamart_timeline(), baseline_timeline(), seeds=SEEDS
+        )
+        server = build_server(port=0, cache=cache)
+        serve(server)
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{server.server_port}"
+            )
+            params = {"a": "hackathon", "b": "traditional",
+                      "seeds": len(SEEDS)}
+            latencies = []
+            t_start = time.perf_counter()
+            for _ in range(SERVICE_JOBS):
+                t0 = time.perf_counter()
+                job = client.submit("compare", params)["job"]
+                client.wait(job["id"], timeout=30, interval=0.002)
+                latencies.append(time.perf_counter() - t0)
+            elapsed = time.perf_counter() - t_start
+            # Served KPIs must equal the in-process cached ones.
+            from repro.service.specs import comparison_from_payload
+
+            served = comparison_from_payload(client.result(job["id"]))
+            assert served.metrics_a == warm.metrics_a
+            assert served.metrics_b == warm.metrics_b
+        finally:
+            server.shutdown()
+            server.server_close()
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+    latencies.sort()
+    p50 = latencies[len(latencies) // 2]
+    p99 = latencies[min(len(latencies) - 1,
+                        int(len(latencies) * 0.99))]
+    return {
+        "service_cached_jobs_per_s": round(SERVICE_JOBS / elapsed, 1),
+        "service_submit_done_p50_ms": round(p50 * 1000, 2),
+        "service_submit_done_p99_ms": round(p99 * 1000, 2),
     }
 
 
@@ -134,7 +192,13 @@ def test_perf_trajectory(benchmark, timings):
 
     banner("PERF — longitudinal engine runtime trajectory")
     for key, value in timings.items():
-        print(f"  {key:32s} {value:8.3f}s")
+        if key.endswith("_ms"):
+            unit = "ms"
+        elif key.endswith("_s") and not key.endswith("_per_s"):
+            unit = "s"
+        else:
+            unit = ""
+        print(f"  {key:32s} {value:8.3f}{unit}")
     print(f"  single-run speedup vs pre-PR     {single_speedup:8.2f}x")
     print(f"  5-seed compare speedup vs pre-PR {compare_speedup:8.2f}x")
     print(f"  warm-cache compare speedup       {warm_cache_speedup:8.2f}x")
@@ -173,6 +237,13 @@ def test_perf_trajectory(benchmark, timings):
         f"warm-cache compare speedup {warm_cache_speedup:.2f}x < 10x "
         f"({timings['cache_warm_compare_5seed_s']:.4f}s warm vs "
         f"{timings['cache_cold_compare_5seed_s']:.3f}s cold)"
+    )
+    # Shape: the HTTP layer adds little enough overhead that a warm
+    # store sustains double-digit cached jobs per second end to end.
+    assert timings["service_cached_jobs_per_s"] >= 10.0, (
+        f"service served only "
+        f"{timings['service_cached_jobs_per_s']:.1f} cached jobs/s "
+        f"(p99 {timings['service_submit_done_p99_ms']:.1f} ms)"
     )
 
 

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands, all seeded and deterministic:
+Eight subcommands, all seeded and deterministic:
 
 * ``repro-sim run`` — run one timeline and print the per-plenary table.
 * ``repro-sim compare`` — hackathon vs traditional over N seeds.
@@ -9,11 +9,18 @@ Seven subcommands, all seeded and deterministic:
 * ``repro-sim sweep`` — sweep hackathon cadence or session length.
 * ``repro-sim export`` — run a timeline and export the full history.
 * ``repro-sim cache`` — inspect, garbage-collect or clear the run store.
+* ``repro-sim serve`` — serve compare/sweep/replicate jobs over HTTP.
 
 ``compare`` and ``sweep`` take ``--workers N`` to fan seeds out over a
 process pool, and ``--cache`` to memoize per-seed KPI dictionaries in
 the content-addressed run store (``--cache-dir``, default
 ``.repro-cache``) so repeated invocations only compute missing cells.
+``serve`` turns the same machinery into a shared HTTP backend with a
+coalescing, bounded job queue (see :mod:`repro.service`).
+
+Errors raised by the library (unknown scenarios, invalid knobs, bad
+flag combinations) exit with code 2 and a one-line ``error: ...``
+message instead of a traceback.
 
 Usage (installed via the ``repro-sim`` console script, or
 ``python -m repro.cli``)::
@@ -23,6 +30,7 @@ Usage (installed via the ``repro-sim`` console script, or
     repro-sim figures --seed 0
     repro-sim hackathon --variant tghl --json out.json
     repro-sim cache stats
+    repro-sim serve --port 8347 --workers 4 --queue-depth 32
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from repro import RngHub, build_framework, megamart2
+from repro.errors import ConfigurationError, ReproError
 from repro.core.variants import ALL_VARIANTS, build_variant_event
 from repro.culture import MEGAMART_COUNTRIES, render_ascii_chart
 from repro.reporting import (
@@ -43,13 +52,12 @@ from repro.reporting import (
     histogram,
     to_json,
 )
+from repro.service.specs import sweep_plan
 from repro.simulation import (
     LongitudinalRunner,
-    PlenarySpec,
     Scenario,
     baseline_timeline,
     compare_scenarios,
-    hackathon_everywhere_timeline,
     interleaved_timeline,
     megamart_timeline,
     run_sweep,
@@ -117,6 +125,22 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--cache-dir", metavar="DIR",
                        default=DEFAULT_CACHE_DIR,
                        help=f"store location (default {DEFAULT_CACHE_DIR})")
+
+    serve = sub.add_parser(
+        "serve", help="serve simulation jobs over HTTP")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8347,
+                       help="bind port; 0 picks a free one (default 8347)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes per job (default 1)")
+    serve.add_argument("--cache-dir", metavar="DIR",
+                       default=DEFAULT_CACHE_DIR,
+                       help=f"run store location (default {DEFAULT_CACHE_DIR})")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="max queued jobs before 429s (default 64)")
+    serve.add_argument("--max-retries", type=int, default=2,
+                       help="retries after a worker crash (default 2)")
     return parser
 
 
@@ -156,13 +180,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_compare(args: argparse.Namespace) -> int:
+def _check_execution_options(args: argparse.Namespace) -> None:
     if args.seeds < 1:
-        print("error: --seeds must be >= 1", file=sys.stderr)
-        return 2
+        raise ConfigurationError(f"--seeds must be >= 1, got {args.seeds}")
     if args.workers < 1:
-        print("error: --workers must be >= 1", file=sys.stderr)
-        return 2
+        raise ConfigurationError(
+            f"--workers must be >= 1, got {args.workers}"
+        )
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    _check_execution_options(args)
     cache: Optional[RunCache] = None
     if args.cache:
         cache = RunCache(args.cache_dir)
@@ -251,37 +279,10 @@ def _cmd_hackathon(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    if args.seeds < 1:
-        print("error: --seeds must be >= 1", file=sys.stderr)
-        return 2
-    if args.workers < 1:
-        print("error: --workers must be >= 1", file=sys.stderr)
-        return 2
-    if args.parameter == "cadence":
-        values = [1.0, 2.0, 6.0]
-        factory = lambda interval, seed: hackathon_everywhere_timeline(
-            seed=seed, interval_months=interval, count=6
-        )
-        label_fn = lambda v: f"every {v:g} months"
-    else:
-        values = [2.0, 4.0, 8.0]
-
-        def factory(hours, seed):
-            return Scenario(
-                name=f"session-{hours}",
-                seed=seed,
-                plenaries=(
-                    PlenarySpec("Rome", 0.0, "traditional"),
-                    PlenarySpec("Helsinki", 6.0, "hackathon",
-                                session_hours=hours),
-                    PlenarySpec("Paris", 12.0, "hackathon",
-                                session_hours=hours),
-                ),
-                horizon_months=18.0,
-            )
-
-        label_fn = lambda v: f"2 x {v:g} h"
-
+    _check_execution_options(args)
+    # The sweepable parameters live in one registry shared with the
+    # HTTP service, so CLI sweeps and served sweeps stay identical.
+    values, factory, label_fn = sweep_plan(args.parameter)
     cache: Optional[RunCache] = None
     if args.cache:
         cache = RunCache(args.cache_dir)
@@ -344,6 +345,35 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here so the seven offline subcommands never pay for the
+    # service stack.
+    from repro.service.server import build_server
+
+    server = build_server(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_retries=args.max_retries,
+    )
+    host, port = server.server_address[:2]
+    print(f"repro-sim service on http://{host}:{port} "
+          f"(workers={args.workers}, queue-depth={args.queue_depth}, "
+          f"cache={args.cache_dir})")
+    print("endpoints: POST /v1/jobs  GET /v1/jobs/{id}[/result]  "
+          "DELETE /v1/jobs/{id}  GET /v1/cache/stats  GET /healthz")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+        server.server_close()
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
@@ -352,13 +382,26 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "export": _cmd_export,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Library errors (:class:`~repro.errors.ReproError`) exit 2 with a
+    one-line message on stderr instead of a raw traceback, so shell
+    callers can branch on the exit code.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via main()

@@ -60,3 +60,39 @@ class SimulationError(ReproError):
 
 class SchedulingError(SimulationError):
     """An event was scheduled in the past or with an invalid payload."""
+
+
+class RunCancelled(ReproError):
+    """A run was cancelled between cells at the caller's request."""
+
+
+class JobStateError(ReproError):
+    """A job was asked to make an illegal state transition."""
+
+
+class UnknownJobError(ReproError):
+    """A job id does not exist in the scheduler."""
+
+    def __init__(self, job_id: str) -> None:
+        self.job_id = job_id
+        super().__init__(f"unknown job {job_id!r}")
+
+
+class QueueFullError(ReproError):
+    """The scheduler's bounded queue rejected a submission (backpressure)."""
+
+
+class WorkerCrashError(ReproError):
+    """A worker process died mid-job; the attempt can be retried."""
+
+
+class ServiceError(ReproError):
+    """An HTTP request to the serving layer failed.
+
+    Raised client-side with the status code the server answered with
+    (``429`` maps to :class:`QueueFullError`-style backpressure).
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        super().__init__(f"HTTP {status}: {message}")

@@ -1,0 +1,70 @@
+"""Job scheduler and HTTP serving layer for simulation workloads.
+
+Turns the in-process simulator into a shared backend many clients can
+drive over HTTP — the serving-stack counterpart to the run store:
+
+* :mod:`repro.service.jobs` — job model and validated state machine.
+* :mod:`repro.service.specs` — JSON params ⇄ scenarios / result payloads.
+* :mod:`repro.service.scheduler` — bounded priority queue with request
+  coalescing, backpressure, cancellation and crash retry.
+* :mod:`repro.service.workers` — process-pool bridge streaming finished
+  cells into the store so partial results survive crashes.
+* :mod:`repro.service.server` — stdlib ``ThreadingHTTPServer`` JSON API.
+* :mod:`repro.service.client` — thin urllib client.
+
+Quick use::
+
+    from repro.service import build_server, serve, ServiceClient
+
+    server = build_server(cache_dir=".repro-cache", workers=4)
+    serve(server)
+    client = ServiceClient(f"http://127.0.0.1:{server.server_port}")
+    result = client.compare("hackathon", "traditional", seeds=5)
+
+Or from a shell: ``repro-sim serve --workers 4`` and point any HTTP
+client at ``POST /v1/jobs``.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOB_KINDS,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobProgress,
+)
+from repro.service.scheduler import Scheduler
+from repro.service.server import ReproServiceServer, build_server, serve
+from repro.service.specs import (
+    JobPlan,
+    build_plan,
+    comparison_from_payload,
+    resolve_scenario,
+    sweep_from_payload,
+)
+from repro.service.workers import execute_plan
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "JOB_KINDS",
+    "QUEUED",
+    "RUNNING",
+    "Job",
+    "JobPlan",
+    "JobProgress",
+    "ReproServiceServer",
+    "Scheduler",
+    "ServiceClient",
+    "build_plan",
+    "build_server",
+    "comparison_from_payload",
+    "execute_plan",
+    "resolve_scenario",
+    "serve",
+    "sweep_from_payload",
+]

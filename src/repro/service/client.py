@@ -1,0 +1,157 @@
+"""Thin urllib client for the simulation service.
+
+:class:`ServiceClient` wraps the JSON API in plain method calls and
+maps non-2xx answers to :class:`~repro.errors.ServiceError` carrying
+the HTTP status, so callers can distinguish backpressure (429) from
+bad requests (400) from unknown jobs (404) without parsing bodies.
+
+The convenience wrappers :meth:`compare` and :meth:`sweep` submit,
+poll to completion and rebuild the exact in-process result objects
+(:class:`~repro.simulation.experiment.ComparisonResult`,
+:class:`~repro.simulation.sweep.SweepResult`) from the payload —
+bit-identical KPIs included, since JSON floats round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Sequence, Union
+
+from repro.errors import ReproError, ServiceError
+from repro.service.specs import comparison_from_payload, sweep_from_payload
+from repro.simulation.experiment import ComparisonResult
+from repro.simulation.sweep import SweepResult
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """HTTP client for one ``repro-sim serve`` endpoint."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("ascii")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get(
+                    "error", exc.reason
+                )
+            except Exception:
+                message = str(exc.reason)
+            raise ServiceError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {self.base_url}: "
+                                  f"{exc.reason}") from None
+
+    # -- raw API ----------------------------------------------------------
+
+    def submit(
+        self,
+        kind: str,
+        params: Optional[Dict[str, Any]] = None,
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        """Submit a job; returns ``{"job": ..., "created": bool}``."""
+        return self._request("POST", "/v1/jobs", {
+            "kind": kind,
+            "params": params or {},
+            "priority": priority,
+        })
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}/result")["result"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")["job"]
+
+    def cache_stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/cache/stats")
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    # -- polling ----------------------------------------------------------
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 60.0,
+        interval: float = 0.02,
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; raise on failure/timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot["state"] in ("done", "failed", "cancelled"):
+                if snapshot["state"] == "failed":
+                    raise ReproError(
+                        f"job {job_id} failed: {snapshot['error']}"
+                    )
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise ReproError(
+                    f"job {job_id} still {snapshot['state']} after "
+                    f"{timeout:g}s"
+                )
+            time.sleep(interval)
+
+    # -- conveniences -----------------------------------------------------
+
+    def compare(
+        self,
+        a: Union[str, Dict[str, Any]] = "hackathon",
+        b: Union[str, Dict[str, Any]] = "traditional",
+        seeds: Union[int, Sequence[int]] = 3,
+        timeout: float = 120.0,
+    ) -> ComparisonResult:
+        """Submit a compare job, poll to done, rebuild the result."""
+        seeds_param = seeds if isinstance(seeds, int) else list(seeds)
+        job = self.submit(
+            "compare", {"a": a, "b": b, "seeds": seeds_param}
+        )["job"]
+        self.wait(job["id"], timeout=timeout)
+        return comparison_from_payload(self.result(job["id"]))
+
+    def sweep(
+        self,
+        parameter: str = "cadence",
+        values: Optional[Sequence[float]] = None,
+        seeds: Union[int, Sequence[int]] = 2,
+        timeout: float = 240.0,
+    ) -> SweepResult:
+        """Submit a sweep job, poll to done, rebuild the result."""
+        params: Dict[str, Any] = {"parameter": parameter}
+        if values is not None:
+            params["values"] = list(values)
+        params["seeds"] = seeds if isinstance(seeds, int) else list(seeds)
+        job = self.submit("sweep", params)["job"]
+        self.wait(job["id"], timeout=timeout)
+        return sweep_from_payload(self.result(job["id"]))

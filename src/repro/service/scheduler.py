@@ -1,0 +1,304 @@
+"""Bounded priority scheduler with coalescing, backpressure and retry.
+
+One :class:`Scheduler` owns the job table and a dispatcher thread that
+drains a bounded priority queue.  Four behaviours make it a serving
+component rather than a work loop:
+
+* **Request coalescing** — a submission whose resolved cell set matches
+  an in-flight (queued *or* running) job returns that job instead of
+  queueing a duplicate, so N identical clients share one computation.
+  Cells already in the :class:`~repro.store.RunCache` are likewise
+  never recomputed, which is the second, finer-grained dedup layer.
+* **Backpressure** — when ``queue_depth`` jobs are already waiting,
+  :meth:`submit` raises :class:`~repro.errors.QueueFullError`; the
+  HTTP layer maps that to ``429 Too Many Requests``.
+* **Retry with exponential backoff** — a worker-process death
+  (:class:`~repro.errors.WorkerCrashError`) requeues the job after
+  ``retry_backoff_s * 2**attempt``; cells persisted before the crash
+  are hits on the next attempt, so retries only recompute the tail.
+* **Cancellation** — queued jobs cancel immediately; running jobs are
+  cancelled cooperatively between cells.
+
+Everything mutating a job or the queue happens under one lock, so the
+HTTP threads can poll and cancel while the dispatcher executes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    ConfigurationError,
+    QueueFullError,
+    RunCancelled,
+    UnknownJobError,
+)
+from repro.errors import WorkerCrashError
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+)
+from repro.service.specs import JobPlan, build_plan
+from repro.service.workers import execute_plan, reset_progress
+from repro.store.runcache import RunCache
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """Priority job queue in front of one shared :class:`RunCache`."""
+
+    def __init__(
+        self,
+        cache: RunCache,
+        queue_depth: int = 64,
+        workers: int = 1,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.25,
+    ) -> None:
+        if queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {queue_depth}"
+            )
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        self.cache = cache
+        self.queue_depth = queue_depth
+        self.workers = workers
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._heap: List[Tuple[int, int, str]] = []  # (-priority, seq, id)
+        self._jobs: Dict[str, Job] = {}
+        self._plans: Dict[str, JobPlan] = {}
+        self._by_key: Dict[str, str] = {}  # coalescing key -> in-flight id
+        self._ids = itertools.count()
+        self._ticket = itertools.count()  # FIFO tie-break within priority
+        self._stopping = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- public API -------------------------------------------------------
+
+    def submit(
+        self, kind: str, params: Dict[str, Any], priority: int = 0
+    ) -> Tuple[Job, bool]:
+        """Queue a job; return ``(job, created)``.
+
+        ``created`` is False when the submission coalesced onto an
+        already in-flight job with the same resolved cell set.
+        Raises :class:`QueueFullError` when the queue is at depth and
+        :class:`ConfigurationError` when the parameters are malformed.
+        """
+        plan = build_plan(kind, params)  # validates before taking the lock
+        with self._lock:
+            existing_id = self._by_key.get(plan.key)
+            if existing_id is not None:
+                existing = self._jobs[existing_id]
+                if not existing.is_terminal:
+                    existing.coalesced += 1
+                    return existing, False
+            queued = sum(
+                1 for _, _, jid in self._heap
+                if self._jobs[jid].state == QUEUED
+            )
+            if queued >= self.queue_depth:
+                raise QueueFullError(
+                    f"queue full ({queued} job(s) waiting, "
+                    f"depth {self.queue_depth})"
+                )
+            job = Job(
+                id=f"j{next(self._ids):06d}",
+                kind=plan.kind,
+                params=params,
+                key=plan.key,
+                priority=int(priority),
+            )
+            job.progress.cells_total = len(plan.scenarios)
+            self._jobs[job.id] = job
+            self._plans[job.id] = plan
+            self._by_key[plan.key] = job.id
+            self._push(job)
+            self._wakeup.notify_all()
+            return job, True
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(job_id)
+            return job
+
+    def describe(self, job_id: str) -> Dict[str, Any]:
+        """JSON-safe snapshot of one job, taken under the lock."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(job_id)
+            return job.to_dict()
+
+    def result(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The result payload, or None while the job is not done."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(job_id)
+            return job.result
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job; terminal jobs are left untouched.
+
+        A queued job flips to ``cancelled`` immediately; a running job
+        gets its cancel event set and transitions when the executor
+        notices (between cells).
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(job_id)
+            if job.state == QUEUED:
+                job.mark_cancelled()
+                self._forget_key(job)
+            elif job.state == RUNNING:
+                job.cancel_event.set()
+            return job
+
+    def wait(self, job_id: str, timeout: float = 30.0) -> Job:
+        """Poll until ``job_id`` is terminal (or the timeout passes)."""
+        end = time.monotonic() + timeout
+        while True:
+            job = self.get(job_id)
+            if job.is_terminal or time.monotonic() >= end:
+                return job
+            time.sleep(0.005)
+
+    def stats(self) -> Dict[str, int]:
+        """Job counts by state plus queue headroom."""
+        with self._lock:
+            counts = {s: 0 for s in (QUEUED, RUNNING, DONE, FAILED,
+                                     CANCELLED)}
+            for job in self._jobs.values():
+                counts[job.state] += 1
+            counts["queue_depth"] = self.queue_depth
+            counts["coalesced"] = sum(
+                j.coalesced for j in self._jobs.values()
+            )
+            return counts
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop the dispatcher; queued jobs stay queued (not cancelled)."""
+        with self._lock:
+            self._stopping = True
+            self._wakeup.notify_all()
+        self._dispatcher.join(timeout=timeout)
+
+    # -- queue internals --------------------------------------------------
+
+    def _push(self, job: Job) -> None:
+        heapq.heappush(
+            self._heap, (-job.priority, next(self._ticket), job.id)
+        )
+
+    def _forget_key(self, job: Job) -> None:
+        if self._by_key.get(job.key) == job.id:
+            del self._by_key[job.key]
+
+    def _next_job(self) -> Optional[Job]:
+        """Pop the highest-priority queued job; None when stopping."""
+        with self._lock:
+            while True:
+                while self._heap:
+                    _, _, job_id = heapq.heappop(self._heap)
+                    job = self._jobs[job_id]
+                    if job.state == QUEUED:
+                        job.mark_running()
+                        return job
+                    # cancelled while queued: already terminal, skip
+                if self._stopping:
+                    return None
+                self._wakeup.wait()
+
+    # -- execution --------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            job = self._next_job()
+            if job is None:
+                return
+            self._execute(job)
+
+    def _execute(self, job: Job) -> None:
+        plan = self._plans[job.id]
+
+        def on_progress(from_cache: bool) -> None:
+            with self._lock:
+                job.progress.cells_done += 1
+                if from_cache:
+                    job.progress.cells_cached += 1
+
+        while True:
+            with self._lock:
+                reset_progress(job, len(plan.scenarios))
+            try:
+                payload = execute_plan(
+                    plan,
+                    self.cache,
+                    workers=self.workers,
+                    cancel_event=job.cancel_event,
+                    on_progress=on_progress,
+                )
+            except RunCancelled:
+                with self._lock:
+                    job.mark_cancelled()
+                    self._forget_key(job)
+                return
+            except WorkerCrashError as exc:
+                with self._lock:
+                    if job.cancel_event.is_set():
+                        job.mark_cancelled()
+                        self._forget_key(job)
+                        return
+                    if job.attempts >= self.max_retries:
+                        job.mark_failed(
+                            f"worker crashed {job.attempts + 1} time(s); "
+                            f"giving up: {exc}"
+                        )
+                        self._forget_key(job)
+                        return
+                    job.attempts += 1  # stays RUNNING; retried inline
+                delay = self.retry_backoff_s * (2 ** (job.attempts - 1))
+                # Cancel-aware backoff: a cancel during the wait aborts
+                # the retry instead of sleeping through it.
+                if job.cancel_event.wait(delay):
+                    with self._lock:
+                        job.mark_cancelled()
+                        self._forget_key(job)
+                    return
+                continue
+            except Exception as exc:  # config/runtime error: not retryable
+                with self._lock:
+                    job.mark_failed(f"{type(exc).__name__}: {exc}")
+                    self._forget_key(job)
+                return
+            with self._lock:
+                if job.cancel_event.is_set():
+                    job.mark_cancelled()
+                else:
+                    job.mark_done(payload)
+                self._forget_key(job)
+            return

@@ -1,0 +1,240 @@
+"""Stdlib HTTP serving layer for the job scheduler.
+
+A :class:`ThreadingHTTPServer` exposes the scheduler as a small JSON
+API — one thread per connection, all of them funnelling into the one
+shared :class:`~repro.service.scheduler.Scheduler` and its
+:class:`~repro.store.RunCache`:
+
+========  ==========================  =======================================
+method    path                        meaning
+========  ==========================  =======================================
+POST      ``/v1/jobs``                submit ``{"kind", "params", "priority"}``
+GET       ``/v1/jobs/{id}``           job state + per-cell progress
+GET       ``/v1/jobs/{id}/result``    result payload once ``done``
+DELETE    ``/v1/jobs/{id}``           cancel (queued: instant; running: coop)
+GET       ``/v1/cache/stats``         run-store counters
+GET       ``/healthz``                liveness + job counts
+========  ==========================  =======================================
+
+Status codes carry the scheduler's semantics: ``201`` created, ``200``
+coalesced onto an in-flight job, ``429`` queue full (backpressure),
+``400`` malformed parameters, ``404`` unknown job, ``409`` result not
+ready.  Bodies are always JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import (
+    ConfigurationError,
+    QueueFullError,
+    UnknownJobError,
+)
+from repro.service.jobs import DONE, FAILED
+from repro.service.scheduler import Scheduler
+from repro.store.runcache import RunCache
+
+__all__ = ["ReproServiceServer", "build_server", "serve"]
+
+_MAX_BODY_BYTES = 1 << 20  # 1 MiB of JSON is plenty for any job spec
+
+
+class ReproServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that owns a scheduler and its cache."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], scheduler: Scheduler):
+        super().__init__(address, _Handler)
+        self.scheduler = scheduler
+        self.started_ts = time.time()
+
+    def shutdown(self) -> None:  # stop HTTP first, then the dispatcher
+        super().shutdown()
+        self.scheduler.shutdown()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # The default handler logs every request to stderr; the service is
+    # driven by tests and benches, so stay quiet.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    @property
+    def scheduler(self) -> Scheduler:
+        return self.server.scheduler  # type: ignore[attr-defined]
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("ascii")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send(status, {"error": message})
+
+    def _read_json(self) -> Optional[Dict[str, Any]]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > _MAX_BODY_BYTES:
+            self._error(400, "invalid or oversized Content-Length")
+            return None
+        raw = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(raw.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            self._error(400, "request body is not valid JSON")
+            return None
+        if not isinstance(payload, dict):
+            self._error(400, "request body must be a JSON object")
+            return None
+        return payload
+
+    # -- routing ----------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        if self.path.rstrip("/") != "/v1/jobs":
+            self._error(404, f"no such endpoint: POST {self.path}")
+            return
+        body = self._read_json()
+        if body is None:
+            return
+        kind = body.get("kind")
+        params = body.get("params", {})
+        priority = body.get("priority", 0)
+        if not isinstance(kind, str):
+            self._error(400, "missing or non-string 'kind'")
+            return
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            self._error(400, "'priority' must be an integer")
+            return
+        try:
+            job, created = self.scheduler.submit(
+                kind, params, priority=priority
+            )
+        except QueueFullError as exc:
+            self._send(429, {"error": str(exc), "retry_after_s": 0.5})
+            return
+        except ConfigurationError as exc:
+            self._error(400, str(exc))
+            return
+        self._send(
+            201 if created else 200,
+            {"job": self.scheduler.describe(job.id), "created": created},
+        )
+
+    def do_GET(self) -> None:  # noqa: N802
+        parts = [p for p in self.path.split("/") if p]
+        if self.path.rstrip("/") == "/healthz":
+            self._healthz()
+        elif parts[:2] == ["v1", "cache"] and parts[2:] == ["stats"]:
+            self._cache_stats()
+        elif parts[:2] == ["v1", "jobs"] and len(parts) == 3:
+            self._job_status(parts[2])
+        elif (parts[:2] == ["v1", "jobs"] and len(parts) == 4
+              and parts[3] == "result"):
+            self._job_result(parts[2])
+        else:
+            self._error(404, f"no such endpoint: GET {self.path}")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        parts = [p for p in self.path.split("/") if p]
+        if parts[:2] != ["v1", "jobs"] or len(parts) != 3:
+            self._error(404, f"no such endpoint: DELETE {self.path}")
+            return
+        try:
+            job = self.scheduler.cancel(parts[2])
+        except UnknownJobError as exc:
+            self._error(404, str(exc))
+            return
+        self._send(200, {"job": self.scheduler.describe(job.id)})
+
+    # -- endpoints --------------------------------------------------------
+
+    def _healthz(self) -> None:
+        server: ReproServiceServer = self.server  # type: ignore[assignment]
+        self._send(200, {
+            "status": "ok",
+            "uptime_s": round(time.time() - server.started_ts, 3),
+            "jobs": self.scheduler.stats(),
+        })
+
+    def _cache_stats(self) -> None:
+        cache = self.scheduler.cache
+        payload = asdict(cache.stats())
+        payload["session_hits"] = cache.session_hits
+        payload["session_misses"] = cache.session_misses
+        self._send(200, payload)
+
+    def _job_status(self, job_id: str) -> None:
+        try:
+            self._send(200, {"job": self.scheduler.describe(job_id)})
+        except UnknownJobError as exc:
+            self._error(404, str(exc))
+
+    def _job_result(self, job_id: str) -> None:
+        try:
+            snapshot = self.scheduler.describe(job_id)
+        except UnknownJobError as exc:
+            self._error(404, str(exc))
+            return
+        if snapshot["state"] == DONE:
+            self._send(200, {
+                "job_id": job_id,
+                "result": self.scheduler.result(job_id),
+            })
+        elif snapshot["state"] == FAILED:
+            self._send(409, {
+                "error": f"job {job_id} failed: {snapshot['error']}",
+                "state": snapshot["state"],
+            })
+        else:
+            self._send(409, {
+                "error": f"job {job_id} is {snapshot['state']}, not done",
+                "state": snapshot["state"],
+            })
+
+
+def build_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    cache_dir: str = ".repro-cache",
+    workers: int = 1,
+    queue_depth: int = 64,
+    max_retries: int = 2,
+    retry_backoff_s: float = 0.25,
+    cache: Optional[RunCache] = None,
+) -> ReproServiceServer:
+    """Wire cache + scheduler + HTTP server; ``port=0`` picks a free one."""
+    scheduler = Scheduler(
+        cache if cache is not None else RunCache(cache_dir),
+        queue_depth=queue_depth,
+        workers=workers,
+        max_retries=max_retries,
+        retry_backoff_s=retry_backoff_s,
+    )
+    return ReproServiceServer((host, port), scheduler)
+
+
+def serve(server: ReproServiceServer) -> threading.Thread:
+    """Run ``server`` on a daemon thread and return the thread."""
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-http", daemon=True
+    )
+    thread.start()
+    return thread

@@ -1,0 +1,340 @@
+"""Translate JSON job parameters into concrete simulation plans.
+
+The HTTP API speaks plain JSON; the simulator speaks
+:class:`~repro.simulation.scenario.Scenario`.  This module bridges the
+two: it resolves scenario *specs* (a registered timeline name, or an
+inline scenario description), expands a job's parameters into the flat
+list of seeded per-cell scenarios the workers will run, and assembles
+the finished per-cell KPI dictionaries back into a JSON result payload.
+
+Every payload is designed to round-trip losslessly: JSON floats use
+Python's shortest-repr encoding, so a client can rebuild a
+:class:`~repro.simulation.experiment.ComparisonResult` or
+:class:`~repro.simulation.sweep.SweepResult` from the payload that is
+bit-identical to what the in-process API returns
+(:func:`comparison_from_payload`, :func:`sweep_from_payload`).
+
+The plan also carries the job's **coalescing key**: a hash over the
+resolved ``(fingerprint, seed)`` cell set rather than the raw request
+body, so two submissions that spell the same work differently (a
+timeline name vs. its inline expansion) still deduplicate to one job.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.simulation.experiment import (
+    ComparisonResult,
+    comparison_from_metrics,
+)
+from repro.simulation.scenario import (
+    PlenarySpec,
+    Scenario,
+    baseline_timeline,
+    hackathon_everywhere_timeline,
+    interleaved_timeline,
+    megamart_timeline,
+    virtual_timeline,
+)
+from repro.simulation.sweep import SweepResult, sweep_from_metrics
+from repro.store.fingerprint import canonical_json, scenario_fingerprint
+
+__all__ = [
+    "TIMELINES",
+    "SWEEP_PARAMETERS",
+    "JobPlan",
+    "resolve_scenario",
+    "resolve_seeds",
+    "sweep_plan",
+    "build_plan",
+    "comparison_from_payload",
+    "sweep_from_payload",
+]
+
+#: name -> Scenario factory taking ``seed=``
+TIMELINES: Dict[str, Callable[..., Scenario]] = {
+    "hackathon": megamart_timeline,
+    "traditional": baseline_timeline,
+    "interleaved": interleaved_timeline,
+    "virtual": virtual_timeline,
+}
+
+
+def _session_hours_timeline(hours: float, seed: int) -> Scenario:
+    return Scenario(
+        name=f"session-{hours}",
+        seed=seed,
+        plenaries=(
+            PlenarySpec("Rome", 0.0, "traditional"),
+            PlenarySpec("Helsinki", 6.0, "hackathon", session_hours=hours),
+            PlenarySpec("Paris", 12.0, "hackathon", session_hours=hours),
+        ),
+        horizon_months=18.0,
+    )
+
+
+def _cadence_timeline(interval: float, seed: int) -> Scenario:
+    return hackathon_everywhere_timeline(
+        seed=seed, interval_months=interval, count=6
+    )
+
+
+#: sweepable parameter -> (default values, factory(value, seed), label_fn)
+SWEEP_PARAMETERS: Dict[str, tuple] = {
+    "cadence": (
+        [1.0, 2.0, 6.0],
+        _cadence_timeline,
+        lambda v: f"every {v:g} months",
+    ),
+    "session-hours": (
+        [2.0, 4.0, 8.0],
+        _session_hours_timeline,
+        lambda v: f"2 x {v:g} h",
+    ),
+}
+
+_PLENARY_FIELDS = {f.name for f in fields(PlenarySpec)}
+_SCENARIO_FIELDS = {f.name for f in fields(Scenario)}
+
+
+def resolve_scenario(spec: Union[str, Dict[str, Any]]) -> Scenario:
+    """Build a :class:`Scenario` from a JSON scenario spec.
+
+    A string names a registered timeline (``hackathon``,
+    ``traditional``, ``interleaved``, ``virtual``); a mapping is an
+    inline scenario with ``plenaries`` given as a list of plenary
+    mappings.  Anything else — unknown names, unknown keys, invalid
+    plenary values — raises :class:`ConfigurationError`.
+    """
+    if isinstance(spec, str):
+        factory = TIMELINES.get(spec)
+        if factory is None:
+            raise ConfigurationError(
+                f"unknown timeline {spec!r}; known: "
+                f"{', '.join(sorted(TIMELINES))}"
+            )
+        return factory()
+    if not isinstance(spec, dict):
+        raise ConfigurationError(
+            f"scenario spec must be a timeline name or a mapping, "
+            f"got {type(spec).__name__}"
+        )
+    payload = dict(spec)
+    plenaries_raw = payload.pop("plenaries", None)
+    if not isinstance(plenaries_raw, list) or not plenaries_raw:
+        raise ConfigurationError(
+            "inline scenario needs a non-empty 'plenaries' list"
+        )
+    unknown = set(payload) - _SCENARIO_FIELDS
+    if unknown:
+        raise ConfigurationError(
+            f"unknown scenario field(s): {', '.join(sorted(unknown))}"
+        )
+    plenaries = []
+    for entry in plenaries_raw:
+        if not isinstance(entry, dict):
+            raise ConfigurationError("each plenary must be a mapping")
+        bad = set(entry) - _PLENARY_FIELDS
+        if bad:
+            raise ConfigurationError(
+                f"unknown plenary field(s): {', '.join(sorted(bad))}"
+            )
+        plenaries.append(PlenarySpec(**entry))
+    payload.setdefault("name", "inline-scenario")
+    return Scenario(plenaries=tuple(plenaries), **payload)
+
+
+def resolve_seeds(raw: Any) -> List[int]:
+    """Normalize a seeds spec: an int N means ``range(N)``."""
+    if isinstance(raw, bool):
+        raise ConfigurationError("seeds must be an int or a list of ints")
+    if isinstance(raw, int):
+        if raw < 1:
+            raise ConfigurationError(f"seeds must be >= 1, got {raw}")
+        return list(range(raw))
+    if isinstance(raw, list) and raw and all(
+        isinstance(s, int) and not isinstance(s, bool) for s in raw
+    ):
+        return [int(s) for s in raw]
+    raise ConfigurationError(
+        "seeds must be a positive int or a non-empty list of ints"
+    )
+
+
+def sweep_plan(
+    parameter: str, values: Optional[Sequence[Any]] = None
+) -> tuple:
+    """``(values, factory, label_fn)`` for a sweepable parameter."""
+    if parameter not in SWEEP_PARAMETERS:
+        raise ConfigurationError(
+            f"unknown sweep parameter {parameter!r}; known: "
+            f"{', '.join(sorted(SWEEP_PARAMETERS))}"
+        )
+    defaults, factory, label_fn = SWEEP_PARAMETERS[parameter]
+    chosen = list(values) if values is not None else list(defaults)
+    if not chosen:
+        raise ConfigurationError("sweep needs at least one parameter value")
+    for value in chosen:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ConfigurationError(
+                f"sweep values must be numbers, got {value!r}"
+            )
+    return chosen, factory, label_fn
+
+
+@dataclass
+class JobPlan:
+    """A fully resolved job: its cells and how to assemble the result."""
+
+    kind: str
+    scenarios: List[Scenario]
+    key: str
+    assemble: Callable[[List[Dict[str, float]]], Dict[str, Any]]
+
+
+def _plan_key(kind: str, scenarios: Sequence[Scenario],
+              extra: Dict[str, Any]) -> str:
+    cells = [[scenario_fingerprint(s), s.seed] for s in scenarios]
+    blob = canonical_json({"kind": kind, "cells": cells, "extra": extra})
+    return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+
+def build_plan(kind: str, params: Dict[str, Any]) -> JobPlan:
+    """Validate ``params`` for ``kind`` and expand them into a plan.
+
+    Raises :class:`ConfigurationError` on any malformed input — the
+    server maps that to HTTP 400 before the job ever enters the queue.
+    """
+    if not isinstance(params, dict):
+        raise ConfigurationError("params must be a mapping")
+    if kind == "compare":
+        return _compare_plan(params)
+    if kind == "sweep":
+        return _sweep_plan(params)
+    if kind == "replicate":
+        return _replicate_plan(params)
+    raise ConfigurationError(
+        f"unknown job kind {kind!r}; known: compare, sweep, replicate"
+    )
+
+
+def _require(params: Dict[str, Any], allowed: Sequence[str]) -> None:
+    unknown = set(params) - set(allowed)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown parameter(s): {', '.join(sorted(unknown))}"
+        )
+
+
+def _compare_plan(params: Dict[str, Any]) -> JobPlan:
+    _require(params, ("a", "b", "seeds"))
+    scenario_a = resolve_scenario(params.get("a", "hackathon"))
+    scenario_b = resolve_scenario(params.get("b", "traditional"))
+    seeds = resolve_seeds(params.get("seeds", 3))
+    seeded = [scenario_a.with_seed(s) for s in seeds] + [
+        scenario_b.with_seed(s) for s in seeds
+    ]
+    names = {"name_a": scenario_a.name, "name_b": scenario_b.name}
+
+    def assemble(metrics: List[Dict[str, float]]) -> Dict[str, Any]:
+        return {
+            "kind": "compare",
+            **names,
+            "seeds": seeds,
+            "metrics_a": metrics[: len(seeds)],
+            "metrics_b": metrics[len(seeds):],
+        }
+
+    return JobPlan(
+        kind="compare",
+        scenarios=seeded,
+        key=_plan_key("compare", seeded, names),
+        assemble=assemble,
+    )
+
+
+def _sweep_plan(params: Dict[str, Any]) -> JobPlan:
+    _require(params, ("parameter", "values", "seeds"))
+    parameter = params.get("parameter", "cadence")
+    values, factory, label_fn = sweep_plan(parameter, params.get("values"))
+    seeds = resolve_seeds(params.get("seeds", 2))
+    seeded = [factory(value, seed) for value in values for seed in seeds]
+    labels = [label_fn(v) for v in values]
+    extra = {"parameter": parameter, "labels": labels}
+
+    def assemble(metrics: List[Dict[str, float]]) -> Dict[str, Any]:
+        per_point = len(seeds)
+        return {
+            "kind": "sweep",
+            "parameter_name": parameter,
+            "values": values,
+            "labels": labels,
+            "seeds": seeds,
+            "per_point_metrics": [
+                metrics[i * per_point : (i + 1) * per_point]
+                for i in range(len(values))
+            ],
+        }
+
+    return JobPlan(
+        kind="sweep",
+        scenarios=seeded,
+        key=_plan_key("sweep", seeded, extra),
+        assemble=assemble,
+    )
+
+
+def _replicate_plan(params: Dict[str, Any]) -> JobPlan:
+    _require(params, ("scenario", "seeds"))
+    scenario = resolve_scenario(params.get("scenario", "hackathon"))
+    seeds = resolve_seeds(params.get("seeds", 3))
+    seeded = [scenario.with_seed(s) for s in seeds]
+    extra = {"name": scenario.name}
+
+    def assemble(metrics: List[Dict[str, float]]) -> Dict[str, Any]:
+        return {
+            "kind": "replicate",
+            "scenario": scenario.name,
+            "seeds": seeds,
+            "metrics": metrics,
+        }
+
+    return JobPlan(
+        kind="replicate",
+        scenarios=seeded,
+        key=_plan_key("replicate", seeded, extra),
+        assemble=assemble,
+    )
+
+
+# -- payload round-trips --------------------------------------------------
+
+
+def comparison_from_payload(payload: Dict[str, Any]) -> ComparisonResult:
+    """Rebuild a :class:`ComparisonResult` from a compare job result.
+
+    JSON floats round-trip exactly, so the rebuilt result is
+    bit-identical to the one the in-process API returns.
+    """
+    return comparison_from_metrics(
+        payload["name_a"],
+        payload["name_b"],
+        payload["seeds"],
+        payload["metrics_a"],
+        payload["metrics_b"],
+    )
+
+
+def sweep_from_payload(payload: Dict[str, Any]) -> SweepResult:
+    """Rebuild a :class:`SweepResult` from a sweep job result."""
+    labels = payload["labels"]
+    return sweep_from_metrics(
+        payload["parameter_name"],
+        payload["values"],
+        payload["per_point_metrics"],
+        label_fn=lambda v: labels[payload["values"].index(v)],
+    )

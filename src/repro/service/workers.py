@@ -1,0 +1,68 @@
+"""Process-pool execution bridge between jobs and the run store.
+
+:func:`execute_plan` is the scheduler's unit of attempt: it resolves a
+:class:`~repro.service.specs.JobPlan` against the shared
+:class:`~repro.store.RunCache`, computing only the cells absent from
+the store and fanning those out over worker processes.  Every finished
+``(value, seed)`` cell is persisted the moment it lands — via the
+cache's per-cell streaming — so a worker-process crash loses at most
+the cells still in flight.  The retrying caller resubmits the same
+plan; cells that reached disk before the crash come back as hits and
+are never recomputed.
+
+Cancellation and progress both flow through the cache's hooks:
+``cancel_event`` is polled between cells, and each resolved cell bumps
+the job's progress counters under the scheduler's lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional
+
+from repro.service.jobs import Job
+from repro.service.specs import JobPlan
+from repro.store.runcache import RunCache
+
+__all__ = ["execute_plan", "reset_progress"]
+
+
+def execute_plan(
+    plan: JobPlan,
+    cache: RunCache,
+    workers: int = 1,
+    cancel_event: Optional[threading.Event] = None,
+    on_progress: Optional[Callable[[bool], None]] = None,
+) -> Dict[str, Any]:
+    """Run one attempt of ``plan`` and return its JSON result payload.
+
+    Raises
+    ------
+    WorkerCrashError
+        A worker process died; some cells may already be stored.  The
+        caller decides whether to retry.
+    RunCancelled
+        ``cancel_event`` was set between cells.
+    """
+
+    def on_cell(_index: int, from_cache: bool) -> None:
+        if on_progress is not None:
+            on_progress(from_cache)
+
+    def should_cancel() -> bool:
+        return cancel_event is not None and cancel_event.is_set()
+
+    metrics = cache.fetch_metrics(
+        plan.scenarios,
+        workers=workers,
+        on_cell=on_cell,
+        should_cancel=should_cancel,
+    )
+    return plan.assemble(metrics)
+
+
+def reset_progress(job: Job, cells_total: int) -> None:
+    """Reset a job's per-cell counters before an attempt (or retry)."""
+    job.progress.cells_total = cells_total
+    job.progress.cells_done = 0
+    job.progress.cells_cached = 0

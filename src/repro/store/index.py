@@ -10,12 +10,18 @@ the journal as one ``entry`` snapshot per fingerprint.
 
 Unreadable journal lines are skipped on load, mirroring the blob
 store's stance: corruption downgrades to a cache miss, never an error.
+
+All public methods are guarded by one :class:`threading.Lock`, so the
+serving layer's request threads can record stores and hits against a
+shared index without interleaving JSONL appends or corrupting the
+in-memory maps.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -51,6 +57,7 @@ class RunIndex:
     def __init__(self, path: os.PathLike) -> None:
         self.path = Path(path)
         self._entries: Dict[str, IndexEntry] = {}
+        self._lock = threading.Lock()
         self._load()
 
     # -- journal ----------------------------------------------------------
@@ -130,8 +137,9 @@ class RunIndex:
             "scenario": scenario,
             "ts": time.time(),
         }
-        self._apply(record)
-        self._append([record])
+        with self._lock:
+            self._apply(record)
+            self._append([record])
 
     def record_hits(self, pairs: List[tuple]) -> None:
         """Record ``(fingerprint, seed)`` hits in one journal write."""
@@ -140,72 +148,85 @@ class RunIndex:
             {"event": "hit", "fingerprint": fp, "seed": int(seed), "ts": now}
             for fp, seed in pairs
         ]
-        for record in records:
-            self._apply(record)
-        self._append(records)
+        with self._lock:
+            for record in records:
+                self._apply(record)
+            self._append(records)
 
     # -- queries ----------------------------------------------------------
 
     def lookup(self, fingerprint: str, seed: int) -> Optional[str]:
-        entry = self._entries.get(fingerprint)
-        if entry is None:
-            return None
-        return entry.seeds.get(int(seed))
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                return None
+            return entry.seeds.get(int(seed))
 
     def entries(self) -> List[IndexEntry]:
+        with self._lock:
+            return self._entries_snapshot()
+
+    def _entries_snapshot(self) -> List[IndexEntry]:
         return sorted(self._entries.values(), key=lambda e: e.fingerprint)
 
     def referenced_blobs(self) -> Set[str]:
-        return {
-            blob
-            for entry in self._entries.values()
-            for blob in entry.seeds.values()
-        }
+        with self._lock:
+            return {
+                blob
+                for entry in self._entries.values()
+                for blob in entry.seeds.values()
+            }
 
     def stats(self) -> IndexStats:
-        return IndexStats(
-            fingerprints=len(self._entries),
-            runs=sum(len(e.seeds) for e in self._entries.values()),
-            hits=sum(e.hits for e in self._entries.values()),
-        )
+        with self._lock:
+            return IndexStats(
+                fingerprints=len(self._entries),
+                runs=sum(len(e.seeds) for e in self._entries.values()),
+                hits=sum(e.hits for e in self._entries.values()),
+            )
 
     # -- maintenance ------------------------------------------------------
 
     def drop_blobs(self, dead: Set[str]) -> int:
         """Forget seeds whose blob is in ``dead``; return runs dropped."""
         dropped = 0
-        for fingerprint in list(self._entries):
-            entry = self._entries[fingerprint]
-            for seed in [s for s, b in entry.seeds.items() if b in dead]:
-                del entry.seeds[seed]
-                dropped += 1
-            if not entry.seeds:
-                del self._entries[fingerprint]
+        with self._lock:
+            for fingerprint in list(self._entries):
+                entry = self._entries[fingerprint]
+                for seed in [s for s, b in entry.seeds.items() if b in dead]:
+                    del entry.seeds[seed]
+                    dropped += 1
+                if not entry.seeds:
+                    del self._entries[fingerprint]
         return dropped
 
     def compact(self) -> None:
         """Rewrite the journal as one snapshot line per fingerprint."""
-        records = [
-            {
-                "event": "entry",
-                "fingerprint": e.fingerprint,
-                "scenario": e.scenario,
-                "seeds": {str(s): b for s, b in sorted(e.seeds.items())},
-                "created": e.created,
-                "last_used": e.last_used,
-                "hits": e.hits,
-            }
-            for e in self.entries()
-        ]
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        with tmp.open("w", encoding="ascii") as fh:
-            for record in records:
-                fh.write(
-                    json.dumps(record, sort_keys=True, separators=(",", ":"))
-                    + "\n"
-                )
-        os.replace(tmp, self.path)
+        with self._lock:
+            records = [
+                {
+                    "event": "entry",
+                    "fingerprint": e.fingerprint,
+                    "scenario": e.scenario,
+                    "seeds": {str(s): b for s, b in sorted(e.seeds.items())},
+                    "created": e.created,
+                    "last_used": e.last_used,
+                    "hits": e.hits,
+                }
+                for e in self._entries_snapshot()
+            ]
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            with tmp.open("w", encoding="ascii") as fh:
+                for record in records:
+                    fh.write(
+                        json.dumps(
+                            record, sort_keys=True, separators=(",", ":")
+                        )
+                        + "\n"
+                    )
+            os.replace(tmp, self.path)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.path.unlink(missing_ok=True)
+        with self._lock:
+            self._entries.clear()
+            self.path.unlink(missing_ok=True)

@@ -13,18 +13,28 @@ round-trip exactly, and the stored value is exactly what
 Because the cache is keyed per cell, interrupted work resumes for free:
 re-invoking a killed or extended sweep recomputes only the cells that
 never made it to disk.
+
+The cache is also safe to share across threads: a per-cell
+**single-flight** map guarantees that two threads racing on the same
+missing ``(fingerprint, seed)`` cell compute it exactly once — the
+loser blocks until the winner's result lands in the store and then
+reads it back, observing bit-identical KPIs.  This is what lets the
+serving layer (:mod:`repro.service`) point many request threads at one
+cache.
 """
 
 from __future__ import annotations
 
 import os
 import shutil
+import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import as_completed
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RunCancelled, WorkerCrashError
 from repro.simulation.experiment import (
     ComparisonResult,
     _pool_supported,
@@ -77,16 +87,43 @@ class RunCache:
         #: Cells served from disk / computed since this instance opened.
         self.session_hits = 0
         self.session_misses = 0
+        self._session_lock = threading.Lock()
+        # Single-flight map: cells currently being computed by some
+        # thread of this process.  Claimants insert an Event; every
+        # other thread wanting the same cell waits on it and then
+        # re-reads the store instead of recomputing.
+        self._inflight: Dict[Tuple[str, int], threading.Event] = {}
+        self._inflight_lock = threading.Lock()
 
     # -- core -------------------------------------------------------------
 
+    def _load_cell(
+        self, fingerprint: str, seed: int
+    ) -> Optional[Dict[str, float]]:
+        blob = self.index.lookup(fingerprint, seed)
+        return self.blobs.get(blob) if blob is not None else None
+
+    def _count(self, hits: int = 0, misses: int = 0) -> None:
+        with self._session_lock:
+            self.session_hits += hits
+            self.session_misses += misses
+
     def fetch_metrics(
-        self, scenarios: Sequence[Scenario], workers: int = 1
+        self,
+        scenarios: Sequence[Scenario],
+        workers: int = 1,
+        on_cell: Optional[Callable[[int, bool], None]] = None,
+        should_cancel: Optional[Callable[[], bool]] = None,
     ) -> List[Dict[str, float]]:
         """KPI dictionaries for already-seeded scenarios, in input order.
 
         Hits load from the blob store; misses (including entries whose
         blob turns out corrupt) are computed, stored and returned.
+        ``on_cell(i, from_cache)`` fires once per cell as it resolves,
+        which is how the serving layer streams per-cell progress.
+        ``should_cancel`` is polled between cells; when it turns true
+        the call raises :class:`~repro.errors.RunCancelled` — every
+        cell already stored stays stored, so a later retry resumes.
         """
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -97,35 +134,121 @@ class RunCache:
         for i, (scenario, fingerprint) in enumerate(
             zip(scenarios, fingerprints)
         ):
-            blob = self.index.lookup(fingerprint, scenario.seed)
-            payload = self.blobs.get(blob) if blob is not None else None
+            payload = self._load_cell(fingerprint, scenario.seed)
             if payload is None:
                 missing.append(i)
             else:
                 metrics[i] = payload
                 hit_pairs.append((fingerprint, scenario.seed))
+                if on_cell is not None:
+                    on_cell(i, True)
         if hit_pairs:
             self.index.record_hits(hit_pairs)
-            self.session_hits += len(hit_pairs)
+            self._count(hits=len(hit_pairs))
         if missing:
-            self._compute_missing(scenarios, fingerprints, metrics,
-                                  missing, workers)
+            self._resolve_missing(scenarios, fingerprints, metrics,
+                                  missing, workers, on_cell, should_cancel)
         return metrics  # type: ignore[return-value]
 
-    def _compute_missing(
+    def _resolve_missing(
         self,
         scenarios: Sequence[Scenario],
         fingerprints: List[str],
         metrics: List[Optional[Dict[str, float]]],
         missing: List[int],
         workers: int,
+        on_cell: Optional[Callable[[int, bool], None]],
+        should_cancel: Optional[Callable[[], bool]],
     ) -> None:
-        """Run the missing cells, persisting each as soon as it lands.
+        """Claim or await each missing cell, then compute the claims.
+
+        For every cell this call either becomes the single flight that
+        computes it, or waits for the thread that already is and then
+        serves the freshly stored result as a hit.
+        """
+        claims: Dict[Tuple[str, int], List[int]] = {}
+        waited_pairs = []
+        try:
+            for i in missing:
+                key = (fingerprints[i], scenarios[i].seed)
+                if key in claims:  # duplicate cell inside this batch
+                    claims[key].append(i)
+                    continue
+                while True:
+                    with self._inflight_lock:
+                        event = self._inflight.get(key)
+                        if event is None:
+                            self._inflight[key] = threading.Event()
+                            claims[key] = [i]
+                            break
+                    event.wait()
+                    payload = self._load_cell(*key)
+                    if payload is not None:
+                        metrics[i] = payload
+                        waited_pairs.append(key)
+                        if on_cell is not None:
+                            on_cell(i, True)
+                        break
+                    # The other flight failed; loop and claim it ourselves.
+            if waited_pairs:
+                self.index.record_hits(waited_pairs)
+                self._count(hits=len(waited_pairs))
+            if claims:
+                self._compute_claimed(scenarios, fingerprints, metrics,
+                                      claims, workers, on_cell,
+                                      should_cancel)
+        finally:
+            with self._inflight_lock:
+                for key in claims:
+                    event = self._inflight.pop(key, None)
+                    if event is not None:
+                        event.set()
+
+    def _compute_claimed(
+        self,
+        scenarios: Sequence[Scenario],
+        fingerprints: List[str],
+        metrics: List[Optional[Dict[str, float]]],
+        claims: Dict[Tuple[str, int], List[int]],
+        workers: int,
+        on_cell: Optional[Callable[[int, bool], None]],
+        should_cancel: Optional[Callable[[], bool]],
+    ) -> None:
+        """Run the claimed cells, persisting each as soon as it lands.
 
         Per-cell persistence is what makes interrupted work resumable: a
         sweep killed mid-grid keeps every cell that finished, whether
-        the runs were serial or pooled.
+        the runs were serial or pooled.  A worker-process death
+        surfaces as :class:`~repro.errors.WorkerCrashError` so callers
+        (the service scheduler) can retry; cells stored before the
+        crash are never recomputed.
         """
+
+        def cancelled() -> bool:
+            return should_cancel is not None and should_cancel()
+
+        # Double-check after claiming: another thread may have finished
+        # (and released) a cell between our initial lookup and the
+        # claim, in which case it is already on disk — serve it as a
+        # hit instead of recomputing.  Keys stay in ``claims`` so the
+        # caller's finally still releases their events.
+        landed_pairs = []
+        to_compute = []
+        for key, indices in claims.items():
+            payload = self._load_cell(*key)
+            if payload is None:
+                to_compute.append(key)
+                continue
+            for j in indices:
+                metrics[j] = payload
+                if on_cell is not None:
+                    on_cell(j, True)
+            landed_pairs.append(key)
+        if landed_pairs:
+            self.index.record_hits(landed_pairs)
+            self._count(hits=len(landed_pairs))
+        if not to_compute:
+            return
 
         def store(i: int, history) -> None:
             computed = extract_metrics(history)
@@ -138,22 +261,42 @@ class RunCache:
             )
             # Serve the disk round-trip, not the in-memory dict, so a
             # cold call returns exactly what every warm call will.
-            metrics[i] = self.blobs.get(blob, computed)
-            self.session_misses += 1
+            payload = self.blobs.get(blob, computed)
+            key = (fingerprints[i], scenarios[i].seed)
+            for j in claims[key]:
+                metrics[j] = payload
+                if on_cell is not None:
+                    on_cell(j, j != i)
+            self._count(misses=1)
 
-        pending = [scenarios[i] for i in missing]
-        if _pool_supported(workers, (pending, self.runner_factory)):
+        pending = [(claims[key][0], scenarios[claims[key][0]])
+                   for key in to_compute]
+        if cancelled():
+            raise RunCancelled("cancelled before computing cells")
+        if _pool_supported(workers,
+                           ([s for _, s in pending], self.runner_factory)):
             with ProcessPoolExecutor(
                 max_workers=min(workers, len(pending))
             ) as pool:
-                futures = [
-                    pool.submit(_run_history, s, self.runner_factory)
-                    for s in pending
-                ]
-                for i, future in zip(missing, futures):
-                    store(i, future.result())
+                futures = {
+                    pool.submit(_run_history, s, self.runner_factory): i
+                    for i, s in pending
+                }
+                try:
+                    for future in as_completed(futures):
+                        store(futures[future], future.result())
+                        if cancelled():
+                            raise RunCancelled("cancelled mid-computation")
+                except (BrokenExecutor, BrokenPipeError, EOFError) as exc:
+                    raise WorkerCrashError(
+                        f"worker process died: {exc!r}"
+                    ) from exc
+                finally:
+                    pool.shutdown(wait=True, cancel_futures=True)
         else:
-            for i, scenario in zip(missing, pending):
+            for i, scenario in pending:
+                if cancelled():
+                    raise RunCancelled("cancelled mid-computation")
                 store(i, _run_history(scenario, self.runner_factory))
 
     # -- experiment API ---------------------------------------------------

@@ -45,6 +45,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache", "defrag"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8347
+        assert args.workers == 1
+        assert args.queue_depth == 64
+        assert args.max_retries == 2
+        assert args.cache_dir == ".repro-cache"
+
+    def test_serve_accepts_knobs(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "4",
+             "--queue-depth", "8", "--cache-dir", "/tmp/c"]
+        )
+        assert args.port == 0 and args.workers == 4
+        assert args.queue_depth == 8 and args.cache_dir == "/tmp/c"
+
     def test_docstring_lists_every_subcommand(self):
         """The module docstring count stays in sync with the parser."""
         import repro.cli as cli_module
@@ -168,6 +185,39 @@ class TestCacheCommands:
         capsys.readouterr()
         assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
         assert "| 0" in capsys.readouterr().out
+
+
+class TestErrorMapping:
+    """Library errors exit 2 with a one-line message, not a traceback."""
+
+    def test_serve_invalid_workers_one_line_error(self, capsys):
+        assert main(["serve", "--workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "workers" in err
+        assert "Traceback" not in err
+
+    def test_serve_invalid_queue_depth(self, capsys):
+        assert main(["serve", "--queue-depth", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+
+    def test_compare_invalid_seeds_message(self, capsys):
+        assert main(["compare", "--seeds", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "--seeds" in err
+
+    def test_export_to_unwritable_path_is_clean(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where a directory should be")
+        target = blocker / "out.json"
+        code = main(["export", "--timeline", "traditional",
+                     "--json", str(target)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
 
 
 class TestSweepAndExport:

@@ -366,3 +366,139 @@ class TestSweepResume:
         cache2.run_sweep("cadence", [3.0, 6.0], scenario_factory,
                          seeds=[0, 1])
         assert counting.calls == 4  # 2 before the crash + 2 resumed
+
+
+# ---------------------------------------------------------------------------
+# concurrency: single-flight cache, locked index
+
+
+class TestConcurrentAccess:
+    def test_same_missing_cell_computed_exactly_once(self, tmp_path):
+        """Two threads racing on one missing cell share one computation."""
+        import threading
+
+        factory = CountingFactory()
+        cache = RunCache(tmp_path / "store", runner_factory=factory)
+        scenario = tiny_timeline(seed=7)
+        barrier = threading.Barrier(2)
+        results = [None, None]
+
+        def fetch(slot):
+            barrier.wait()
+            results[slot] = cache.fetch_metrics([scenario])[0]
+
+        threads = [
+            threading.Thread(target=fetch, args=(slot,)) for slot in (0, 1)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert factory.calls == 1, "cell computed more than once"
+        assert results[0] == results[1]
+        assert results[0] is not None
+        assert cache.session_misses == 1
+        assert cache.session_hits == 1  # the waiter observed a hit
+
+    def test_many_threads_disjoint_and_shared_cells(self, tmp_path):
+        """A mixed workload never double-computes any (scenario, seed)."""
+        import threading
+
+        factory = CountingFactory()
+        cache = RunCache(tmp_path / "store", runner_factory=factory)
+        seeds = [0, 1, 2]
+        barrier = threading.Barrier(4)
+        outputs = []
+        lock = threading.Lock()
+
+        def fetch():
+            barrier.wait()
+            metrics = cache.replicate(tiny_timeline(), seeds)
+            with lock:
+                outputs.append(metrics)
+
+        threads = [threading.Thread(target=fetch) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert len(outputs) == 4
+        assert factory.calls == len(seeds)
+        for metrics in outputs[1:]:
+            assert metrics == outputs[0]
+
+    def test_failed_flight_is_reclaimed_by_waiter(self, tmp_path):
+        """If the computing thread dies, a waiter claims and completes."""
+        import threading
+
+        class ExplodeOnce:
+            def __init__(self):
+                self.calls = 0
+                self.lock = threading.Lock()
+
+            def __call__(self, scenario):
+                with self.lock:
+                    self.calls += 1
+                    first = self.calls == 1
+                if first:
+                    raise RuntimeError("boom")
+                return LongitudinalRunner(scenario)
+
+        factory = ExplodeOnce()
+        cache = RunCache(tmp_path / "store", runner_factory=factory)
+        scenario = tiny_timeline(seed=3)
+        barrier = threading.Barrier(2)
+        outcomes = []
+        lock = threading.Lock()
+
+        def fetch():
+            barrier.wait()
+            try:
+                value = cache.fetch_metrics([scenario])[0]
+            except RuntimeError as exc:
+                value = exc
+            with lock:
+                outcomes.append(value)
+
+        threads = [threading.Thread(target=fetch) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        errors = [o for o in outcomes if isinstance(o, RuntimeError)]
+        values = [o for o in outcomes if isinstance(o, dict)]
+        assert len(errors) == 1 and len(values) == 1
+        # the losing thread reclaimed the cell and stored it
+        assert cache.fetch_metrics([scenario])[0] == values[0]
+
+    def test_index_concurrent_recording_stays_consistent(self, tmp_path):
+        """Parallel record_store/record_hits never corrupt the journal."""
+        import threading
+
+        path = tmp_path / "index.jsonl"
+        index = RunIndex(path)
+        n_threads, n_records = 8, 25
+
+        def record(thread_id):
+            for i in range(n_records):
+                index.record_store(
+                    f"fp{thread_id}", i, f"{'ab'[i % 2]}{thread_id:02d}cafe",
+                    {"name": f"s{thread_id}"},
+                )
+                index.record_hits([(f"fp{thread_id}", i)])
+
+        threads = [
+            threading.Thread(target=record, args=(t,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        stats = index.stats()
+        assert stats.fingerprints == n_threads
+        assert stats.runs == n_threads * n_records
+        assert stats.hits == n_threads * n_records
+        # every journal line must be whole (no interleaved appends)
+        reloaded = RunIndex(path)
+        assert reloaded.stats() == stats
