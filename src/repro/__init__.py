@@ -38,6 +38,10 @@ __version__ = "1.0.0"
 # with the model version, so it reads it back off this module.
 from repro.store import BlobStore, RunCache, scenario_fingerprint
 
+# The facade pulls in the store and the service client, so it must come
+# after the store import above.
+from repro import api
+
 __all__ = [
     "BlobStore",
     "Consortium",
@@ -49,6 +53,7 @@ __all__ = [
     "RunCache",
     "Scenario",
     "__version__",
+    "api",
     "baseline_timeline",
     "build_framework",
     "compare_scenarios",

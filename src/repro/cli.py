@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands, all seeded and deterministic:
+Nine subcommands, all seeded and deterministic:
 
 * ``repro-sim run`` — run one timeline and print the per-plenary table.
 * ``repro-sim compare`` — hackathon vs traditional over N seeds.
@@ -10,11 +10,14 @@ Eight subcommands, all seeded and deterministic:
 * ``repro-sim export`` — run a timeline and export the full history.
 * ``repro-sim cache`` — inspect, garbage-collect or clear the run store.
 * ``repro-sim serve`` — serve compare/sweep/replicate jobs over HTTP.
+* ``repro-sim metrics`` — print metrics (local or scraped off a server).
 
 ``compare`` and ``sweep`` take ``--workers N`` to fan seeds out over a
 process pool, and ``--cache`` to memoize per-seed KPI dictionaries in
 the content-addressed run store (``--cache-dir``, default
 ``.repro-cache``) so repeated invocations only compute missing cells.
+``--trace PATH`` (also on ``serve``) records a span tree of where the
+wall time went and writes it as JSONL — see :mod:`repro.obs`.
 ``serve`` turns the same machinery into a shared HTTP backend with a
 coalescing, bounded job queue (see :mod:`repro.service`).
 
@@ -40,8 +43,11 @@ import os
 import sys
 from typing import Callable, Dict, List, Optional
 
+from contextlib import nullcontext
+
 from repro import RngHub, build_framework, megamart2
 from repro.errors import ConfigurationError, ReproError
+from repro.obs import REGISTRY, tracing
 from repro.core.variants import ALL_VARIANTS, build_variant_event
 from repro.culture import MEGAMART_COUNTRIES, render_ascii_chart
 from repro.reporting import (
@@ -141,6 +147,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max queued jobs before 429s (default 64)")
     serve.add_argument("--max-retries", type=int, default=2,
                        help="retries after a worker crash (default 2)")
+    serve.add_argument("--trace", metavar="PATH", default=None,
+                       help="write served jobs' span trees as JSONL on "
+                            "shutdown")
+
+    metrics = sub.add_parser(
+        "metrics", help="print metrics in Prometheus text format")
+    metrics.add_argument("--url", metavar="URL", default=None,
+                         help="scrape a running repro-sim serve endpoint "
+                              "instead of this process")
     return parser
 
 
@@ -155,6 +170,9 @@ def _add_execution_options(sub_parser: argparse.ArgumentParser) -> None:
     sub_parser.add_argument(
         "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
         help=f"store location (default {DEFAULT_CACHE_DIR})")
+    sub_parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a span tree of the run and write it as JSONL")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -189,20 +207,31 @@ def _check_execution_options(args: argparse.Namespace) -> None:
         )
 
 
+def _trace_context(args: argparse.Namespace):
+    """``tracing(path)`` when ``--trace`` was given, else a no-op."""
+    return tracing(args.trace) if args.trace else nullcontext()
+
+
+def _print_trace_summary(args: argparse.Namespace) -> None:
+    if args.trace:
+        print(f"\ntrace written to {args.trace}")
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     _check_execution_options(args)
     cache: Optional[RunCache] = None
-    if args.cache:
-        cache = RunCache(args.cache_dir)
-        result = cache.compare_scenarios(
-            megamart_timeline(), baseline_timeline(),
-            seeds=range(args.seeds), workers=args.workers,
-        )
-    else:
-        result = compare_scenarios(
-            megamart_timeline(), baseline_timeline(),
-            seeds=range(args.seeds), workers=args.workers,
-        )
+    with _trace_context(args):
+        if args.cache:
+            cache = RunCache(args.cache_dir)
+            result = cache.compare_scenarios(
+                megamart_timeline(), baseline_timeline(),
+                seeds=range(args.seeds), workers=args.workers,
+            )
+        else:
+            result = compare_scenarios(
+                megamart_timeline(), baseline_timeline(),
+                seeds=range(args.seeds), workers=args.workers,
+            )
     rows = []
     for comparison in result.all_comparisons():
         rows.append([
@@ -218,6 +247,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         rows, title=f"hackathon vs traditional over {args.seeds} seeds",
     ))
     _print_cache_summary(cache)
+    _print_trace_summary(args)
     return 0
 
 
@@ -284,17 +314,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     # HTTP service, so CLI sweeps and served sweeps stay identical.
     values, factory, label_fn = sweep_plan(args.parameter)
     cache: Optional[RunCache] = None
-    if args.cache:
-        cache = RunCache(args.cache_dir)
-        result = cache.run_sweep(
-            args.parameter, values, factory, seeds=range(args.seeds),
-            label_fn=label_fn, workers=args.workers,
-        )
-    else:
-        result = run_sweep(
-            args.parameter, values, factory, seeds=range(args.seeds),
-            label_fn=label_fn, workers=args.workers,
-        )
+    with _trace_context(args):
+        if args.cache:
+            cache = RunCache(args.cache_dir)
+            result = cache.run_sweep(
+                args.parameter, values, factory, seeds=range(args.seeds),
+                label_fn=label_fn, workers=args.workers,
+            )
+        else:
+            result = run_sweep(
+                args.parameter, values, factory, seeds=range(args.seeds),
+                label_fn=label_fn, workers=args.workers,
+            )
     metrics = ("convincing_demos", "knowledge_transferred",
                "final_burnout_rate")
     print(ascii_table(
@@ -303,6 +334,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         title=f"sweep of {args.parameter} over {args.seeds} seed(s)",
     ))
     _print_cache_summary(cache)
+    _print_trace_summary(args)
     return 0
 
 
@@ -328,6 +360,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             ["scenarios (fingerprints)", stats.fingerprints],
             ["cached runs", stats.runs],
             ["hits recorded", stats.hits_recorded],
+            ["misses recorded", stats.misses_recorded],
+            ["hit ratio", round(stats.hit_ratio, 3)],
             ["objects on disk", stats.objects],
             ["store size (KiB)", round(stats.total_bytes / 1024, 1)],
         ]
@@ -363,14 +397,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"(workers={args.workers}, queue-depth={args.queue_depth}, "
           f"cache={args.cache_dir})")
     print("endpoints: POST /v1/jobs  GET /v1/jobs/{id}[/result]  "
-          "DELETE /v1/jobs/{id}  GET /v1/cache/stats  GET /healthz")
+          "DELETE /v1/jobs/{id}  GET /v1/cache/stats  GET /v1/metrics  "
+          "GET /healthz")
     try:
-        server.serve_forever()
+        with _trace_context(args):
+            server.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
         server.shutdown()
         server.server_close()
+        _print_trace_summary(args)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    if args.url:
+        # Imported here so the offline path never pays for the client.
+        from repro.service.client import ServiceClient
+
+        sys.stdout.write(ServiceClient(args.url).metrics_text())
+    else:
+        sys.stdout.write(REGISTRY.render_prometheus())
     return 0
 
 
@@ -383,6 +431,7 @@ _COMMANDS = {
     "export": _cmd_export,
     "cache": _cmd_cache,
     "serve": _cmd_serve,
+    "metrics": _cmd_metrics,
 }
 
 

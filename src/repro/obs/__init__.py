@@ -1,0 +1,71 @@
+"""Observability: process-wide metrics and span tracing, stdlib-only.
+
+The serving stack (simulation → store → service) records into two
+process-wide collectors:
+
+* :data:`~repro.obs.registry.REGISTRY` — counters, gauges and
+  fixed-bucket histograms, snapshot-able and renderable as Prometheus
+  text (served at ``GET /v1/metrics``, printed by
+  ``repro-sim metrics``).
+* :data:`~repro.obs.trace.TRACER` — span trees of wall time, off by
+  default, enabled by the ``--trace PATH`` CLI flag and
+  ``trace=`` on the :mod:`repro.api` facade, exported as JSONL.
+
+Quick use::
+
+    from repro.obs import REGISTRY, span
+
+    requests = REGISTRY.counter("myapp_requests_total")
+    with span("myapp.handle", route="/v1/jobs"):
+        requests.inc()
+
+    print(REGISTRY.render_prometheus())
+
+Why stdlib-only: see DESIGN.md — obs is imported by every layer
+including worker processes and the bare CLI, so it must never widen
+the dependency footprint or add import latency.
+"""
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+    obs_enabled,
+    set_enabled,
+)
+from repro.obs.trace import (
+    Span,
+    TRACER,
+    Tracer,
+    get_tracer,
+    render_text,
+    span,
+    span_coverage,
+    spans_from_jsonl,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "obs_enabled",
+    "render_text",
+    "set_enabled",
+    "span",
+    "span_coverage",
+    "spans_from_jsonl",
+    "tracing",
+]

@@ -1,0 +1,390 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Deliberately dependency-free (stdlib only) so every layer of the stack
+— simulation engine, run store, serving layer — can instrument itself
+without importing anything heavier than :mod:`threading`.  The design
+follows the Prometheus data model:
+
+* :class:`Counter` — monotonically increasing total.
+* :class:`Gauge` — a value that goes up and down (queue depth).
+* :class:`Histogram` — fixed upper-bound buckets with ``value <= bound``
+  (Prometheus ``le``) semantics, plus running count and sum.
+
+All instruments hang off a :class:`MetricsRegistry`.  The module-level
+:data:`REGISTRY` is the process-wide default every ``repro`` subsystem
+records into; tests grab it via :func:`get_registry` and call
+:meth:`MetricsRegistry.reset` between assertions.  Instruments are
+cheap (one lock acquire per update) and identified by
+``(name, sorted labels)``, so hot paths hold a module-level handle
+instead of re-looking the instrument up per call.
+
+:func:`set_enabled` flips one shared flag that turns every update into
+a no-op — the perf bench uses it to price the instrumentation itself.
+
+The registry guarantees that :meth:`MetricsRegistry.snapshot` and
+:meth:`MetricsRegistry.render_prometheus` are two encodings of the
+same numbers: both are produced from one pass over the instruments
+under the registry lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+    "set_enabled",
+    "obs_enabled",
+]
+
+#: Default histogram bounds: latency-shaped, 1 ms to 10 s.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class _ObsState:
+    """Shared kill switch for every instrument in the process."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_STATE = _ObsState()
+
+
+def set_enabled(enabled: bool) -> None:
+    """Globally enable/disable metric updates (used by the perf bench)."""
+    _STATE.enabled = bool(enabled)
+
+
+def obs_enabled() -> bool:
+    return _STATE.enabled
+
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _sample_name(name: str, labels: LabelKey) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def _format_number(value: float) -> str:
+    """Prometheus sample formatting: integers without a trailing ``.0``."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class Counter:
+    """Monotonic counter; ``inc`` with a negative amount is an error."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not _STATE.enabled:
+            return
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def _sample(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that moves both ways (queue depth, in-flight cells)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        if not _STATE.enabled:
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not _STATE.enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def _sample(self) -> float:
+        return self.value
+
+
+class _HistogramTimer:
+    """Context manager observing its wall time into a histogram."""
+
+    __slots__ = ("_histogram", "_t0")
+
+    def __init__(self, histogram: "Histogram") -> None:
+        self._histogram = histogram
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._histogram.observe(perf_counter() - self._t0)
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` semantics.
+
+    ``buckets`` are the finite upper bounds, strictly increasing; an
+    implicit ``+Inf`` bucket catches the rest.  An observation lands in
+    the first bucket whose bound is ``>= value`` (bounds are inclusive,
+    exactly like Prometheus ``le``).
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "buckets", "_counts", "_sum", "_count",
+                 "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ConfigurationError(
+                f"histogram {name!r} buckets must be strictly increasing, "
+                f"got {buckets!r}"
+            )
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 for +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        if not _STATE.enabled:
+            return
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def time(self) -> _HistogramTimer:
+        """``with histogram.time(): ...`` observes the block's wall time."""
+        return _HistogramTimer(self)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.buckets) + 1)
+            self._sum = 0.0
+            self._count = 0
+
+    def _sample(self) -> Dict[str, Any]:
+        """Cumulative bucket counts keyed by ``le``, plus sum and count."""
+        with self._lock:
+            cumulative: Dict[str, int] = {}
+            running = 0
+            for bound, n in zip(self.buckets, self._counts):
+                running += n
+                cumulative[_format_number(bound)] = running
+            cumulative["+Inf"] = running + self._counts[-1]
+            return {
+                "buckets": cumulative,
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+
+class MetricsRegistry:
+    """Named instruments with one consistent snapshot/render view."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[Tuple[str, LabelKey], Any] = {}
+        self._families: Dict[str, Tuple[str, str]] = {}  # name -> (kind, help)
+
+    # -- instrument factories --------------------------------------------
+
+    def _get(self, cls, name: str, help: str, labels: Dict[str, str],
+             **kwargs: Any):
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is not None:
+                if instrument.kind != cls.kind:
+                    raise ConfigurationError(
+                        f"metric {name!r} already registered as "
+                        f"{instrument.kind}, not {cls.kind}"
+                    )
+                return instrument
+            registered = self._families.get(name)
+            if registered is not None and registered[0] != cls.kind:
+                raise ConfigurationError(
+                    f"metric family {name!r} already registered as "
+                    f"{registered[0]}, not {cls.kind}"
+                )
+            instrument = cls(name, key[1], **kwargs)
+            self._instruments[key] = instrument
+            if registered is None or (help and not registered[1]):
+                self._families[name] = (cls.kind, help)
+            return instrument
+
+    def counter(self, name: str, help: str = "",
+                **labels: str) -> Counter:
+        """Get or create the counter ``name`` with these labels."""
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        return self._get(Histogram, name, help, labels, buckets=buckets)
+
+    # -- views ------------------------------------------------------------
+
+    def _sorted_instruments(self) -> List[Any]:
+        with self._lock:
+            return [
+                self._instruments[key]
+                for key in sorted(self._instruments)
+            ]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """``{sample_name: value}`` for every instrument.
+
+        Counters and gauges map to floats; histograms map to
+        ``{"buckets": {le: cumulative}, "sum": ..., "count": ...}``.
+        This is the exact data :meth:`render_prometheus` encodes.
+        """
+        return {
+            _sample_name(inst.name, inst.labels): inst._sample()
+            for inst in self._sorted_instruments()
+        }
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format (0.0.4)."""
+        lines: List[str] = []
+        seen_families = set()
+        for inst in self._sorted_instruments():
+            if inst.name not in seen_families:
+                seen_families.add(inst.name)
+                kind, help_text = self._families.get(inst.name,
+                                                     (inst.kind, ""))
+                if help_text:
+                    lines.append(f"# HELP {inst.name} {help_text}")
+                lines.append(f"# TYPE {inst.name} {kind}")
+            sample = inst._sample()
+            if inst.kind == "histogram":
+                for le, cumulative in sample["buckets"].items():
+                    labels = dict(inst.labels)
+                    labels["le"] = le
+                    bucket_name = _sample_name(f"{inst.name}_bucket",
+                                               _label_key(labels))
+                    lines.append(f"{bucket_name} {cumulative}")
+                lines.append(
+                    f"{_sample_name(inst.name + '_sum', inst.labels)} "
+                    f"{_format_number(sample['sum'])}"
+                )
+                lines.append(
+                    f"{_sample_name(inst.name + '_count', inst.labels)} "
+                    f"{sample['count']}"
+                )
+            else:
+                lines.append(
+                    f"{_sample_name(inst.name, inst.labels)} "
+                    f"{_format_number(sample)}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    # -- maintenance ------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every instrument (registrations survive) — for tests."""
+        for inst in self._sorted_instruments():
+            inst._reset()
+
+
+#: The process-wide registry all repro subsystems record into.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return REGISTRY

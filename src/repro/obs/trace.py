@@ -1,0 +1,303 @@
+"""Lightweight span tracing: wall-time trees, JSONL, text flamegraph.
+
+A *span* measures one named phase of work; spans opened while another
+span is active nest under it, so a traced run produces a tree whose
+root covers the whole call and whose leaves are the innermost phases::
+
+    with span("api.compare", seeds=5):
+        with span("experiment.run_many", runs=10):
+            ...
+
+Tracing is **off by default** and costs one attribute read per
+``span()`` call while off — the hot paths stay instrumented
+permanently and only pay when a ``--trace`` flag turns the collector
+on.  The collector is the process-wide :data:`TRACER`; each thread
+keeps its own span stack, so server threads produce disjoint trees
+instead of corrupting each other's nesting.
+
+Finished root spans accumulate on the tracer until :meth:`Tracer.reset`
+or :meth:`Tracer.write_jsonl` — the JSONL is one span per line in
+depth-first order (``id``, ``parent``, ``depth``, ``name``,
+``start_ms`` relative to its root, ``duration_ms``, ``attrs``), and
+:func:`spans_from_jsonl` rebuilds the exact tree, so traces round-trip
+through files.  :func:`render_text` prints the flamegraph-style
+summary; :func:`span_coverage` reports how much of a span's wall time
+its children account for — the acceptance gauge for "the trace
+explains where the time went".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TRACER",
+    "get_tracer",
+    "span",
+    "tracing",
+    "spans_from_jsonl",
+    "render_text",
+    "span_coverage",
+]
+
+
+class Span:
+    """One timed phase; ``duration_s`` is None while the span is open."""
+
+    __slots__ = ("name", "attrs", "start_s", "duration_s", "children")
+
+    def __init__(self, name: str, attrs: Dict[str, Any],
+                 start_s: float = 0.0,
+                 duration_s: Optional[float] = None) -> None:
+        self.name = name
+        self.attrs = attrs
+        #: Start time on the perf_counter clock (absolute while live,
+        #: root-relative after a JSONL round-trip).
+        self.start_s = start_s
+        self.duration_s = duration_s
+        self.children: List["Span"] = []
+
+    def walk(self, depth: int = 0) -> Iterable[Tuple["Span", int]]:
+        """Depth-first ``(span, depth)`` traversal of this subtree."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, duration_s={self.duration_s}, "
+                f"children={len(self.children)})")
+
+
+class _ActiveSpan:
+    """Context manager pushing/popping one span on the thread's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span_obj: Span) -> None:
+        self._tracer = tracer
+        self._span = span_obj
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer._pop(self._span)
+
+
+class _NullSpan:
+    """Reusable no-op context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Per-process span collector with per-thread nesting stacks."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._local = threading.local()
+        self._roots: List[Span] = []
+        self._lock = threading.Lock()
+
+    # -- recording --------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span named ``name``; no-op while tracing is off."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(
+            self, Span(name, attrs, start_s=time.perf_counter())
+        )
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span_obj: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span_obj)
+        stack.append(span_obj)
+
+    def _pop(self, span_obj: Span) -> None:
+        span_obj.duration_s = time.perf_counter() - span_obj.start_s
+        stack = self._stack()
+        if stack and stack[-1] is span_obj:
+            stack.pop()
+        if not stack:
+            with self._lock:
+                self._roots.append(span_obj)
+
+    # -- views ------------------------------------------------------------
+
+    def roots(self) -> List[Span]:
+        """Finished root spans, in completion order."""
+        with self._lock:
+            return list(self._roots)
+
+    def reset(self) -> None:
+        """Drop collected spans (the enabled flag is left untouched)."""
+        with self._lock:
+            self._roots.clear()
+
+    # -- export -----------------------------------------------------------
+
+    def to_records(self) -> List[Dict[str, Any]]:
+        """Flatten every finished tree to JSON-safe span records."""
+        records: List[Dict[str, Any]] = []
+        for root in self.roots():
+            ids: Dict[int, int] = {}
+            parents: Dict[int, Optional[int]] = {id(root): None}
+            for span_obj, depth in root.walk():
+                span_id = len(records)
+                ids[id(span_obj)] = span_id
+                for child in span_obj.children:
+                    parents[id(child)] = span_id
+                records.append({
+                    "id": span_id,
+                    "parent": parents[id(span_obj)],
+                    "depth": depth,
+                    "name": span_obj.name,
+                    "start_ms": round(
+                        (span_obj.start_s - root.start_s) * 1000.0, 6
+                    ),
+                    "duration_ms": round(
+                        (span_obj.duration_s or 0.0) * 1000.0, 6
+                    ),
+                    "attrs": span_obj.attrs,
+                })
+        return records
+
+    def write_jsonl(self, path: os.PathLike) -> int:
+        """Write one span per line; returns the number of spans."""
+        records = self.to_records()
+        with open(os.fspath(path), "w", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(records)
+
+
+def spans_from_jsonl(lines: Iterable[str]) -> List[Span]:
+    """Rebuild span trees from JSONL lines; returns the roots.
+
+    ``id``/``parent`` references restart per tree exactly as
+    :meth:`Tracer.to_records` writes them, so concatenated traces load
+    back as the same forest.
+    """
+    roots: List[Span] = []
+    by_id: Dict[int, Span] = {}
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        span_obj = Span(
+            record["name"],
+            record.get("attrs", {}),
+            start_s=record["start_ms"] / 1000.0,
+            duration_s=record["duration_ms"] / 1000.0,
+        )
+        parent = record.get("parent")
+        if parent is None:
+            by_id = {record["id"]: span_obj}
+            roots.append(span_obj)
+        else:
+            by_id[parent].children.append(span_obj)
+            by_id[record["id"]] = span_obj
+    return roots
+
+
+def span_coverage(span_obj: Span) -> float:
+    """Fraction of ``span_obj``'s wall time its children account for.
+
+    1.0 means the trace fully explains where the time went; a span with
+    no children (a leaf — nothing left to explain) also reports 1.0.
+    """
+    if not span_obj.children:
+        return 1.0
+    total = span_obj.duration_s or 0.0
+    if total <= 0.0:
+        return 1.0
+    covered = sum(c.duration_s or 0.0 for c in span_obj.children)
+    return min(1.0, covered / total)
+
+
+def render_text(roots: Iterable[Span]) -> str:
+    """Flamegraph-style indented summary of one or more span trees."""
+    lines: List[str] = []
+    for root in roots:
+        root_duration = root.duration_s or 0.0
+        for span_obj, depth in root.walk():
+            duration = span_obj.duration_s or 0.0
+            share = (duration / root_duration * 100.0
+                     if root_duration > 0 else 100.0)
+            attrs = ""
+            if span_obj.attrs:
+                inner = ", ".join(
+                    f"{k}={v}" for k, v in sorted(span_obj.attrs.items())
+                )
+                attrs = f"  [{inner}]"
+            label = "  " * depth + span_obj.name
+            lines.append(
+                f"{label:<44s} {duration * 1000.0:10.2f}ms "
+                f"{share:6.1f}%{attrs}"
+            )
+    return "\n".join(lines)
+
+
+#: The process-wide tracer every repro subsystem records into.
+TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer."""
+    return TRACER
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the process-wide tracer (no-op while disabled)."""
+    if not TRACER.enabled:
+        return _NULL_SPAN
+    return TRACER.span(name, **attrs)
+
+
+@contextmanager
+def tracing(path: os.PathLike,
+            tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Collect spans for the block and write them to ``path`` as JSONL.
+
+    This is what a ``--trace PATH`` flag turns into: switch the (by
+    default process-wide) tracer on, run the block, restore the previous
+    enabled state and export the span forest.  If the tracer was off,
+    previously accumulated spans are dropped first so the file holds
+    exactly this block's trees.
+    """
+    active = tracer if tracer is not None else TRACER
+    was_enabled = active.enabled
+    if not was_enabled:
+        active.reset()
+        active.enabled = True
+    try:
+        yield active
+    finally:
+        active.enabled = was_enabled
+        active.write_jsonl(path)

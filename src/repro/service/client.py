@@ -95,6 +95,24 @@ class ServiceClient:
     def cache_stats(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/cache/stats")
 
+    def metrics_text(self) -> str:
+        """The server's ``/v1/metrics`` page (Prometheus text format)."""
+        request = urllib.request.Request(
+            self.base_url + "/v1/metrics",
+            headers={"Accept": "text/plain"},
+            method="GET",
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, str(exc.reason)) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {self.base_url}: "
+                                  f"{exc.reason}") from None
+
     def health(self) -> Dict[str, Any]:
         return self._request("GET", "/healthz")
 

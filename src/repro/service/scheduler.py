@@ -38,6 +38,7 @@ from repro.errors import (
     UnknownJobError,
 )
 from repro.errors import WorkerCrashError
+from repro.obs import REGISTRY
 from repro.service.jobs import (
     CANCELLED,
     DONE,
@@ -51,6 +52,27 @@ from repro.service.workers import execute_plan, reset_progress
 from repro.store.runcache import RunCache
 
 __all__ = ["Scheduler"]
+
+_SUBMITTED = REGISTRY.counter(
+    "service_jobs_submitted_total",
+    help="Jobs accepted into the queue (coalesced submissions excluded)",
+)
+_COALESCED = REGISTRY.counter(
+    "service_jobs_coalesced_total",
+    help="Submissions folded onto an already in-flight job",
+)
+_RETRIES = REGISTRY.counter(
+    "service_job_retries_total",
+    help="Job re-executions after a worker-process crash",
+)
+_QUEUE_DEPTH = REGISTRY.gauge(
+    "service_queue_depth",
+    help="Jobs currently waiting in the priority queue",
+)
+_LATENCY = REGISTRY.histogram(
+    "service_job_latency_seconds",
+    help="Submit-to-terminal latency per job",
+)
 
 
 class Scheduler:
@@ -85,6 +107,7 @@ class Scheduler:
         self._jobs: Dict[str, Job] = {}
         self._plans: Dict[str, JobPlan] = {}
         self._by_key: Dict[str, str] = {}  # coalescing key -> in-flight id
+        self._queued_count = 0  # jobs in QUEUED state (mirrors the gauge)
         self._ids = itertools.count()
         self._ticket = itertools.count()  # FIFO tie-break within priority
         self._stopping = False
@@ -112,14 +135,11 @@ class Scheduler:
                 existing = self._jobs[existing_id]
                 if not existing.is_terminal:
                     existing.coalesced += 1
+                    _COALESCED.inc()
                     return existing, False
-            queued = sum(
-                1 for _, _, jid in self._heap
-                if self._jobs[jid].state == QUEUED
-            )
-            if queued >= self.queue_depth:
+            if self._queued_count >= self.queue_depth:
                 raise QueueFullError(
-                    f"queue full ({queued} job(s) waiting, "
+                    f"queue full ({self._queued_count} job(s) waiting, "
                     f"depth {self.queue_depth})"
                 )
             job = Job(
@@ -134,6 +154,9 @@ class Scheduler:
             self._plans[job.id] = plan
             self._by_key[plan.key] = job.id
             self._push(job)
+            self._queued_count += 1
+            _SUBMITTED.inc()
+            _QUEUE_DEPTH.set(self._queued_count)
             self._wakeup.notify_all()
             return job, True
 
@@ -174,6 +197,9 @@ class Scheduler:
             if job.state == QUEUED:
                 job.mark_cancelled()
                 self._forget_key(job)
+                self._queued_count -= 1
+                _QUEUE_DEPTH.set(self._queued_count)
+                self._observe_terminal(job)
             elif job.state == RUNNING:
                 job.cancel_event.set()
             return job
@@ -218,6 +244,16 @@ class Scheduler:
         if self._by_key.get(job.key) == job.id:
             del self._by_key[job.key]
 
+    def _observe_terminal(self, job: Job) -> None:
+        """Record one job reaching a terminal state."""
+        REGISTRY.counter(
+            "service_jobs_completed_total",
+            help="Jobs that reached a terminal state",
+            state=job.state,
+        ).inc()
+        if job.finished_ts is not None:
+            _LATENCY.observe(job.finished_ts - job.created_ts)
+
     def _next_job(self) -> Optional[Job]:
         """Pop the highest-priority queued job; None when stopping."""
         with self._lock:
@@ -227,6 +263,8 @@ class Scheduler:
                     job = self._jobs[job_id]
                     if job.state == QUEUED:
                         job.mark_running()
+                        self._queued_count -= 1
+                        _QUEUE_DEPTH.set(self._queued_count)
                         return job
                     # cancelled while queued: already terminal, skip
                 if self._stopping:
@@ -266,12 +304,14 @@ class Scheduler:
                 with self._lock:
                     job.mark_cancelled()
                     self._forget_key(job)
+                    self._observe_terminal(job)
                 return
             except WorkerCrashError as exc:
                 with self._lock:
                     if job.cancel_event.is_set():
                         job.mark_cancelled()
                         self._forget_key(job)
+                        self._observe_terminal(job)
                         return
                     if job.attempts >= self.max_retries:
                         job.mark_failed(
@@ -279,8 +319,10 @@ class Scheduler:
                             f"giving up: {exc}"
                         )
                         self._forget_key(job)
+                        self._observe_terminal(job)
                         return
                     job.attempts += 1  # stays RUNNING; retried inline
+                    _RETRIES.inc()
                 delay = self.retry_backoff_s * (2 ** (job.attempts - 1))
                 # Cancel-aware backoff: a cancel during the wait aborts
                 # the retry instead of sleeping through it.
@@ -288,12 +330,14 @@ class Scheduler:
                     with self._lock:
                         job.mark_cancelled()
                         self._forget_key(job)
+                        self._observe_terminal(job)
                     return
                 continue
             except Exception as exc:  # config/runtime error: not retryable
                 with self._lock:
                     job.mark_failed(f"{type(exc).__name__}: {exc}")
                     self._forget_key(job)
+                    self._observe_terminal(job)
                 return
             with self._lock:
                 if job.cancel_event.is_set():
@@ -301,4 +345,5 @@ class Scheduler:
                 else:
                     job.mark_done(payload)
                 self._forget_key(job)
+                self._observe_terminal(job)
             return

@@ -13,13 +13,16 @@ GET       ``/v1/jobs/{id}``           job state + per-cell progress
 GET       ``/v1/jobs/{id}/result``    result payload once ``done``
 DELETE    ``/v1/jobs/{id}``           cancel (queued: instant; running: coop)
 GET       ``/v1/cache/stats``         run-store counters
+GET       ``/v1/metrics``             Prometheus text exposition
 GET       ``/healthz``                liveness + job counts
 ========  ==========================  =======================================
 
 Status codes carry the scheduler's semantics: ``201`` created, ``200``
 coalesced onto an in-flight job, ``429`` queue full (backpressure),
 ``400`` malformed parameters, ``404`` unknown job, ``409`` result not
-ready.  Bodies are always JSON.
+ready.  Bodies are always JSON, except ``/v1/metrics`` which speaks
+the Prometheus text format (version 0.0.4) so any scraper — or plain
+``curl`` — can read the process-wide metrics registry.
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ from repro.errors import (
     QueueFullError,
     UnknownJobError,
 )
+from repro.obs import REGISTRY
 from repro.service.jobs import DONE, FAILED
 from repro.service.scheduler import Scheduler
 from repro.store.runcache import RunCache
@@ -144,6 +148,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._healthz()
         elif parts[:2] == ["v1", "cache"] and parts[2:] == ["stats"]:
             self._cache_stats()
+        elif parts == ["v1", "metrics"]:
+            self._metrics()
         elif parts[:2] == ["v1", "jobs"] and len(parts) == 3:
             self._job_status(parts[2])
         elif (parts[:2] == ["v1", "jobs"] and len(parts) == 4
@@ -176,10 +182,24 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _cache_stats(self) -> None:
         cache = self.scheduler.cache
-        payload = asdict(cache.stats())
+        stats = cache.stats()
+        payload = asdict(stats)
+        payload["hit_ratio"] = round(stats.hit_ratio, 6)
         payload["session_hits"] = cache.session_hits
         payload["session_misses"] = cache.session_misses
+        payload["session_waits"] = cache.session_waits
+        payload["session_bytes_served"] = cache.session_bytes_served
         self._send(200, payload)
+
+    def _metrics(self) -> None:
+        body = REGISTRY.render_prometheus().encode("ascii")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def _job_status(self, job_id: str) -> None:
         try:

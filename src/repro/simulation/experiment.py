@@ -4,16 +4,24 @@ The headline bench needs "treatment vs. baseline over N seeds with a
 significance test per KPI".  :func:`replicate` runs a scenario under a
 seed list; :func:`compare_scenarios` pairs two scenarios seed-by-seed
 and attaches Mann–Whitney / Cliff's-delta comparisons per metric.
+
+The two scenarios of a comparison are spelled ``a`` and ``b``
+everywhere in the public API — the facade (:mod:`repro.api`), the HTTP
+job parameters and this module all agree.  The pre-1.x spellings
+(``scenario_a=``/``scenario_b=``) still work but emit a
+:class:`DeprecationWarning`; see the migration table in README.
 """
 
 from __future__ import annotations
 
 import pickle
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs import REGISTRY, span
 from repro.simulation.runner import LongitudinalRunner, ProjectHistory
 from repro.simulation.scenario import Scenario
 from repro.stats.summary import SampleSummary, describe
@@ -27,6 +35,47 @@ __all__ = [
     "comparison_from_metrics",
     "compare_scenarios",
 ]
+
+_RUNS_TOTAL = REGISTRY.counter(
+    "experiment_runs_total",
+    help="Seeded simulator runs dispatched by replicate/compare/sweep",
+)
+_BATCH_SECONDS = REGISTRY.histogram(
+    "experiment_batch_seconds",
+    help="Wall time of one replicate/compare/sweep run batch",
+)
+
+
+def _pop_legacy_kwarg(
+    legacy: Dict[str, Any], old: str, new: str, current: Any
+) -> Any:
+    """Resolve one deprecated keyword spelling against its new name.
+
+    Emits a :class:`DeprecationWarning` pointing at the caller; passing
+    both spellings at once is a hard error rather than a silent pick.
+    """
+    if old not in legacy:
+        return current
+    value = legacy.pop(old)
+    warnings.warn(
+        f"the {old!r} keyword is deprecated; use {new!r} instead "
+        f"(see the migration table in README)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if current is not None:
+        raise ConfigurationError(
+            f"got both {new!r} and its deprecated alias {old!r}"
+        )
+    return value
+
+
+def _reject_unknown_kwargs(name: str, legacy: Dict[str, Any]) -> None:
+    if legacy:
+        raise TypeError(
+            f"{name}() got unexpected keyword argument(s): "
+            f"{', '.join(sorted(legacy))}"
+        )
 
 
 def extract_metrics(history: ProjectHistory) -> Dict[str, float]:
@@ -75,16 +124,24 @@ def _run_many(
     each history is bit-identical to what a serial run would produce —
     every run derives all randomness from its own seed.
     """
-    if _pool_supported(workers, (scenarios, runner_factory)):
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(scenarios))
-        ) as pool:
-            futures = [
-                pool.submit(_run_history, scenario, runner_factory)
+    _RUNS_TOTAL.inc(len(scenarios))
+    pooled = _pool_supported(workers, (scenarios, runner_factory))
+    with span("experiment.run_many", runs=len(scenarios),
+              workers=workers if pooled else 1):
+        with _BATCH_SECONDS.time():
+            if pooled:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(scenarios))
+                ) as pool:
+                    futures = [
+                        pool.submit(_run_history, scenario, runner_factory)
+                        for scenario in scenarios
+                    ]
+                    return [f.result() for f in futures]
+            return [
+                _run_history(scenario, runner_factory)
                 for scenario in scenarios
             ]
-            return [f.result() for f in futures]
-    return [_run_history(scenario, runner_factory) for scenario in scenarios]
 
 
 def replicate(
@@ -103,7 +160,9 @@ def replicate(
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
     seeded = [scenario.with_seed(int(seed)) for seed in seeds]
-    return _run_many(seeded, runner_factory, workers)
+    with span("experiment.replicate", scenario=scenario.name,
+              seeds=len(seeded)):
+        return _run_many(seeded, runner_factory, workers)
 
 
 @dataclass(frozen=True)
@@ -184,30 +243,42 @@ def comparison_from_metrics(
 
 
 def compare_scenarios(
-    scenario_a: Scenario,
-    scenario_b: Scenario,
-    seeds: Sequence[int],
+    a: Optional[Scenario] = None,
+    b: Optional[Scenario] = None,
+    seeds: Sequence[int] = (),
     runner_factory: Optional[Callable[[Scenario], LongitudinalRunner]] = None,
     workers: int = 1,
+    **legacy: Any,
 ) -> ComparisonResult:
     """Run both scenarios over the same seeds and compare their KPIs.
 
     With ``workers`` > 1 both arms share one process pool, so a
     2-scenario x N-seed comparison keeps every worker busy instead of
     draining arm A before starting arm B.
+
+    ``scenario_a=``/``scenario_b=`` are deprecated aliases for
+    ``a=``/``b=`` and emit a :class:`DeprecationWarning`.
     """
+    a = _pop_legacy_kwarg(legacy, "scenario_a", "a", a)
+    b = _pop_legacy_kwarg(legacy, "scenario_b", "b", b)
+    _reject_unknown_kwargs("compare_scenarios", legacy)
+    if a is None or b is None:
+        raise ConfigurationError("compare_scenarios needs scenarios a and b")
     if not seeds:
         raise ConfigurationError("need at least one seed")
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
-    seeded = [scenario_a.with_seed(int(s)) for s in seeds] + [
-        scenario_b.with_seed(int(s)) for s in seeds
+    seeded = [a.with_seed(int(s)) for s in seeds] + [
+        b.with_seed(int(s)) for s in seeds
     ]
-    histories = _run_many(seeded, runner_factory, workers)
+    with span("experiment.compare", a=a.name, b=b.name, seeds=len(seeds)):
+        histories = _run_many(seeded, runner_factory, workers)
+        with span("experiment.extract_metrics", runs=len(histories)):
+            metrics = [extract_metrics(h) for h in histories]
     return comparison_from_metrics(
-        scenario_a.name,
-        scenario_b.name,
+        a.name,
+        b.name,
         seeds,
-        [extract_metrics(h) for h in histories[: len(seeds)]],
-        [extract_metrics(h) for h in histories[len(seeds):]],
+        metrics[: len(seeds)],
+        metrics[len(seeds):],
     )

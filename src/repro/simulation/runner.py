@@ -56,11 +56,21 @@ from repro.network.graph import CollaborationNetwork
 from repro.project.builder import build_workplan
 from repro.project.workpackages import WorkPlan
 from repro.network.metrics import NetworkMetrics, compute_metrics
+from repro.obs import REGISTRY, span
 from repro.simulation.engine import Engine
 from repro.simulation.scenario import PlenarySpec, Scenario
 from repro.rng import RngHub
 
 __all__ = ["PlenaryRecord", "ProjectHistory", "LongitudinalRunner"]
+
+_SIM_RUNS = REGISTRY.counter(
+    "sim_runs_total",
+    help="Complete longitudinal runs finished in this process",
+)
+_SIM_RUN_SECONDS = REGISTRY.histogram(
+    "sim_run_seconds",
+    help="Wall time of one LongitudinalRunner.run()",
+)
 
 _POLICIES: Dict[str, Callable[[], TeamFormationPolicy]] = {
     "subscription": SubscriptionBasedFormation,
@@ -143,66 +153,81 @@ class LongitudinalRunner:
         learning: Optional[LearningModel] = None,
     ) -> None:
         self.scenario = scenario
-        self.hub = RngHub(scenario.seed)
-        factory = consortium_factory or (lambda hub: megamart2(hub))
-        self.consortium = factory(self.hub)
-        fw_factory = framework_factory or (
-            lambda consortium, hub: build_framework(consortium, hub)
-        )
-        self.framework = fw_factory(self.consortium, self.hub)
-        self.network = CollaborationNetwork()
-        self.followups = FollowUpRegistry()
-        self.burnout = BurnoutModel(
-            recovery_per_month=scenario.recovery_per_month
-        )
-        self.meeting = PlenaryMeeting(
-            self.consortium,
-            self.network,
-            self.hub,
-            dynamics=dynamics,
-            learning=learning,
-        )
-        self.survey = PlenarySurvey(self.hub)
-        self.comment_generator = CommentGenerator(self.hub)
-        self.dissemination = DisseminationRegistry(self.hub)
-        self.review_meeting = ReviewMeeting(self.hub)
-        self.questionnaire = Questionnaire(
-            plenary_acceptance_items(), self.hub
-        )
-        self.workplan = build_workplan(
-            self.consortium,
-            self.framework,
-            self.hub,
-            horizon_months=scenario.end_month,
-        )
-        self._history = ProjectHistory(
-            scenario=scenario, dissemination=self.dissemination
-        )
-        self._history.knowledge.snapshot(self.consortium, "start")
-        self._history.workplan = self.workplan
-        self._last_event_month = 0.0
-        self._events_run = 0
+        with span("sim.setup", scenario=scenario.name, seed=scenario.seed):
+            self.hub = RngHub(scenario.seed)
+            factory = consortium_factory or (lambda hub: megamart2(hub))
+            self.consortium = factory(self.hub)
+            fw_factory = framework_factory or (
+                lambda consortium, hub: build_framework(consortium, hub)
+            )
+            self.framework = fw_factory(self.consortium, self.hub)
+            self.network = CollaborationNetwork()
+            self.followups = FollowUpRegistry()
+            self.burnout = BurnoutModel(
+                recovery_per_month=scenario.recovery_per_month
+            )
+            self.meeting = PlenaryMeeting(
+                self.consortium,
+                self.network,
+                self.hub,
+                dynamics=dynamics,
+                learning=learning,
+            )
+            self.survey = PlenarySurvey(self.hub)
+            self.comment_generator = CommentGenerator(self.hub)
+            self.dissemination = DisseminationRegistry(self.hub)
+            self.review_meeting = ReviewMeeting(self.hub)
+            self.questionnaire = Questionnaire(
+                plenary_acceptance_items(), self.hub
+            )
+            self.workplan = build_workplan(
+                self.consortium,
+                self.framework,
+                self.hub,
+                horizon_months=scenario.end_month,
+            )
+            self._history = ProjectHistory(
+                scenario=scenario, dissemination=self.dissemination
+            )
+            self._history.knowledge.snapshot(self.consortium, "start")
+            self._history.workplan = self.workplan
+            self._last_event_month = 0.0
+            self._events_run = 0
 
     # -- public -----------------------------------------------------------
 
     def run(self) -> ProjectHistory:
         """Simulate the whole timeline and return the history."""
-        engine = Engine()
-        for spec in self.scenario.plenaries:
-            engine.schedule_at(
-                spec.month,
-                f"plenary:{spec.name}",
-                lambda eng, spec=spec: self._run_plenary(eng, spec),
-            )
-        end = self.scenario.end_month
-        engine.schedule_at(end, "horizon", self._close_horizon)
-        engine.run(until=end)
-        self._finalize_totals()
+        with span("sim.run", scenario=self.scenario.name,
+                  seed=self.scenario.seed):
+            with _SIM_RUN_SECONDS.time():
+                engine = Engine()
+                for spec in self.scenario.plenaries:
+                    engine.schedule_at(
+                        spec.month,
+                        f"plenary:{spec.name}",
+                        lambda eng, spec=spec: self._run_plenary(eng, spec),
+                    )
+                end = self.scenario.end_month
+                engine.schedule_at(end, "horizon", self._close_horizon)
+                engine.run(until=end)
+                with span("sim.finalize"):
+                    self._finalize_totals()
+        _SIM_RUNS.inc()
         return self._history
 
     # -- event handlers -----------------------------------------------------
 
     def _run_plenary(self, engine: Engine, spec: PlenarySpec) -> None:
+        REGISTRY.counter(
+            "sim_plenaries_total",
+            help="Plenary meetings simulated, by agenda kind",
+            kind=spec.kind,
+        ).inc()
+        with span("sim.plenary", plenary=spec.name, kind=spec.kind):
+            self._run_plenary_impl(engine, spec)
+
+    def _run_plenary_impl(self, engine: Engine, spec: PlenarySpec) -> None:
         self._apply_inter_event_period(engine.now)
         agenda = self._agenda_for(spec)
 
@@ -212,20 +237,22 @@ class LongitudinalRunner:
             hackathon = self._build_hackathon(spec)
             handler = hackathon.as_handler()
 
-        result = self.meeting.run(
-            agenda, spec.name, handler, mode=MeetingMode(spec.mode)
-        )
+        with span("sim.plenary.exchange", plenary=spec.name):
+            result = self.meeting.run(
+                agenda, spec.name, handler, mode=MeetingMode(spec.mode)
+            )
         outcome = None
         if hackathon is not None and hackathon.teams is not None:
             outcome = hackathon.finalize(
                 self.consortium.subset_members(result.attendee_ids)
             )
 
-        survey = self.survey.collect(result)
-        questionnaire_result = self._collect_questionnaire(result)
-        comments = self.comment_generator.generate_all(
-            self._comment_engagements(result, spec), context=spec.name
-        )
+        with span("sim.plenary.observe", plenary=spec.name):
+            survey = self.survey.collect(result)
+            questionnaire_result = self._collect_questionnaire(result)
+            comments = self.comment_generator.generate_all(
+                self._comment_engagements(result, spec), context=spec.name
+            )
         if outcome is not None:
             # The paper's rule: audience-voted showcases feed the
             # project's dissemination activities through every channel.
@@ -334,6 +361,12 @@ class LongitudinalRunner:
         """
         remaining = now - self._last_event_month
         current = self._last_event_month
+        if remaining > 1e-9:
+            with span("sim.inter_event", from_month=current, to_month=now):
+                self._age_world(remaining, current)
+        self._last_event_month = now
+
+    def _age_world(self, remaining: float, current: float) -> None:
         while remaining > 1e-9:
             step = min(1.0, remaining)
             protected = (
@@ -348,7 +381,6 @@ class LongitudinalRunner:
             current += step
             self.workplan.advance_month(current, self.consortium, self.network)
             self._record_trajectory_point(current)
-        self._last_event_month = now
 
     def _record_trajectory_point(
         self, month: float, event: Optional[str] = None

@@ -4,15 +4,28 @@ The ablation benches all share one pattern: vary one scenario knob,
 replicate over seeds, collect KPIs.  :func:`run_sweep` factors that out
 so users can sweep anything (cadence, team policy, session hours,
 follow-up horizon) in three lines.
+
+The sweep is spelled ``parameter`` / ``values`` / ``factory``
+everywhere in the public API — the facade (:mod:`repro.api`), the HTTP
+job parameters and this module all agree.  The pre-1.x spellings
+(``parameter_name=``/``parameter_values=``/``scenario_factory=``)
+still work but emit a :class:`DeprecationWarning`; see the migration
+table in README.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
-from repro.simulation.experiment import _run_many, extract_metrics
+from repro.obs import span
+from repro.simulation.experiment import (
+    _pop_legacy_kwarg,
+    _reject_unknown_kwargs,
+    _run_many,
+    extract_metrics,
+)
 from repro.simulation.runner import LongitudinalRunner
 from repro.simulation.scenario import Scenario
 from repro.stats.summary import SampleSummary, describe
@@ -106,21 +119,26 @@ def sweep_from_metrics(
 
 
 def run_sweep(
-    parameter_name: str,
-    parameter_values: Sequence[object],
-    scenario_factory: Callable[[object, int], Scenario],
-    seeds: Sequence[int],
+    parameter: Optional[str] = None,
+    values: Optional[Sequence[object]] = None,
+    factory: Optional[Callable[[object, int], Scenario]] = None,
+    seeds: Sequence[int] = (),
     runner_factory: Optional[
         Callable[[Scenario], LongitudinalRunner]
     ] = None,
     label_fn: Optional[Callable[[object], str]] = None,
     workers: int = 1,
+    **legacy: Any,
 ) -> SweepResult:
     """Run a full sweep.
 
     Parameters
     ----------
-    scenario_factory:
+    parameter:
+        Name of the swept knob (the result's ``parameter_name``).
+    values:
+        The parameter values, in sweep order.
+    factory:
         ``(parameter_value, seed) -> Scenario``.  Always invoked in the
         parent process, so it may be a lambda even when ``workers`` > 1.
     seeds:
@@ -129,29 +147,46 @@ def run_sweep(
     label_fn:
         Optional pretty-printer for parameter values.
     workers:
-        Processes to spread the ``len(parameter_values) * len(seeds)``
-        grid over.  Point/seed ordering and results match a serial run.
+        Processes to spread the ``len(values) * len(seeds)`` grid over.
+        Point/seed ordering and results match a serial run.
+
+    ``parameter_name=``/``parameter_values=``/``scenario_factory=`` are
+    deprecated aliases for ``parameter=``/``values=``/``factory=`` and
+    emit a :class:`DeprecationWarning`.
     """
-    if not parameter_values:
+    parameter = _pop_legacy_kwarg(
+        legacy, "parameter_name", "parameter", parameter
+    )
+    values = _pop_legacy_kwarg(
+        legacy, "parameter_values", "values", values
+    )
+    factory = _pop_legacy_kwarg(
+        legacy, "scenario_factory", "factory", factory
+    )
+    _reject_unknown_kwargs("run_sweep", legacy)
+    if parameter is None or factory is None:
+        raise ConfigurationError(
+            "run_sweep needs a parameter name and a scenario factory"
+        )
+    if not values:
         raise ConfigurationError("sweep needs at least one parameter value")
     if not seeds:
         raise ConfigurationError("sweep needs at least one seed")
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
     scenarios = [
-        scenario_factory(value, int(seed))
-        for value in parameter_values
-        for seed in seeds
+        factory(value, int(seed)) for value in values for seed in seeds
     ]
-    histories = _run_many(scenarios, runner_factory, workers)
-    per_point = len(seeds)
-    chunks = [
-        [
-            extract_metrics(h)
-            for h in histories[i * per_point : (i + 1) * per_point]
-        ]
-        for i in range(len(parameter_values))
-    ]
-    return sweep_from_metrics(
-        parameter_name, parameter_values, chunks, label_fn=label_fn
-    )
+    with span("experiment.sweep", parameter=parameter,
+              points=len(values), seeds=len(seeds)):
+        histories = _run_many(scenarios, runner_factory, workers)
+        with span("experiment.extract_metrics", runs=len(histories)):
+            per_point = len(seeds)
+            chunks = [
+                [
+                    extract_metrics(h)
+                    for h in histories[i * per_point : (i + 1) * per_point]
+                ]
+                for i in range(len(values))
+            ]
+    return sweep_from_metrics(parameter, values, chunks, label_fn=label_fn)

@@ -25,11 +25,37 @@ from pathlib import Path
 from typing import Any, Iterable, Iterator
 
 from repro.errors import ConfigurationError
+from repro.obs import REGISTRY
 from repro.store.fingerprint import canonical_json
 
 __all__ = ["BlobStats", "BlobStore"]
 
 _TMP_PREFIX = ".tmp-"
+
+_READS = REGISTRY.counter(
+    "store_blob_reads_total",
+    help="Blob payloads read back from the object store",
+)
+_READ_BYTES = REGISTRY.counter(
+    "store_blob_read_bytes_total",
+    help="Compressed bytes read from the object store",
+)
+_WRITES = REGISTRY.counter(
+    "store_blob_writes_total",
+    help="Blob objects written to the object store",
+)
+_WRITE_BYTES = REGISTRY.counter(
+    "store_blob_write_bytes_total",
+    help="Compressed bytes written to the object store",
+)
+_VERIFY_FAILURES = REGISTRY.counter(
+    "store_blob_verify_failures_total",
+    help="Blob reads whose content failed hash verification",
+)
+_EVICTIONS = REGISTRY.counter(
+    "store_blob_evictions_total",
+    help="Blob objects deleted by garbage collection",
+)
 
 
 @dataclass(frozen=True)
@@ -80,21 +106,35 @@ class BlobStore:
         finally:
             os.close(fd)
         os.replace(tmp, path)
+        _WRITES.inc()
+        _WRITE_BYTES.inc(len(blob))
         return key
 
     def get(self, key: str, default: Any = None) -> Any:
         """Load a payload; ``default`` when absent, corrupt or truncated."""
+        return self.load(key, default)[0]
+
+    def load(self, key: str, default: Any = None) -> tuple:
+        """``(payload, compressed_bytes)``; ``(default, 0)`` on any miss.
+
+        The byte count is the on-disk (compressed) size actually read,
+        which is what the cache reports as "bytes served".
+        """
         path = self._path(key)
         try:
-            data = gzip.decompress(path.read_bytes())
+            raw = path.read_bytes()
+            data = gzip.decompress(raw)
         except (OSError, EOFError, gzip.BadGzipFile, zlib.error):
-            return default
+            return default, 0
+        _READS.inc()
+        _READ_BYTES.inc(len(raw))
         if hashlib.sha256(data).hexdigest() != key:
-            return default
+            _VERIFY_FAILURES.inc()
+            return default, 0
         try:
-            return json.loads(data.decode("ascii"))
+            return json.loads(data.decode("ascii")), len(raw)
         except (UnicodeDecodeError, json.JSONDecodeError):
-            return default
+            return default, 0
 
     def has(self, key: str) -> bool:
         return self._path(key).exists()
@@ -135,6 +175,7 @@ class BlobStore:
                     removed += 1
             if not any(shard.iterdir()):
                 shard.rmdir()
+        _EVICTIONS.inc(removed)
         return removed
 
     def stats(self) -> BlobStats:

@@ -40,6 +40,8 @@ class IndexEntry:
     created: float = 0.0
     last_used: float = 0.0
     hits: int = 0
+    #: Cells computed fresh (every ``store`` journal event is one miss).
+    misses: int = 0
 
 
 @dataclass(frozen=True)
@@ -49,6 +51,7 @@ class IndexStats:
     fingerprints: int
     runs: int
     hits: int
+    misses: int = 0
 
 
 class RunIndex:
@@ -88,6 +91,7 @@ class RunIndex:
             )
             entry.scenario = record.get("scenario", entry.scenario)
             entry.seeds[int(record["seed"])] = record["blob"]
+            entry.misses += 1  # a stored cell was computed fresh
             ts = float(record.get("ts", 0.0))
             entry.created = entry.created or ts
             entry.last_used = max(entry.last_used, ts)
@@ -108,6 +112,7 @@ class RunIndex:
                 created=float(record.get("created", 0.0)),
                 last_used=float(record.get("last_used", 0.0)),
                 hits=int(record.get("hits", 0)),
+                misses=int(record.get("misses", 0)),
             )
 
     def _append(self, records: List[Dict[str, Any]]) -> None:
@@ -183,6 +188,7 @@ class RunIndex:
                 fingerprints=len(self._entries),
                 runs=sum(len(e.seeds) for e in self._entries.values()),
                 hits=sum(e.hits for e in self._entries.values()),
+                misses=sum(e.misses for e in self._entries.values()),
             )
 
     # -- maintenance ------------------------------------------------------
@@ -212,6 +218,7 @@ class RunIndex:
                     "created": e.created,
                     "last_used": e.last_used,
                     "hits": e.hits,
+                    "misses": e.misses,
                 }
                 for e in self._entries_snapshot()
             ]

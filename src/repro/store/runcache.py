@@ -29,15 +29,18 @@ import os
 import shutil
 import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import as_completed
 
 from repro.errors import ConfigurationError, RunCancelled, WorkerCrashError
+from repro.obs import REGISTRY, span
 from repro.simulation.experiment import (
     ComparisonResult,
     _pool_supported,
+    _pop_legacy_kwarg,
+    _reject_unknown_kwargs,
     _run_history,
     comparison_from_metrics,
     extract_metrics,
@@ -53,6 +56,23 @@ __all__ = ["CacheStats", "RunCache"]
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 
+_HITS = REGISTRY.counter(
+    "cache_hits_total",
+    help="Cells served from the run store instead of recomputed",
+)
+_MISSES = REGISTRY.counter(
+    "cache_misses_total",
+    help="Cells computed fresh and stored",
+)
+_WAITS = REGISTRY.counter(
+    "cache_singleflight_waits_total",
+    help="Cells served after waiting on another thread's computation",
+)
+_BYTES_SERVED = REGISTRY.counter(
+    "cache_bytes_served_total",
+    help="Compressed bytes read from the store to serve cached cells",
+)
+
 
 @dataclass(frozen=True)
 class CacheStats:
@@ -63,6 +83,13 @@ class CacheStats:
     hits_recorded: int
     objects: int
     total_bytes: int
+    misses_recorded: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Lifetime hits / (hits + misses); 0.0 before any traffic."""
+        total = self.hits_recorded + self.misses_recorded
+        return self.hits_recorded / total if total else 0.0
 
 
 class RunCache:
@@ -87,6 +114,10 @@ class RunCache:
         #: Cells served from disk / computed since this instance opened.
         self.session_hits = 0
         self.session_misses = 0
+        #: Hits that waited on another thread's in-flight computation.
+        self.session_waits = 0
+        #: Compressed bytes read back from disk to serve cells.
+        self.session_bytes_served = 0
         self._session_lock = threading.Lock()
         # Single-flight map: cells currently being computed by some
         # thread of this process.  Claimants insert an Event; every
@@ -101,12 +132,33 @@ class RunCache:
         self, fingerprint: str, seed: int
     ) -> Optional[Dict[str, float]]:
         blob = self.index.lookup(fingerprint, seed)
-        return self.blobs.get(blob) if blob is not None else None
+        if blob is None:
+            return None
+        payload, nbytes = self.blobs.load(blob)
+        if payload is not None:
+            self._count(bytes_served=nbytes)
+        return payload
 
-    def _count(self, hits: int = 0, misses: int = 0) -> None:
+    def _count(
+        self,
+        hits: int = 0,
+        misses: int = 0,
+        waits: int = 0,
+        bytes_served: int = 0,
+    ) -> None:
         with self._session_lock:
             self.session_hits += hits
             self.session_misses += misses
+            self.session_waits += waits
+            self.session_bytes_served += bytes_served
+        if hits:
+            _HITS.inc(hits)
+        if misses:
+            _MISSES.inc(misses)
+        if waits:
+            _WAITS.inc(waits)
+        if bytes_served:
+            _BYTES_SERVED.inc(bytes_served)
 
     def fetch_metrics(
         self,
@@ -127,27 +179,31 @@ class RunCache:
         """
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
-        fingerprints = [scenario_fingerprint(s) for s in scenarios]
-        metrics: List[Optional[Dict[str, float]]] = [None] * len(scenarios)
-        missing: List[int] = []
-        hit_pairs = []
-        for i, (scenario, fingerprint) in enumerate(
-            zip(scenarios, fingerprints)
-        ):
-            payload = self._load_cell(fingerprint, scenario.seed)
-            if payload is None:
-                missing.append(i)
-            else:
-                metrics[i] = payload
-                hit_pairs.append((fingerprint, scenario.seed))
-                if on_cell is not None:
-                    on_cell(i, True)
-        if hit_pairs:
-            self.index.record_hits(hit_pairs)
-            self._count(hits=len(hit_pairs))
-        if missing:
-            self._resolve_missing(scenarios, fingerprints, metrics,
-                                  missing, workers, on_cell, should_cancel)
+        with span("store.fetch", cells=len(scenarios), workers=workers):
+            fingerprints = [scenario_fingerprint(s) for s in scenarios]
+            metrics: List[Optional[Dict[str, float]]] = (
+                [None] * len(scenarios)
+            )
+            missing: List[int] = []
+            hit_pairs = []
+            for i, (scenario, fingerprint) in enumerate(
+                zip(scenarios, fingerprints)
+            ):
+                payload = self._load_cell(fingerprint, scenario.seed)
+                if payload is None:
+                    missing.append(i)
+                else:
+                    metrics[i] = payload
+                    hit_pairs.append((fingerprint, scenario.seed))
+                    if on_cell is not None:
+                        on_cell(i, True)
+            if hit_pairs:
+                self.index.record_hits(hit_pairs)
+                self._count(hits=len(hit_pairs))
+            if missing:
+                self._resolve_missing(scenarios, fingerprints, metrics,
+                                      missing, workers, on_cell,
+                                      should_cancel)
         return metrics  # type: ignore[return-value]
 
     def _resolve_missing(
@@ -192,7 +248,8 @@ class RunCache:
                     # The other flight failed; loop and claim it ourselves.
             if waited_pairs:
                 self.index.record_hits(waited_pairs)
-                self._count(hits=len(waited_pairs))
+                self._count(hits=len(waited_pairs),
+                            waits=len(waited_pairs))
             if claims:
                 self._compute_claimed(scenarios, fingerprints, metrics,
                                       claims, workers, on_cell,
@@ -312,21 +369,33 @@ class RunCache:
 
     def compare_scenarios(
         self,
-        scenario_a: Scenario,
-        scenario_b: Scenario,
-        seeds: Sequence[int],
+        a: Optional[Scenario] = None,
+        b: Optional[Scenario] = None,
+        seeds: Sequence[int] = (),
         workers: int = 1,
+        **legacy: Any,
     ) -> ComparisonResult:
-        """Memoized :func:`~repro.simulation.experiment.compare_scenarios`."""
+        """Memoized :func:`~repro.simulation.experiment.compare_scenarios`.
+
+        ``scenario_a=``/``scenario_b=`` are deprecated aliases for
+        ``a=``/``b=`` and emit a :class:`DeprecationWarning`.
+        """
+        a = _pop_legacy_kwarg(legacy, "scenario_a", "a", a)
+        b = _pop_legacy_kwarg(legacy, "scenario_b", "b", b)
+        _reject_unknown_kwargs("compare_scenarios", legacy)
+        if a is None or b is None:
+            raise ConfigurationError(
+                "compare_scenarios needs scenarios a and b"
+            )
         if not seeds:
             raise ConfigurationError("need at least one seed")
-        seeded = [scenario_a.with_seed(int(s)) for s in seeds] + [
-            scenario_b.with_seed(int(s)) for s in seeds
+        seeded = [a.with_seed(int(s)) for s in seeds] + [
+            b.with_seed(int(s)) for s in seeds
         ]
         metrics = self.fetch_metrics(seeded, workers=workers)
         return comparison_from_metrics(
-            scenario_a.name,
-            scenario_b.name,
+            a.name,
+            b.name,
             seeds,
             metrics[: len(seeds)],
             metrics[len(seeds):],
@@ -334,38 +403,57 @@ class RunCache:
 
     def run_sweep(
         self,
-        parameter_name: str,
-        parameter_values: Sequence[object],
-        scenario_factory: Callable[[object, int], Scenario],
-        seeds: Sequence[int],
+        parameter: Optional[str] = None,
+        values: Optional[Sequence[object]] = None,
+        factory: Optional[Callable[[object, int], Scenario]] = None,
+        seeds: Sequence[int] = (),
         label_fn: Optional[Callable[[object], str]] = None,
         workers: int = 1,
+        **legacy: Any,
     ) -> SweepResult:
         """Memoized :func:`~repro.simulation.sweep.run_sweep`.
 
         Resume comes for free: a sweep interrupted mid-grid, or extended
         with new parameter values or seeds, recomputes only the
         ``(value, seed)`` cells absent from the store.
+
+        ``parameter_name=``/``parameter_values=``/``scenario_factory=``
+        are deprecated aliases for ``parameter=``/``values=``/
+        ``factory=`` and emit a :class:`DeprecationWarning`.
         """
-        if not parameter_values:
+        parameter = _pop_legacy_kwarg(
+            legacy, "parameter_name", "parameter", parameter
+        )
+        values = _pop_legacy_kwarg(
+            legacy, "parameter_values", "values", values
+        )
+        factory = _pop_legacy_kwarg(
+            legacy, "scenario_factory", "factory", factory
+        )
+        _reject_unknown_kwargs("run_sweep", legacy)
+        if parameter is None or factory is None:
+            raise ConfigurationError(
+                "run_sweep needs a parameter name and a scenario factory"
+            )
+        if not values:
             raise ConfigurationError(
                 "sweep needs at least one parameter value"
             )
         if not seeds:
             raise ConfigurationError("sweep needs at least one seed")
         scenarios = [
-            scenario_factory(value, int(seed))
-            for value in parameter_values
+            factory(value, int(seed))
+            for value in values
             for seed in seeds
         ]
         metrics = self.fetch_metrics(scenarios, workers=workers)
         per_point = len(seeds)
         chunks = [
             metrics[i * per_point : (i + 1) * per_point]
-            for i in range(len(parameter_values))
+            for i in range(len(values))
         ]
         return sweep_from_metrics(
-            parameter_name, parameter_values, chunks, label_fn=label_fn
+            parameter, values, chunks, label_fn=label_fn
         )
 
     # -- maintenance ------------------------------------------------------
@@ -379,6 +467,7 @@ class RunCache:
             hits_recorded=index_stats.hits,
             objects=blob_stats.objects,
             total_bytes=blob_stats.total_bytes,
+            misses_recorded=index_stats.misses,
         )
 
     def gc(self) -> Dict[str, int]:
