@@ -10,6 +10,7 @@ names or inline mappings, exactly as the HTTP API does), a ``seeds``
 count or list, and the same keyword set::
 
     workers=N          fan cells out over N processes
+    backend=NAME       "auto" | "batch" | "scalar" execution engine
     cache=True         memoize through the run store
     cache_dir=PATH     where that store lives
     trace=PATH         record a span tree and write it as JSONL
@@ -86,6 +87,7 @@ def replicate(
     seeds: SeedsSpec = 5,
     *,
     workers: int = 1,
+    backend: str = "auto",
     cache: bool = False,
     cache_dir: str = DEFAULT_CACHE_DIR,
     trace: Optional[str] = None,
@@ -97,10 +99,10 @@ def replicate(
                  seeds=len(seed_list), cache=cache):
         if cache:
             return RunCache(cache_dir).replicate(
-                resolved, seed_list, workers=workers
+                resolved, seed_list, workers=workers, backend=backend
             )
         histories = _replicate_histories(
-            resolved, seed_list, workers=workers
+            resolved, seed_list, workers=workers, backend=backend
         )
         return [extract_metrics(h) for h in histories]
 
@@ -111,6 +113,7 @@ def compare(
     seeds: SeedsSpec = 5,
     *,
     workers: int = 1,
+    backend: str = "auto",
     cache: bool = False,
     cache_dir: str = DEFAULT_CACHE_DIR,
     trace: Optional[str] = None,
@@ -123,10 +126,12 @@ def compare(
                  b=scenario_b.name, seeds=len(seed_list), cache=cache):
         if cache:
             return RunCache(cache_dir).compare_scenarios(
-                scenario_a, scenario_b, seed_list, workers=workers
+                scenario_a, scenario_b, seed_list, workers=workers,
+                backend=backend,
             )
         return compare_scenarios(
-            scenario_a, scenario_b, seed_list, workers=workers
+            scenario_a, scenario_b, seed_list, workers=workers,
+            backend=backend,
         )
 
 
@@ -136,6 +141,7 @@ def sweep(
     seeds: SeedsSpec = 2,
     *,
     workers: int = 1,
+    backend: str = "auto",
     cache: bool = False,
     cache_dir: str = DEFAULT_CACHE_DIR,
     trace: Optional[str] = None,
@@ -152,11 +158,11 @@ def sweep(
         if cache:
             return RunCache(cache_dir).run_sweep(
                 parameter, chosen, factory, seeds=seed_list,
-                label_fn=label_fn, workers=workers,
+                label_fn=label_fn, workers=workers, backend=backend,
             )
         return run_sweep(
             parameter, chosen, factory, seeds=seed_list,
-            label_fn=label_fn, workers=workers,
+            label_fn=label_fn, workers=workers, backend=backend,
         )
 
 

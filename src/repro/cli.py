@@ -165,6 +165,11 @@ def _add_execution_options(sub_parser: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=1,
         help="processes for the per-seed runs (default 1 = serial)")
     sub_parser.add_argument(
+        "--backend", choices=("auto", "batch", "scalar"), default="auto",
+        help="execution engine: 'batch' stacks all seeds into one "
+             "vectorized computation, 'scalar' runs them one by one, "
+             "'auto' (default) batches whenever the request qualifies")
+    sub_parser.add_argument(
         "--cache", action="store_true",
         help="memoize per-seed KPI results in the run store")
     sub_parser.add_argument(
@@ -226,11 +231,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             result = cache.compare_scenarios(
                 megamart_timeline(), baseline_timeline(),
                 seeds=range(args.seeds), workers=args.workers,
+                backend=args.backend,
             )
         else:
             result = compare_scenarios(
                 megamart_timeline(), baseline_timeline(),
                 seeds=range(args.seeds), workers=args.workers,
+                backend=args.backend,
             )
     rows = []
     for comparison in result.all_comparisons():
@@ -320,11 +327,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             result = cache.run_sweep(
                 args.parameter, values, factory, seeds=range(args.seeds),
                 label_fn=label_fn, workers=args.workers,
+                backend=args.backend,
             )
         else:
             result = run_sweep(
                 args.parameter, values, factory, seeds=range(args.seeds),
                 label_fn=label_fn, workers=args.workers,
+                backend=args.backend,
             )
     metrics = ("convincing_demos", "knowledge_transferred",
                "final_burnout_rate")

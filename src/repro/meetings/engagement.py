@@ -124,6 +124,32 @@ class EngagementModel:
         ]
 
     @staticmethod
+    def scale_many(
+        records: List[EngagementRecord], factor: float
+    ) -> List[EngagementRecord]:
+        """Rebuild ``records`` with engagement scaled by ``factor``.
+
+        One vectorized multiply for the whole roster; elementwise
+        ``engagement * factor`` is the same IEEE operation either way,
+        so the result is bit-identical to scaling record by record.
+        """
+        if not records:
+            return []
+        scaled = np.fromiter(
+            (r.engagement for r in records), dtype=float, count=len(records)
+        )
+        scaled *= factor
+        return [
+            EngagementRecord(
+                member_id=record.member_id,
+                item_title=record.item_title,
+                format=record.format,
+                engagement=engagement,
+            )
+            for record, engagement in zip(records, scaled.tolist())
+        ]
+
+    @staticmethod
     def by_item(records: List[EngagementRecord]) -> Dict[str, float]:
         """Mean engagement per agenda item title."""
         sums: Dict[str, List[float]] = {}

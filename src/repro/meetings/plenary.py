@@ -34,7 +34,7 @@ from repro.network.dynamics import Interaction, TieDynamics
 from repro.network.graph import CollaborationNetwork
 from repro.rng import RngHub
 
-__all__ = ["MeetingResult", "PlenaryMeeting", "HackathonHandler"]
+__all__ = ["MeetingResult", "MeetingSession", "PlenaryMeeting", "HackathonHandler"]
 
 #: Signature of the pluggable hackathon handler: given the agenda item
 #: and the attendees, produce the interactions the hackathon generated
@@ -77,6 +77,107 @@ class MeetingResult:
         return sum(r.engagement for r in self.engagement_records) / len(
             self.engagement_records
         )
+
+
+class MeetingSession:
+    """One plenary in progress, steppable agenda item by agenda item.
+
+    :meth:`PlenaryMeeting.run` drives a session start to finish; the
+    batched engine (:mod:`repro.simulation.batch`) instead interleaves
+    many sessions — one per seed lane — preparing each agenda item on
+    every lane and then applying the exchanges across all lanes at once.
+    The per-lane sequence of operations (and RNG draws) is identical
+    either way, which is what keeps the two paths bit-equal.
+    """
+
+    def __init__(
+        self,
+        meeting: "PlenaryMeeting",
+        agenda: Agenda,
+        meeting_name: str,
+        hackathon_handler: Optional[HackathonHandler],
+        mode: MeetingMode,
+    ) -> None:
+        self.meeting = meeting
+        self.agenda = agenda
+        self.hackathon_handler = hackathon_handler
+        self.mode = mode
+        self.effects = MODE_EFFECTS[mode]
+        self._before = meeting.network.snapshot()
+        delegations = meeting.attendance.delegations(
+            meeting.consortium, agenda,
+            pressure_relief=self.effects.attendance_cost_relief,
+        )
+        self.attendees = AttendancePolicy.attendees(
+            meeting.consortium, delegations
+        )
+        if not self.attendees:
+            raise ConfigurationError("no attendees — consortium has no members?")
+        self.result = MeetingResult(
+            meeting_name=meeting_name,
+            agenda_name=agenda.name,
+            attendee_ids=[m.member_id for m in self.attendees],
+            technical_share=AttendancePolicy.technical_share(
+                meeting.consortium, delegations
+            ),
+            mode=mode,
+        )
+
+    def prepare_item(self, item: AgendaItem) -> List[Interaction]:
+        """Sample engagement and interactions for one item (pre-exchange)."""
+        meeting = self.meeting
+        effects = self.effects
+        records = meeting.engagement.sample_many(self.attendees, item)
+        if effects.engagement_factor < 1.0:
+            records = EngagementModel.scale_many(
+                records, effects.engagement_factor
+            )
+        self.result.engagement_records.extend(records)
+
+        if (
+            item.format is SessionFormat.HACKATHON
+            and self.hackathon_handler is not None
+        ):
+            interactions = self.hackathon_handler(item, self.attendees)
+        else:
+            interactions = meeting._generic_interactions(
+                item, self.attendees, effects
+            )
+            for member in self.attendees:
+                member.drain_energy(_GENERIC_FATIGUE_PER_HOUR * item.hours)
+
+        if effects.intensity_factor < 1.0:
+            interactions = [
+                Interaction(
+                    member_a=i.member_a,
+                    member_b=i.member_b,
+                    intensity=i.intensity * effects.intensity_factor,
+                    context=i.context,
+                )
+                for i in interactions
+            ]
+        return interactions
+
+    def apply_item(self, interactions: List[Interaction]) -> None:
+        """Run the knowledge exchange a prepared item produced."""
+        self.meeting._apply_interactions(interactions, self.result)
+        self.result.interactions.extend(interactions)
+
+    def finish(self) -> MeetingResult:
+        """Classify the ties the meeting created and seal the result."""
+        meeting, result = self.meeting, self.result
+        result.new_ties = meeting.network.new_ties_since(self._before)
+        owners = {o.org_id for o in meeting.consortium.case_study_owners}
+        providers = {o.org_id for o in meeting.consortium.tool_providers}
+        for a, b in result.new_ties:
+            org_a, org_b = meeting.network.org_of(a), meeting.network.org_of(b)
+            if org_a != org_b:
+                result.new_inter_org_ties.append((a, b))
+                if (org_a in owners and org_b in providers) or (
+                    org_a in providers and org_b in owners
+                ):
+                    result.new_provider_owner_ties.append((a, b))
+        return result
 
 
 class PlenaryMeeting:
@@ -129,83 +230,22 @@ class PlenaryMeeting:
         trade-off the paper cites when arguing for co-located
         hackathons.
         """
-        effects = MODE_EFFECTS[mode]
-        before = self.network.snapshot()
-        delegations = self.attendance.delegations(
-            self.consortium, agenda,
-            pressure_relief=effects.attendance_cost_relief,
-        )
-        attendees = AttendancePolicy.attendees(self.consortium, delegations)
-        if not attendees:
-            raise ConfigurationError("no attendees — consortium has no members?")
-
-        result = MeetingResult(
-            meeting_name=meeting_name,
-            agenda_name=agenda.name,
-            attendee_ids=[m.member_id for m in attendees],
-            technical_share=AttendancePolicy.technical_share(
-                self.consortium, delegations
-            ),
-            mode=mode,
-        )
+        session = self.begin(agenda, meeting_name, hackathon_handler, mode)
         for item in agenda:
-            self._run_item(item, attendees, result, hackathon_handler, effects)
+            session.apply_item(session.prepare_item(item))
+        return session.finish()
 
-        result.new_ties = self.network.new_ties_since(before)
-        owners = {o.org_id for o in self.consortium.case_study_owners}
-        providers = {o.org_id for o in self.consortium.tool_providers}
-        for a, b in result.new_ties:
-            org_a, org_b = self.network.org_of(a), self.network.org_of(b)
-            if org_a != org_b:
-                result.new_inter_org_ties.append((a, b))
-                if (org_a in owners and org_b in providers) or (
-                    org_a in providers and org_b in owners
-                ):
-                    result.new_provider_owner_ties.append((a, b))
-        return result
+    def begin(
+        self,
+        agenda: Agenda,
+        meeting_name: str = "plenary",
+        hackathon_handler: Optional[HackathonHandler] = None,
+        mode: MeetingMode = MeetingMode.FACE_TO_FACE,
+    ) -> MeetingSession:
+        """Open a steppable session (attendance is sampled here)."""
+        return MeetingSession(self, agenda, meeting_name, hackathon_handler, mode)
 
     # -- internals ----------------------------------------------------------
-
-    def _run_item(
-        self,
-        item: AgendaItem,
-        attendees: List[Member],
-        result: MeetingResult,
-        hackathon_handler: Optional[HackathonHandler],
-        effects: ModeEffects,
-    ) -> None:
-        records = self.engagement.sample_many(attendees, item)
-        if effects.engagement_factor < 1.0:
-            records = [
-                EngagementRecord(
-                    member_id=record.member_id,
-                    item_title=record.item_title,
-                    format=record.format,
-                    engagement=record.engagement * effects.engagement_factor,
-                )
-                for record in records
-            ]
-        result.engagement_records.extend(records)
-
-        if item.format is SessionFormat.HACKATHON and hackathon_handler is not None:
-            interactions = hackathon_handler(item, attendees)
-        else:
-            interactions = self._generic_interactions(item, attendees, effects)
-            for member in attendees:
-                member.drain_energy(_GENERIC_FATIGUE_PER_HOUR * item.hours)
-
-        if effects.intensity_factor < 1.0:
-            interactions = [
-                Interaction(
-                    member_a=i.member_a,
-                    member_b=i.member_b,
-                    intensity=i.intensity * effects.intensity_factor,
-                    context=i.context,
-                )
-                for i in interactions
-            ]
-        self._apply_interactions(interactions, result)
-        result.interactions.extend(interactions)
 
     def _apply_interactions(
         self, interactions: List[Interaction], result: MeetingResult

@@ -49,6 +49,7 @@ from repro.service.jobs import (
 )
 from repro.service.specs import JobPlan, build_plan
 from repro.service.workers import execute_plan, reset_progress
+from repro.simulation.experiment import effective_workers
 from repro.store.runcache import RunCache
 
 __all__ = ["Scheduler"]
@@ -98,7 +99,15 @@ class Scheduler:
             )
         self.cache = cache
         self.queue_depth = queue_depth
-        self.workers = workers
+        # Clamp to the core count: oversubscribing a small machine makes
+        # fan-out slower than serial (see BENCH_perf.json), and a serve
+        # process configured for a bigger box degrades gracefully here.
+        # Never clamp a pooled request (>= 2) below 2, though — a pool is
+        # what isolates the server from crashing runners, and retry-on-
+        # worker-death only works while the dispatcher itself survives.
+        self.workers = workers if workers <= 1 else max(
+            2, effective_workers(workers)
+        )
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
         self._lock = threading.Lock()

@@ -1,0 +1,537 @@
+"""Batch-of-seeds vectorized execution: N seeds as one stacked computation.
+
+The scalar path (:class:`~repro.simulation.runner.LongitudinalRunner`)
+replays one scenario per seed, and every layer above it — ``replicate``,
+sweeps, the run store, the job scheduler — pays that cost once per seed.
+This module runs all seeds of one scenario *in lockstep*: every lane
+keeps its own world (consortium, network, RNG hub — one independent RNG
+lane per seed), but the simulation advances event by event across all
+lanes at once, and the knowledge-exchange inner loop — the hottest
+kernel — runs as a single structure-of-arrays NumPy computation over
+every lane's participants (:class:`BatchState`).  Energy recovery is
+likewise stacked across lanes, and tie decay shares one factor
+computation through :meth:`~repro.network.dynamics.TieDynamics.decay_period_many`.
+
+**Bit-equality contract.**  Each lane's results are bit-identical to a
+scalar ``LongitudinalRunner(scenario.with_seed(seed)).run()``:
+
+* lanes only ever share *read-only* state (model constants), so
+  interleaving their steps cannot change any lane's arithmetic;
+* every vectorized expression reproduces the scalar path's IEEE-754
+  operations in the same order — sums and dot products accumulate
+  column by column (left to right, like the scalar loops), the rate
+  product keeps the scalar's grouping, and only operations verified
+  bit-equal to their ``math``/builtin counterparts are vectorized
+  (``sqrt``, ``min``/``max`` clamps, ``where`` blends; notably **not**
+  ``np.exp``/``np.power``, which stay scalar per interaction);
+* the stacked matrix pads lanes to a common domain-count width, and
+  padding columns stay exactly zero, contributing exact-zero terms.
+
+``tests/test_perf_equivalence.py`` pins this contract for every KPI.
+
+The batch path only accepts scenarios that are identical except for the
+seed and runners built from the default factories; anything else (a
+custom ``runner_factory``, mixed scenario families, a single seed) falls
+back to the scalar path and counts the reason in
+``batch_fallback_total``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cognition.knowledge import KnowledgeVector
+from repro.errors import ConfigurationError
+from repro.meetings.plenary import MeetingResult, PlenaryMeeting
+from repro.network.dynamics import Interaction
+from repro.obs import REGISTRY, span
+from repro.simulation.runner import LongitudinalRunner, ProjectHistory
+from repro.simulation.scenario import PlenarySpec, Scenario
+
+__all__ = [
+    "BatchRunner",
+    "BatchState",
+    "apply_interactions_batch",
+    "batchable",
+    "record_fallback",
+    "run_batch",
+    "scenario_family",
+]
+
+_BATCH_LANES = REGISTRY.histogram(
+    "batch_lanes",
+    help="Seed lanes per batched run",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+)
+_BATCH_RUN_SECONDS = REGISTRY.histogram(
+    "batch_run_seconds",
+    help="Wall time of one BatchRunner.run() across all lanes",
+)
+
+
+def record_fallback(reason: str) -> None:
+    """Count one batched-backend request served by the scalar path."""
+    REGISTRY.counter(
+        "batch_fallback_total",
+        help="Batch-backend requests that fell back to the scalar path, by reason",
+        reason=reason,
+    ).inc()
+
+
+def scenario_family(scenario: Scenario) -> str:
+    """Canonical key for "same scenario, any seed".
+
+    Two scenarios with equal family keys simulate the same world and can
+    share a batch; only their RNG lanes differ.
+    """
+    payload = asdict(scenario)
+    payload.pop("seed", None)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def batchable(
+    scenarios: Sequence[Scenario], runner_factory: Optional[object] = None
+) -> Optional[str]:
+    """Why this request cannot batch, or None if it can.
+
+    The reasons double as the ``batch_fallback_total`` counter's label
+    values.
+    """
+    if runner_factory is not None:
+        return "runner_factory"
+    if len(scenarios) < 2:
+        return "single_run"
+    families = {scenario_family(s) for s in scenarios}
+    if len(families) > 1:
+        return "mixed_scenarios"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The stacked exchange kernel.
+# ---------------------------------------------------------------------------
+
+
+class BatchState:
+    """Structure-of-arrays state for one agenda item across seed lanes.
+
+    All participating members' knowledge rows — from every lane — live
+    in one dense ``(total_members, max_width)`` matrix ``K`` with a
+    parallel vector of cached norms ``N``; each lane owns a contiguous
+    block of rows (``offsets``/``counts``) padded on the right to the
+    widest lane's domain count (``widths`` keeps each lane's true
+    width so write-back can trim the padding off again).
+    """
+
+    __slots__ = (
+        "K", "N", "offsets", "counts", "widths",
+        "lane_members", "lane_index", "start_totals",
+    )
+
+    def __init__(
+        self, lanes: Sequence[Tuple[PlenaryMeeting, List[Interaction]]]
+    ) -> None:
+        self.lane_members: List[Dict[str, object]] = []
+        self.lane_index: List[Dict[str, int]] = []
+        stacks: List[np.ndarray] = []
+        self.counts: List[int] = []
+        self.widths: List[int] = []
+        for meeting, interactions in lanes:
+            consortium = meeting.consortium
+            members: Dict[str, object] = {}
+            for interaction in interactions:
+                for mid in (interaction.member_a, interaction.member_b):
+                    if mid not in members:
+                        members[mid] = consortium.member(mid)
+            index = {mid: i for i, mid in enumerate(members)}
+            rows = KnowledgeVector.stack(m.knowledge for m in members.values())
+            self.lane_members.append(members)
+            self.lane_index.append(index)
+            stacks.append(rows)
+            self.counts.append(rows.shape[0])
+            self.widths.append(rows.shape[1])
+
+        width = max(self.widths)
+        height = sum(self.counts)
+        self.offsets: List[int] = []
+        offset = 0
+        for count in self.counts:
+            self.offsets.append(offset)
+            offset += count
+        self.K = np.zeros((height, width))
+        for off, count, w, rows in zip(
+            self.offsets, self.counts, self.widths, stacks
+        ):
+            self.K[off:off + count, :w] = rows
+
+        # Norms and per-lane starting totals, accumulated column by
+        # column so each row's sum associates left to right exactly like
+        # the scalar loops (padding columns add exact zeros).
+        self.N = np.sqrt(_row_sq_sums(self.K))
+        row_sums = _row_sums(self.K).tolist()
+        self.start_totals = [
+            sum(row_sums[off:off + count])
+            for off, count in zip(self.offsets, self.counts)
+        ]
+
+    def lane_total(self, lane: int) -> float:
+        """Current knowledge total of one lane's block (scalar sum order)."""
+        row_sums = _row_sums(
+            self.K[self.offsets[lane]:self.offsets[lane] + self.counts[lane]]
+        ).tolist()
+        return sum(row_sums)
+
+
+def _row_sq_sums(matrix: np.ndarray) -> np.ndarray:
+    """Per-row sums of squares, accumulated column by column."""
+    acc = matrix[:, 0] * matrix[:, 0]
+    for j in range(1, matrix.shape[1]):
+        col = matrix[:, j]
+        acc += col * col
+    return acc
+
+
+def _row_sums(matrix: np.ndarray) -> np.ndarray:
+    """Per-row sums, accumulated column by column (left to right)."""
+    acc = matrix[:, 0].copy()
+    for j in range(1, matrix.shape[1]):
+        acc += matrix[:, j]
+    return acc
+
+
+def apply_interactions_batch(
+    entries: Sequence[Tuple[PlenaryMeeting, List[Interaction], MeetingResult]],
+) -> None:
+    """Cross-lane vectorized ``PlenaryMeeting._apply_interactions``.
+
+    ``entries`` pairs each lane's meeting with the interactions one
+    agenda item produced on that lane.  Each lane's interactions are
+    packed into conflict-free *waves* — maximal in-order runs in which
+    no member appears twice — and wave *w* of every lane is applied in
+    one stacked step.  Interactions in one wave touch disjoint rows, so
+    applying them together is bitwise identical to applying them one by
+    one; conflicting interactions land in later waves, preserving the
+    scalar loop's sequential dependency (each exchange shifts the
+    cognitive distance the next one sees).
+    """
+    live = [entry for entry in entries if entry[1]]
+    if not live:
+        return
+    if len(live) == 1:
+        meeting, interactions, result = live[0]
+        meeting._apply_interactions(interactions, result)
+        return
+    learning = live[0][0].learning
+    if any(meeting.learning != learning for meeting, _, _ in live):
+        # Heterogeneous learning models can't share the stacked rate
+        # computation; this never happens for BatchRunner-built lanes.
+        for meeting, interactions, result in live:
+            meeting._apply_interactions(interactions, result)
+        return
+
+    state = BatchState([(m, ints) for m, ints, _ in live])
+    K, N = state.K, state.N
+    width = K.shape[1]
+    total = sum(len(interactions) for _, interactions, _ in live)
+
+    # Static per-interaction quantities, gathered lane by lane in the
+    # scalar loop's order: gather rows, cultural factors, time factors
+    # (math.exp — np.exp is not bit-equal), pair intensities, and the
+    # wave each interaction belongs to.
+    gather_a = np.empty(total, dtype=np.intp)
+    gather_b = np.empty(total, dtype=np.intp)
+    factors = np.empty(total)
+    time_factors = np.empty(total)
+    waves = np.empty(total, dtype=np.intp)
+    lane_pairs: List[Dict[Tuple[str, str], float]] = []
+    exp = math.exp
+    flat = 0
+    n_waves = 0
+    for lane, (meeting, interactions, _result) in enumerate(live):
+        attenuation = meeting.learning.cultural_attenuation
+        country_of = meeting._country_of
+        culture_distance = meeting.culture.distance
+        index = state.lane_index[lane]
+        offset = state.offsets[lane]
+        cultural_factor: Dict[Tuple[str, str], float] = {}
+        pair_intensity: Dict[Tuple[str, str], float] = {}
+        wave = 0
+        busy: set = set()
+        for interaction in interactions:
+            id_a, id_b = interaction.member_a, interaction.member_b
+            pair = (id_a, id_b) if id_a <= id_b else (id_b, id_a)
+            intensity = interaction.intensity
+            pair_intensity[pair] = pair_intensity.get(pair, 0.0) + intensity
+            if id_a in busy or id_b in busy:
+                wave += 1
+                busy = set()
+            busy.add(id_a)
+            busy.add(id_b)
+            gather_a[flat] = offset + index[id_a]
+            gather_b[flat] = offset + index[id_b]
+            factor = cultural_factor.get(pair)
+            if factor is None:
+                factor = 1.0 - attenuation * culture_distance(
+                    country_of[id_a], country_of[id_b]
+                )
+                cultural_factor[pair] = factor
+            factors[flat] = factor
+            hours = intensity if intensity > 0.25 else 0.25
+            time_factors[flat] = 1.0 - exp(-hours / 2.0)
+            waves[flat] = wave
+            flat += 1
+        lane_pairs.append(pair_intensity)
+        n_waves = max(n_waves, wave + 1)
+
+    # Group interactions by wave (stable, so lane-major order survives)
+    # and walk the waves; each slice below is one stacked step.
+    order = np.argsort(waves, kind="stable")
+    gather_a = gather_a[order]
+    gather_b = gather_b[order]
+    factors = factors[order]
+    time_factors = time_factors[order]
+    bounds = np.cumsum(np.bincount(waves, minlength=n_waves)).tolist()
+
+    max_rate = learning.max_transfer_rate
+    start = 0
+    for stop in bounds:
+        if stop == start:
+            continue
+        idx_a = gather_a[start:stop]
+        idx_b = gather_b[start:stop]
+        wave_factors = factors[start:stop]
+        wave_times = time_factors[start:stop]
+        start = stop
+        stacked = np.concatenate([idx_a, idx_b])
+        rows = K[stacked]
+        half = idx_a.shape[0]
+        rows_a, rows_b = rows[:half], rows[half:]
+        norms = N[stacked]
+        na, nb = norms[:half], norms[half:]
+
+        # Cognitive distance, dot accumulated column by column like the
+        # scalar zip loop; zero-norm rows pin distance to 1.0.
+        products = rows_a * rows_b
+        dot = products[:, 0].copy()
+        for j in range(1, width):
+            dot += products[:, j]
+        den = na * nb
+        valid = den > 0.0
+        ratio = dot / np.where(valid, den, 1.0)
+        distance = np.where(
+            valid, 1.0 - np.minimum(1.0, np.maximum(0.0, ratio)), 1.0
+        )
+        # Same grouping as the scalar product:
+        # ((max_rate * lv) * cultural) * time.
+        rate = (
+            (max_rate * learning.learning_values(distance))
+            * wave_factors
+        ) * wave_times
+
+        # Mutual absorb toward the domain-wise max; a zero rate is a
+        # bitwise no-op, so the scalar path's ``rate == 0`` skip needs
+        # no special case.
+        gain = rate[:, None]
+        new_a = np.where(rows_b > rows_a, rows_a + gain * (rows_b - rows_a), rows_a)
+        new_b = np.where(rows_a > rows_b, rows_b + gain * (rows_a - rows_b), rows_b)
+        new_rows = np.concatenate([new_a, new_b])
+        K[stacked] = new_rows
+        N[stacked] = np.sqrt(_row_sq_sums(new_rows))
+
+    # Per-lane epilogue, matching the scalar kernel's order exactly.
+    for lane, (meeting, _interactions, result) in enumerate(live):
+        result.knowledge_transferred += (
+            state.lane_total(lane) - state.start_totals[lane]
+        )
+        members = state.lane_members[lane]
+        index = state.lane_index[lane]
+        offset = state.offsets[lane]
+        lane_width = state.widths[lane]
+        block = K[offset:offset + state.counts[lane], :lane_width]
+        for mid, i in index.items():
+            members[mid].knowledge = KnowledgeVector._from_array(
+                block[i].copy()
+            )
+        meeting.consortium.bump_knowledge_version()
+        strengthen_rate = meeting.dynamics.strengthen_rate
+        strengthen = meeting.network.strengthen
+        for (id_a, id_b), intensity in lane_pairs[lane].items():
+            strengthen(id_a, id_b, strengthen_rate * intensity)
+
+
+# ---------------------------------------------------------------------------
+# Lockstep world ageing.
+# ---------------------------------------------------------------------------
+
+
+def _recover_batch(runners: Sequence[LongitudinalRunner], months: float) -> None:
+    """Stacked energy recovery across every lane's roster.
+
+    One clamped array add replaces per-member ``recover_energy`` calls;
+    ``min(1.0, e + amount)`` and ``np.minimum`` agree bitwise.
+    """
+    if months < 0:
+        raise ConfigurationError(f"months must be >= 0, got {months}")
+    rosters = [runner.consortium.members for runner in runners]
+    flat = [member for roster in rosters for member in roster]
+    if not flat:
+        return
+    energies = np.fromiter(
+        (member.energy for member in flat), dtype=float, count=len(flat)
+    )
+    amounts = np.empty(len(flat))
+    position = 0
+    for runner, roster in zip(runners, rosters):
+        amounts[position:position + len(roster)] = (
+            runner.burnout.recovery_per_month * months
+        )
+        position += len(roster)
+    energies = np.minimum(1.0, energies + amounts)
+    for member, energy in zip(flat, energies.tolist()):
+        member.energy = energy
+
+
+def _age_worlds(runners: Sequence[LongitudinalRunner], now: float) -> None:
+    """Lockstep ``_apply_inter_event_period`` across all lanes.
+
+    All lanes replay the same event timeline, so their
+    ``_last_event_month`` clocks agree; each monthly step decays every
+    lane's ties (sharing one survival-factor computation), recovers
+    energy in one stacked pass, then advances follow-ups, the work plan
+    and the trajectory lane by lane — the scalar per-lane order.
+    """
+    last = runners[0]._last_event_month
+    remaining = now - last
+    current = last
+    if remaining > 1e-9:
+        with span(
+            "sim.inter_event", from_month=current, to_month=now,
+            lanes=len(runners),
+        ):
+            dynamics = runners[0].meeting.dynamics
+            while remaining > 1e-9:
+                step = min(1.0, remaining)
+                dynamics.decay_period_many(
+                    (
+                        (
+                            runner.network,
+                            runner.followups.protected_pairs()
+                            if runner.scenario.followup_enabled
+                            else frozenset(),
+                        )
+                        for runner in runners
+                    ),
+                    step,
+                )
+                _recover_batch(runners, step)
+                remaining -= step
+                current += step
+                for runner in runners:
+                    runner.followups.advance(step)
+                    runner.workplan.advance_month(
+                        current, runner.consortium, runner.network
+                    )
+                    runner._record_trajectory_point(current)
+    for runner in runners:
+        runner._last_event_month = now
+
+
+# ---------------------------------------------------------------------------
+# The batch runner.
+# ---------------------------------------------------------------------------
+
+
+class BatchRunner:
+    """Runs N same-family scenarios (one per seed) in lockstep.
+
+    Emits one :class:`ProjectHistory` per scenario, in input order,
+    bit-equal to what ``LongitudinalRunner(scenario).run()`` returns.
+    Only default-factory runners batch — callers with a custom
+    ``runner_factory`` must stay on the scalar path (see
+    :func:`batchable`).
+    """
+
+    def __init__(self, scenarios: Sequence[Scenario]) -> None:
+        scenarios = list(scenarios)
+        if not scenarios:
+            raise ConfigurationError("BatchRunner needs at least one scenario")
+        if len(scenarios) > 1:
+            reason = batchable(scenarios)
+            if reason is not None:
+                raise ConfigurationError(
+                    f"scenarios cannot share a batch: {reason}"
+                )
+        self.scenarios = scenarios
+
+    def run(self) -> List[ProjectHistory]:
+        """Simulate every lane and return their histories in input order."""
+        scenario = self.scenarios[0]
+        lanes = len(self.scenarios)
+        with span("sim.batch", scenario=scenario.name, lanes=lanes):
+            with _BATCH_RUN_SECONDS.time():
+                _BATCH_LANES.observe(lanes)
+                runners = [LongitudinalRunner(s) for s in self.scenarios]
+                # The scalar engine fires plenaries in (month, insertion)
+                # order, then the horizon event; a stable sort replays
+                # the identical sequence.
+                specs = sorted(scenario.plenaries, key=lambda s: s.month)
+                end = scenario.end_month
+                for spec in specs:
+                    self._run_plenary_lockstep(runners, spec)
+                _age_worlds(runners, end)
+                with span("sim.finalize", lanes=lanes):
+                    for runner in runners:
+                        runner._finalize_totals()
+        REGISTRY.counter(
+            "sim_runs_total",
+            help="Complete longitudinal runs finished in this process",
+        ).inc(lanes)
+        return [runner._history for runner in runners]
+
+    @staticmethod
+    def _run_plenary_lockstep(
+        runners: Sequence[LongitudinalRunner], spec: PlenarySpec
+    ) -> None:
+        REGISTRY.counter(
+            "sim_plenaries_total",
+            help="Plenary meetings simulated, by agenda kind",
+            kind=spec.kind,
+        ).inc(len(runners))
+        now = spec.month
+        with span(
+            "sim.plenary", plenary=spec.name, kind=spec.kind,
+            lanes=len(runners),
+        ):
+            _age_worlds(runners, now)
+            contexts = [runner._plenary_begin(spec) for runner in runners]
+            with span(
+                "sim.plenary.exchange", plenary=spec.name, lanes=len(runners)
+            ):
+                lane_items = [list(ctx.session.agenda) for ctx in contexts]
+                for k in range(len(lane_items[0])):
+                    prepared = [
+                        ctx.session.prepare_item(lane_items[lane][k])
+                        for lane, ctx in enumerate(contexts)
+                    ]
+                    apply_interactions_batch(
+                        [
+                            (runner.meeting, interactions, ctx.session.result)
+                            for runner, interactions, ctx in zip(
+                                runners, prepared, contexts
+                            )
+                        ]
+                    )
+                    for ctx, interactions in zip(contexts, prepared):
+                        ctx.session.result.interactions.extend(interactions)
+            for runner, ctx in zip(runners, contexts):
+                runner._plenary_finish(now, ctx)
+
+
+def run_batch(scenarios: Sequence[Scenario]) -> List[ProjectHistory]:
+    """Convenience wrapper: batch-run ``scenarios`` and return histories."""
+    return BatchRunner(scenarios).run()

@@ -14,6 +14,7 @@ job parameters and this module all agree.  The pre-1.x spellings
 
 from __future__ import annotations
 
+import os
 import pickle
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -22,12 +23,19 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.obs import REGISTRY, span
+from repro.simulation.batch import (
+    BatchRunner,
+    record_fallback,
+    scenario_family,
+)
 from repro.simulation.runner import LongitudinalRunner, ProjectHistory
 from repro.simulation.scenario import Scenario
 from repro.stats.summary import SampleSummary, describe
 from repro.stats.tests import ComparisonTest, mann_whitney
 
 __all__ = [
+    "BACKENDS",
+    "effective_workers",
     "extract_metrics",
     "replicate",
     "MetricComparison",
@@ -35,6 +43,13 @@ __all__ = [
     "comparison_from_metrics",
     "compare_scenarios",
 ]
+
+#: Execution backends for multi-seed runs.  ``"auto"`` picks the batched
+#: engine whenever the request qualifies (default factories, >= 2 runs of
+#: one scenario family, no multi-process fan-out), ``"batch"`` insists on
+#: it (still falling back, with a counted reason, when the request cannot
+#: batch), and ``"scalar"`` forces the one-run-per-seed path.
+BACKENDS = ("auto", "batch", "scalar")
 
 _RUNS_TOTAL = REGISTRY.counter(
     "experiment_runs_total",
@@ -113,22 +128,82 @@ def _pool_supported(workers: int, payload: object) -> bool:
     return True
 
 
+def effective_workers(workers: int) -> int:
+    """Clamp a worker request to the machine's core count.
+
+    Oversubscribing a small machine makes fan-out *slower* than serial
+    (BENCH_perf.json: ``workers=4`` ~1.4x slower at ``cpu_count: 1``),
+    so a request beyond ``os.cpu_count()`` is capped there — which on a
+    single-core runner degrades to the serial path.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    return min(workers, os.cpu_count() or 1)
+
+
+def _check_backend(backend: str) -> None:
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
+
+
+def _run_batched(scenarios: Sequence[Scenario]) -> List[ProjectHistory]:
+    """Batch ``scenarios`` grouped by family, back in input order.
+
+    A comparison hands over two interleavable families; each family of
+    two or more lanes runs through :class:`BatchRunner`, singleton
+    families run scalar.
+    """
+    groups: Dict[str, List[int]] = {}
+    for i, scenario in enumerate(scenarios):
+        groups.setdefault(scenario_family(scenario), []).append(i)
+    out: List[Optional[ProjectHistory]] = [None] * len(scenarios)
+    for indices in groups.values():
+        if len(indices) == 1:
+            record_fallback("singleton_family")
+            out[indices[0]] = _run_history(scenarios[indices[0]], None)
+        else:
+            histories = BatchRunner(
+                [scenarios[i] for i in indices]
+            ).run()
+            for i, history in zip(indices, histories):
+                out[i] = history
+    return out
+
+
 def _run_many(
     scenarios: Sequence[Scenario],
     runner_factory: Optional[Callable[[Scenario], LongitudinalRunner]],
     workers: int,
+    backend: str = "auto",
 ) -> List[ProjectHistory]:
-    """Run already-seeded scenarios, fanning out across processes.
+    """Run already-seeded scenarios via the chosen backend.
 
     Results come back in input order regardless of completion order, and
-    each history is bit-identical to what a serial run would produce —
-    every run derives all randomness from its own seed.
+    each history is bit-identical to what a serial scalar run would
+    produce — every run derives all randomness from its own seed, and
+    the batched engine is bit-equal by construction.
     """
+    _check_backend(backend)
     _RUNS_TOTAL.inc(len(scenarios))
+    workers = effective_workers(workers)
     pooled = _pool_supported(workers, (scenarios, runner_factory))
+    use_batch = False
+    if backend == "batch" or (backend == "auto" and not pooled):
+        if runner_factory is not None:
+            record_fallback("runner_factory")
+        elif len(scenarios) < 2:
+            record_fallback("single_run")
+        else:
+            use_batch = True
+            pooled = False  # an explicit batch request wins over a pool
     with span("experiment.run_many", runs=len(scenarios),
-              workers=workers if pooled else 1):
+              workers=workers if pooled else 1,
+              backend="batch" if use_batch else "scalar"):
         with _BATCH_SECONDS.time():
+            if use_batch:
+                return _run_batched(scenarios)
             if pooled:
                 with ProcessPoolExecutor(
                     max_workers=min(workers, len(scenarios))
@@ -149,20 +224,24 @@ def replicate(
     seeds: Sequence[int],
     runner_factory: Optional[Callable[[Scenario], LongitudinalRunner]] = None,
     workers: int = 1,
+    backend: str = "auto",
 ) -> List[ProjectHistory]:
     """Run ``scenario`` once per seed and return all histories.
 
-    ``workers`` > 1 distributes the seeds over that many processes; the
-    returned histories are in seed order and identical to a serial run.
+    ``workers`` > 1 distributes the seeds over that many processes
+    (capped at the core count); ``backend`` selects the scalar or
+    batched engine (see :data:`BACKENDS`).  The returned histories are
+    in seed order and identical whichever path runs them.
     """
     if not seeds:
         raise ConfigurationError("need at least one seed")
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    _check_backend(backend)
     seeded = [scenario.with_seed(int(seed)) for seed in seeds]
     with span("experiment.replicate", scenario=scenario.name,
               seeds=len(seeded)):
-        return _run_many(seeded, runner_factory, workers)
+        return _run_many(seeded, runner_factory, workers, backend)
 
 
 @dataclass(frozen=True)
@@ -248,13 +327,15 @@ def compare_scenarios(
     seeds: Sequence[int] = (),
     runner_factory: Optional[Callable[[Scenario], LongitudinalRunner]] = None,
     workers: int = 1,
+    backend: str = "auto",
     **legacy: Any,
 ) -> ComparisonResult:
     """Run both scenarios over the same seeds and compare their KPIs.
 
     With ``workers`` > 1 both arms share one process pool, so a
     2-scenario x N-seed comparison keeps every worker busy instead of
-    draining arm A before starting arm B.
+    draining arm A before starting arm B.  Under the batched backend
+    each arm's seeds run as one stacked computation.
 
     ``scenario_a=``/``scenario_b=`` are deprecated aliases for
     ``a=``/``b=`` and emit a :class:`DeprecationWarning`.
@@ -268,11 +349,12 @@ def compare_scenarios(
         raise ConfigurationError("need at least one seed")
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    _check_backend(backend)
     seeded = [a.with_seed(int(s)) for s in seeds] + [
         b.with_seed(int(s)) for s in seeds
     ]
     with span("experiment.compare", a=a.name, b=b.name, seeds=len(seeds)):
-        histories = _run_many(seeded, runner_factory, workers)
+        histories = _run_many(seeded, runner_factory, workers, backend)
         with span("experiment.extract_metrics", runs=len(histories)):
             metrics = [extract_metrics(h) for h in histories]
     return comparison_from_metrics(

@@ -49,7 +49,7 @@ from repro.meetings.agenda import (
     traditional_agenda,
 )
 from repro.meetings.mode import MODE_EFFECTS, MeetingMode
-from repro.meetings.plenary import MeetingResult, PlenaryMeeting
+from repro.meetings.plenary import MeetingResult, MeetingSession, PlenaryMeeting
 from repro.cognition.learning import LearningModel
 from repro.network.dynamics import TieDynamics
 from repro.network.graph import CollaborationNetwork
@@ -139,6 +139,15 @@ class ProjectHistory:
         return [r for r in self.records if r.outcome is not None]
 
 
+@dataclass
+class _PlenaryContext:
+    """In-flight plenary state between ``_plenary_begin`` and ``_plenary_finish``."""
+
+    spec: PlenarySpec
+    hackathon: Optional[HackathonEvent]
+    session: MeetingSession
+
+
 class LongitudinalRunner:
     """Runs one scenario end to end."""
 
@@ -225,22 +234,39 @@ class LongitudinalRunner:
             kind=spec.kind,
         ).inc()
         with span("sim.plenary", plenary=spec.name, kind=spec.kind):
-            self._run_plenary_impl(engine, spec)
+            self._run_plenary_impl(engine.now, spec)
 
-    def _run_plenary_impl(self, engine: Engine, spec: PlenarySpec) -> None:
-        self._apply_inter_event_period(engine.now)
+    def _run_plenary_impl(self, now: float, spec: PlenarySpec) -> None:
+        self._apply_inter_event_period(now)
+        ctx = self._plenary_begin(spec)
+        with span("sim.plenary.exchange", plenary=spec.name):
+            session = ctx.session
+            for item in session.agenda:
+                session.apply_item(session.prepare_item(item))
+        self._plenary_finish(now, ctx)
+
+    def _plenary_begin(self, spec: PlenarySpec) -> _PlenaryContext:
+        """Open the meeting session (agenda, hackathon wiring, attendance).
+
+        The world must already be aged to the plenary's month — the
+        scalar path does that in :meth:`_run_plenary_impl`, the batched
+        path in lockstep across lanes before touching any session.
+        """
         agenda = self._agenda_for(spec)
-
         hackathon: Optional[HackathonEvent] = None
         handler = None
         if spec.is_hackathon:
             hackathon = self._build_hackathon(spec)
             handler = hackathon.as_handler()
+        session = self.meeting.begin(
+            agenda, spec.name, handler, mode=MeetingMode(spec.mode)
+        )
+        return _PlenaryContext(spec=spec, hackathon=hackathon, session=session)
 
-        with span("sim.plenary.exchange", plenary=spec.name):
-            result = self.meeting.run(
-                agenda, spec.name, handler, mode=MeetingMode(spec.mode)
-            )
+    def _plenary_finish(self, now: float, ctx: _PlenaryContext) -> None:
+        """Everything after the exchange: surveys, records, review."""
+        spec, hackathon = ctx.spec, ctx.hackathon
+        result = ctx.session.finish()
         outcome = None
         if hackathon is not None and hackathon.teams is not None:
             outcome = hackathon.finalize(
@@ -280,11 +306,11 @@ class LongitudinalRunner:
             deliverables_completed=sum(
                 1 for d in self.workplan.deliverables() if d.is_complete
             ),
-            deliverable_delay=self.workplan.mean_delay(engine.now),
+            deliverable_delay=self.workplan.mean_delay(now),
         )
         self._history.records.append(record)
         self._history.knowledge.snapshot(self.consortium, spec.name)
-        self._record_trajectory_point(engine.now, event=spec.name)
+        self._record_trajectory_point(now, event=spec.name)
         self._events_run += 1
 
         # "Presented in the first official review meeting of the

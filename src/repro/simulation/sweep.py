@@ -128,6 +128,7 @@ def run_sweep(
     ] = None,
     label_fn: Optional[Callable[[object], str]] = None,
     workers: int = 1,
+    backend: str = "auto",
     **legacy: Any,
 ) -> SweepResult:
     """Run a full sweep.
@@ -149,6 +150,11 @@ def run_sweep(
     workers:
         Processes to spread the ``len(values) * len(seeds)`` grid over.
         Point/seed ordering and results match a serial run.
+    backend:
+        ``"auto"`` / ``"batch"`` / ``"scalar"``.  Under the batched
+        engine each parameter value's seeds run as one stacked
+        computation (seeds of one value share a scenario family;
+        different values do not batch together).
 
     ``parameter_name=``/``parameter_values=``/``scenario_factory=`` are
     deprecated aliases for ``parameter=``/``values=``/``factory=`` and
@@ -179,7 +185,7 @@ def run_sweep(
     ]
     with span("experiment.sweep", parameter=parameter,
               points=len(values), seeds=len(seeds)):
-        histories = _run_many(scenarios, runner_factory, workers)
+        histories = _run_many(scenarios, runner_factory, workers, backend)
         with span("experiment.extract_metrics", runs=len(histories)):
             per_point = len(seeds)
             chunks = [

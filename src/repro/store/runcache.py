@@ -36,13 +36,20 @@ from concurrent.futures import as_completed
 
 from repro.errors import ConfigurationError, RunCancelled, WorkerCrashError
 from repro.obs import REGISTRY, span
+from repro.simulation.batch import (
+    BatchRunner,
+    record_fallback,
+    scenario_family,
+)
 from repro.simulation.experiment import (
     ComparisonResult,
+    _check_backend,
     _pool_supported,
     _pop_legacy_kwarg,
     _reject_unknown_kwargs,
     _run_history,
     comparison_from_metrics,
+    effective_workers,
     extract_metrics,
 )
 from repro.simulation.runner import LongitudinalRunner
@@ -166,6 +173,7 @@ class RunCache:
         workers: int = 1,
         on_cell: Optional[Callable[[int, bool], None]] = None,
         should_cancel: Optional[Callable[[], bool]] = None,
+        backend: str = "auto",
     ) -> List[Dict[str, float]]:
         """KPI dictionaries for already-seeded scenarios, in input order.
 
@@ -176,9 +184,19 @@ class RunCache:
         ``should_cancel`` is polled between cells; when it turns true
         the call raises :class:`~repro.errors.RunCancelled` — every
         cell already stored stays stored, so a later retry resumes.
+        ``backend`` selects the execution engine for the missing cells
+        (see :data:`~repro.simulation.experiment.BACKENDS`); cached
+        cells are backend-independent because the batched engine is
+        bit-equal to the scalar one.
         """
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        _check_backend(backend)
+        # ``workers`` is taken at face value here: the library wrappers
+        # below clamp to the core count, while the service scheduler
+        # passes a pool size chosen to keep crashing runners isolated
+        # in worker processes — collapsing it to serial would run them
+        # in the server itself.
         with span("store.fetch", cells=len(scenarios), workers=workers):
             fingerprints = [scenario_fingerprint(s) for s in scenarios]
             metrics: List[Optional[Dict[str, float]]] = (
@@ -203,7 +221,7 @@ class RunCache:
             if missing:
                 self._resolve_missing(scenarios, fingerprints, metrics,
                                       missing, workers, on_cell,
-                                      should_cancel)
+                                      should_cancel, backend)
         return metrics  # type: ignore[return-value]
 
     def _resolve_missing(
@@ -215,6 +233,7 @@ class RunCache:
         workers: int,
         on_cell: Optional[Callable[[int, bool], None]],
         should_cancel: Optional[Callable[[], bool]],
+        backend: str = "auto",
     ) -> None:
         """Claim or await each missing cell, then compute the claims.
 
@@ -253,7 +272,7 @@ class RunCache:
             if claims:
                 self._compute_claimed(scenarios, fingerprints, metrics,
                                       claims, workers, on_cell,
-                                      should_cancel)
+                                      should_cancel, backend)
         finally:
             with self._inflight_lock:
                 for key in claims:
@@ -270,6 +289,7 @@ class RunCache:
         workers: int,
         on_cell: Optional[Callable[[int, bool], None]],
         should_cancel: Optional[Callable[[], bool]],
+        backend: str = "auto",
     ) -> None:
         """Run the claimed cells, persisting each as soon as it lands.
 
@@ -330,8 +350,12 @@ class RunCache:
                    for key in to_compute]
         if cancelled():
             raise RunCancelled("cancelled before computing cells")
-        if _pool_supported(workers,
-                           ([s for _, s in pending], self.runner_factory)):
+        pooled = _pool_supported(
+            workers, ([s for _, s in pending], self.runner_factory)
+        )
+        if backend == "batch":
+            pooled = False  # an explicit batch request wins over a pool
+        if pooled:
             with ProcessPoolExecutor(
                 max_workers=min(workers, len(pending))
             ) as pool:
@@ -351,21 +375,68 @@ class RunCache:
                 finally:
                     pool.shutdown(wait=True, cancel_futures=True)
         else:
+            self._compute_serial(pending, store, cancelled, backend)
+
+    def _compute_serial(
+        self,
+        pending: List[Tuple[int, Scenario]],
+        store: Callable[[int, Any], None],
+        cancelled: Callable[[], bool],
+        backend: str,
+    ) -> None:
+        """Compute pending cells in-process, batching when eligible.
+
+        Under ``backend != "scalar"`` cells of one scenario family run
+        through :class:`~repro.simulation.batch.BatchRunner` as a single
+        stacked computation; each lane's KPIs still persist per cell, so
+        cancellation (polled between groups — a batch is one indivisible
+        computation) and resume behave exactly as on the scalar path.
+        """
+        groups: Optional[Dict[str, List[Tuple[int, Scenario]]]] = None
+        if backend != "scalar":
+            if self.runner_factory is not None:
+                record_fallback("runner_factory")
+            elif len(pending) < 2:
+                record_fallback("single_run")
+            else:
+                groups = {}
+                for i, scenario in pending:
+                    groups.setdefault(
+                        scenario_family(scenario), []
+                    ).append((i, scenario))
+        if groups is None:
             for i, scenario in pending:
                 if cancelled():
                     raise RunCancelled("cancelled mid-computation")
                 store(i, _run_history(scenario, self.runner_factory))
+            return
+        for members in groups.values():
+            if cancelled():
+                raise RunCancelled("cancelled mid-computation")
+            if len(members) == 1:
+                record_fallback("singleton_family")
+                i, scenario = members[0]
+                store(i, _run_history(scenario, None))
+                continue
+            histories = BatchRunner([s for _, s in members]).run()
+            for (i, _), history in zip(members, histories):
+                store(i, history)
 
     # -- experiment API ---------------------------------------------------
 
     def replicate(
-        self, scenario: Scenario, seeds: Sequence[int], workers: int = 1
+        self,
+        scenario: Scenario,
+        seeds: Sequence[int],
+        workers: int = 1,
+        backend: str = "auto",
     ) -> List[Dict[str, float]]:
         """KPI dictionaries of ``scenario`` under each seed, memoized."""
         if not seeds:
             raise ConfigurationError("need at least one seed")
         seeded = [scenario.with_seed(int(seed)) for seed in seeds]
-        return self.fetch_metrics(seeded, workers=workers)
+        return self.fetch_metrics(seeded, workers=effective_workers(workers),
+                                  backend=backend)
 
     def compare_scenarios(
         self,
@@ -373,6 +444,7 @@ class RunCache:
         b: Optional[Scenario] = None,
         seeds: Sequence[int] = (),
         workers: int = 1,
+        backend: str = "auto",
         **legacy: Any,
     ) -> ComparisonResult:
         """Memoized :func:`~repro.simulation.experiment.compare_scenarios`.
@@ -392,7 +464,9 @@ class RunCache:
         seeded = [a.with_seed(int(s)) for s in seeds] + [
             b.with_seed(int(s)) for s in seeds
         ]
-        metrics = self.fetch_metrics(seeded, workers=workers)
+        metrics = self.fetch_metrics(seeded,
+                                     workers=effective_workers(workers),
+                                     backend=backend)
         return comparison_from_metrics(
             a.name,
             b.name,
@@ -409,6 +483,7 @@ class RunCache:
         seeds: Sequence[int] = (),
         label_fn: Optional[Callable[[object], str]] = None,
         workers: int = 1,
+        backend: str = "auto",
         **legacy: Any,
     ) -> SweepResult:
         """Memoized :func:`~repro.simulation.sweep.run_sweep`.
@@ -446,7 +521,9 @@ class RunCache:
             for value in values
             for seed in seeds
         ]
-        metrics = self.fetch_metrics(scenarios, workers=workers)
+        metrics = self.fetch_metrics(scenarios,
+                                     workers=effective_workers(workers),
+                                     backend=backend)
         per_point = len(seeds)
         chunks = [
             metrics[i * per_point : (i + 1) * per_point]

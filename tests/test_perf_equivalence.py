@@ -10,10 +10,13 @@ tests pin each rewrite against an independent reference:
 * ``replicate(workers=4)`` against the serial path, KPI dict for KPI
   dict;
 * the ties/inter-org caches against explicit invalidation on every
-  mutating network operation.
+  mutating network operation;
+* the batched (structure-of-arrays) engine against the scalar
+  one-run-per-seed path, again KPI dict for KPI dict.
 """
 
 import math
+import os
 
 import pytest
 from hypothesis import given, settings
@@ -21,12 +24,18 @@ from hypothesis import strategies as st
 
 from repro.cognition.knowledge import DEFAULT_DOMAINS, KnowledgeVector
 from repro.network.graph import CollaborationNetwork
+from repro.obs import REGISTRY
 from repro.simulation.experiment import (
     compare_scenarios,
+    effective_workers,
     extract_metrics,
     replicate,
 )
-from repro.simulation.scenario import megamart_timeline
+from repro.simulation.scenario import (
+    baseline_timeline,
+    interleaved_timeline,
+    megamart_timeline,
+)
 
 # ---------------------------------------------------------------------------
 # Reference implementation: the pre-vectorization dict semantics.
@@ -212,3 +221,198 @@ class TestTiesCacheInvalidation:
         assert net.ties() is first  # cache hit, not a rebuild
         net.strengthen("b", "c", 0.3)
         assert net.ties() is not first
+
+
+# ---------------------------------------------------------------------------
+# Batched engine: bit-identical to the scalar path.
+# ---------------------------------------------------------------------------
+
+
+def _kpis(scenario, seeds, **kwargs):
+    return [extract_metrics(h) for h in replicate(scenario, seeds, **kwargs)]
+
+
+def _fallbacks(reason):
+    return REGISTRY.snapshot().get(
+        f'batch_fallback_total{{reason="{reason}"}}', 0.0
+    )
+
+
+class TestBatchEquivalence:
+    """Stacked lanes must reproduce the scalar KPIs bit for bit.
+
+    No tolerance anywhere: the batched kernels were built to execute
+    the same floating-point operations in the same order as the scalar
+    engine, so ``==`` on the raw KPI dictionaries is the contract.
+    """
+
+    @pytest.mark.parametrize(
+        "factory", [megamart_timeline, baseline_timeline,
+                    interleaved_timeline],
+        ids=["hackathon", "traditional", "interleaved"],
+    )
+    @pytest.mark.parametrize("n", [1, 7])
+    def test_batch_matches_scalar(self, factory, n):
+        scenario = factory(seed=0)
+        seeds = list(range(n))
+        assert _kpis(scenario, seeds, backend="batch") == _kpis(
+            scenario, seeds, backend="scalar"
+        )
+
+    def test_batch_matches_scalar_100_seeds(self):
+        scenario = megamart_timeline(seed=0)
+        seeds = list(range(100))
+        assert _kpis(scenario, seeds, backend="batch") == _kpis(
+            scenario, seeds, backend="scalar"
+        )
+
+    def test_compare_scenarios_batch_matches_scalar(self):
+        a, b = megamart_timeline(seed=0), baseline_timeline(seed=0)
+        batch = compare_scenarios(a, b, [1, 2, 3], backend="batch")
+        scalar = compare_scenarios(a, b, [1, 2, 3], backend="scalar")
+        assert batch.metrics_a == scalar.metrics_a
+        assert batch.metrics_b == scalar.metrics_b
+
+    def test_lane_order_invariance(self):
+        """A lane's KPIs depend only on its seed, not its position."""
+        scenario = megamart_timeline(seed=0)
+        ordered = _kpis(scenario, [3, 5, 8, 13], backend="batch")
+        shuffled = _kpis(scenario, [13, 3, 8, 5], backend="batch")
+        by_seed = dict(zip([13, 3, 8, 5], shuffled))
+        assert [by_seed[s] for s in [3, 5, 8, 13]] == ordered
+
+    def test_batch_size_invariance(self):
+        """A seed's KPIs do not change with who shares the batch."""
+        scenario = megamart_timeline(seed=0)
+        alone = _kpis(scenario, [7], backend="scalar")[0]
+        in_small = _kpis(scenario, [6, 7], backend="batch")[1]
+        in_large = _kpis(scenario, [5, 6, 7, 8, 9], backend="batch")[2]
+        assert alone == in_small == in_large
+
+    def test_duplicate_seeds_share_results(self):
+        scenario = megamart_timeline(seed=0)
+        twice = _kpis(scenario, [9, 9, 2], backend="batch")
+        assert twice[0] == twice[1]
+        assert twice[0] == _kpis(scenario, [9], backend="scalar")[0]
+
+    def test_auto_backend_matches_scalar(self):
+        scenario = interleaved_timeline(seed=0)
+        assert _kpis(scenario, [1, 2, 3], backend="auto") == _kpis(
+            scenario, [1, 2, 3], backend="scalar"
+        )
+
+    def test_unknown_backend_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            replicate(megamart_timeline(seed=0), [1, 2], backend="bogus")
+
+
+class TestBatchFallbacks:
+    """Requests the batch engine cannot serve fall back, counted."""
+
+    def test_runner_factory_falls_back(self):
+        from repro.simulation.runner import LongitudinalRunner
+
+        scenario = megamart_timeline(seed=0)
+        factory = lambda sc: LongitudinalRunner(sc)  # noqa: E731
+        before = _fallbacks("runner_factory")
+        via_factory = [
+            extract_metrics(h)
+            for h in replicate(scenario, [1, 2], runner_factory=factory,
+                               backend="batch")
+        ]
+        assert _fallbacks("runner_factory") == before + 1
+        assert via_factory == _kpis(scenario, [1, 2], backend="scalar")
+
+    def test_single_run_falls_back(self):
+        before = _fallbacks("single_run")
+        replicate(megamart_timeline(seed=0), [4], backend="batch")
+        assert _fallbacks("single_run") == before + 1
+
+    def test_batch_lanes_histogram_observed(self):
+        before = REGISTRY.snapshot().get("batch_lanes", {"count": 0})
+        replicate(megamart_timeline(seed=0), [1, 2, 3], backend="batch")
+        after = REGISTRY.snapshot()["batch_lanes"]
+        assert after["count"] == before["count"] + 1
+        assert after["sum"] == before.get("sum", 0.0) + 3
+
+    def test_batch_span_emitted(self, tmp_path):
+        from repro.obs import tracing
+
+        path = tmp_path / "batch.jsonl"
+        with tracing(path):
+            replicate(megamart_timeline(seed=0), [1, 2], backend="batch")
+        import json
+
+        names = {
+            json.loads(line)["name"]
+            for line in path.read_text().splitlines() if line.strip()
+        }
+        assert "sim.batch" in names
+        assert "sim.plenary" in names
+
+
+class TestRunCacheBatch:
+    """The cache stores batch-computed cells bit-identically."""
+
+    def test_cold_batch_fill_matches_scalar_and_warm_reads(self, tmp_path):
+        from repro.store.runcache import RunCache
+
+        scenario = megamart_timeline(seed=0)
+        seeds = [1, 2, 3]
+        cache = RunCache(tmp_path / "store")
+        cold = cache.replicate(scenario, seeds, backend="batch")
+        assert cache.session_misses == 3
+        assert cold == _kpis(scenario, seeds, backend="scalar")
+        warm = RunCache(tmp_path / "store").replicate(
+            scenario, seeds, backend="scalar"
+        )
+        assert warm == cold
+
+    def test_partial_hits_batch_only_the_missing_cells(self, tmp_path):
+        from repro.store.runcache import RunCache
+
+        scenario = megamart_timeline(seed=0)
+        cache = RunCache(tmp_path / "store")
+        cache.replicate(scenario, [1, 2], backend="batch")
+        out = cache.replicate(scenario, [1, 2, 3, 4], backend="batch")
+        assert cache.session_hits == 2
+        assert cache.session_misses == 4
+        assert out == _kpis(scenario, [1, 2, 3, 4], backend="scalar")
+
+
+class TestWorkersClamp:
+    def test_effective_workers_caps_at_cpu_count(self):
+        cores = os.cpu_count() or 1
+        assert effective_workers(1) == 1
+        assert effective_workers(cores) == cores
+        assert effective_workers(cores + 100) == cores
+
+    def test_oversubscribed_replicate_matches_serial(self):
+        scenario = megamart_timeline(seed=0)
+        huge = _kpis(scenario, [1, 2], workers=10_000)
+        assert huge == _kpis(scenario, [1, 2], workers=1)
+
+    def test_scheduler_clamps_workers(self, tmp_path):
+        from repro.service.scheduler import Scheduler
+        from repro.store.runcache import RunCache
+
+        scheduler = Scheduler(RunCache(tmp_path / "store"), workers=10_000)
+        try:
+            # Capped at the core count, but a pooled request never drops
+            # below 2 workers: the pool is what isolates the dispatcher
+            # from crashing runners.
+            assert scheduler.workers == max(2, os.cpu_count() or 1)
+        finally:
+            scheduler.shutdown()
+
+    def test_scheduler_keeps_serial_request_serial(self, tmp_path):
+        from repro.service.scheduler import Scheduler
+        from repro.store.runcache import RunCache
+
+        scheduler = Scheduler(RunCache(tmp_path / "store"), workers=1)
+        try:
+            assert scheduler.workers == 1
+        finally:
+            scheduler.shutdown()

@@ -456,12 +456,13 @@ class TestScheduler:
         factory = functools.partial(
             crash_until_sentinel_factory, str(sentinel)
         )
-        cache = RunCache(tmp_path / "store", runner_factory=factory)
         # pre-store one cell with a working runner so the retry only
-        # needs the rest
+        # needs the rest; the crashing cache opens afterwards so its
+        # index (loaded at construction) includes the pre-stored cell
         warm = RunCache(tmp_path / "store",
                         runner_factory=quick_factory)
         warm.replicate(resolve_scenario("hackathon"), [0])
+        cache = RunCache(tmp_path / "store", runner_factory=factory)
         scheduler = Scheduler(cache, workers=2, max_retries=3,
                               retry_backoff_s=0.01)
         try:
