@@ -34,6 +34,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
 from repro.obs import span, tracing
+from repro.registry import CATALOG
 from repro.service.client import ServiceClient
 from repro.service.specs import (
     resolve_scenario,
@@ -49,9 +50,11 @@ from repro.simulation.experiment import replicate as _replicate_histories
 from repro.simulation.sweep import SweepResult, run_sweep
 from repro.store.runcache import DEFAULT_CACHE_DIR, RunCache
 
-__all__ = ["replicate", "compare", "sweep", "submit_job"]
+__all__ = ["CATALOG", "replicate", "compare", "sweep", "scenarios",
+           "submit_job"]
 
-#: A scenario spec: a registered timeline name or an inline mapping.
+#: A scenario spec: a catalog name (builtin timeline, plugin scenario),
+#: a ``scenario-spec/v1`` file path, or an inline mapping.
 ScenarioSpec = Union[str, Dict[str, Any]]
 #: A seeds spec: a count N (meaning ``range(N)``) or explicit seeds.
 SeedsSpec = Union[int, Sequence[int]]
@@ -135,23 +138,34 @@ def compare(
         )
 
 
+def scenarios() -> Dict[str, Any]:
+    """The scenario catalog: every registered scenario and sweepable
+    parameter (builtin, bundled plugins, entry points, ``REPRO_PLUGINS``),
+    in the same JSON shape the HTTP API serves at ``GET /v1/scenarios``.
+    """
+    return CATALOG.describe()
+
+
 def sweep(
     parameter: str = "cadence",
     values: Optional[Sequence[float]] = None,
     seeds: SeedsSpec = 2,
     *,
+    base: Optional[ScenarioSpec] = None,
     workers: int = 1,
     backend: str = "auto",
     cache: bool = False,
     cache_dir: str = DEFAULT_CACHE_DIR,
     trace: Optional[str] = None,
 ) -> SweepResult:
-    """Sweep a registered parameter (``cadence``, ``session-hours``).
+    """Sweep a registered parameter (``cadence``, ``remote-share``, ...).
 
     ``values=None`` uses the parameter's default grid — the same one
     the HTTP API and the CLI use, so results line up across surfaces.
+    ``base`` points sweeps registered with ``supports_base=True`` at a
+    different base scenario spec.
     """
-    chosen, factory, label_fn = sweep_plan(parameter, values)
+    chosen, factory, label_fn = sweep_plan(parameter, values, base=base)
     seed_list = _seeds(seeds)
     with _traced(trace, "api.sweep", parameter=parameter,
                  points=len(chosen), seeds=len(seed_list), cache=cache):

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands, all seeded and deterministic:
+Ten subcommands, all seeded and deterministic:
 
 * ``repro-sim run`` — run one timeline and print the per-plenary table.
 * ``repro-sim compare`` — hackathon vs traditional over N seeds.
@@ -8,9 +8,18 @@ Nine subcommands, all seeded and deterministic:
 * ``repro-sim hackathon`` — one standalone hackathon event.
 * ``repro-sim sweep`` — sweep hackathon cadence or session length.
 * ``repro-sim export`` — run a timeline and export the full history.
+* ``repro-sim scenarios`` — list, show or validate scenario specs.
 * ``repro-sim cache`` — inspect, garbage-collect or clear the run store.
 * ``repro-sim serve`` — serve compare/sweep/replicate jobs over HTTP.
 * ``repro-sim metrics`` — print metrics (local or scraped off a server).
+
+Scenario names resolve through the shared plugin catalog
+(:mod:`repro.registry`): builtin timelines, bundled plugin families
+(virtual/hybrid/adversarial), anything registered via the
+``repro.plugins`` entry-point group or the ``REPRO_PLUGINS``
+environment variable, and ``scenario-spec/v1`` JSON/TOML files —
+``compare --scenario path/to/spec.toml`` works like any registered
+name.
 
 ``compare`` and ``sweep`` take ``--workers N`` to fan seeds out over a
 process pool, and ``--cache`` to memoize per-seed KPI dictionaries in
@@ -30,9 +39,10 @@ Usage (installed via the ``repro-sim`` console script, or
 
     repro-sim run --timeline hackathon --seed 3
     repro-sim compare --seeds 5 --workers 4 --cache
-    repro-sim figures --seed 0
-    repro-sim hackathon --variant tghl --json out.json
-    repro-sim cache stats
+    repro-sim compare --scenario hybrid-balanced --baseline hackathon
+    repro-sim sweep --parameter remote-share --seeds 2
+    repro-sim scenarios list
+    repro-sim scenarios validate examples/scenario_specs/*.toml
     repro-sim serve --port 8347 --workers 4 --queue-depth 32
 """
 
@@ -41,7 +51,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional
 
 from contextlib import nullcontext
 
@@ -58,27 +68,17 @@ from repro.reporting import (
     histogram,
     to_json,
 )
-from repro.service.specs import sweep_plan
+from repro.registry import CATALOG, load_spec_file
+from repro.service.specs import resolve_scenario, sweep_plan
 from repro.simulation import (
     LongitudinalRunner,
-    Scenario,
-    baseline_timeline,
     compare_scenarios,
-    interleaved_timeline,
     megamart_timeline,
     run_sweep,
-    virtual_timeline,
 )
 from repro.store import DEFAULT_CACHE_DIR, RunCache
 
 __all__ = ["main", "build_parser"]
-
-TIMELINES: Dict[str, Callable[[int], Scenario]] = {
-    "hackathon": lambda seed: megamart_timeline(seed=seed),
-    "traditional": lambda seed: baseline_timeline(seed=seed),
-    "interleaved": lambda seed: interleaved_timeline(seed=seed),
-    "virtual": lambda seed: virtual_timeline(seed=seed),
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,9 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
         "projects (MegaM@Rt2 hackathon case study, DATE 2019).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    timelines = CATALOG.scenario_names()
 
     run = sub.add_parser("run", help="run one timeline end to end")
-    run.add_argument("--timeline", choices=sorted(TIMELINES), default="hackathon")
+    run.add_argument("--timeline", choices=timelines, default="hackathon")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--json", metavar="PATH", default=None,
                      help="also export totals as JSON")
@@ -99,6 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
                              help="hackathon vs traditional over N seeds")
     compare.add_argument("--seeds", type=int, default=3,
                          help="number of replicate seeds (default 3)")
+    compare.add_argument("--scenario", default="hackathon", metavar="SPEC",
+                         help="intervention arm: a catalog name or a "
+                              "scenario-spec file (default hackathon)")
+    compare.add_argument("--baseline", default="traditional", metavar="SPEC",
+                         help="baseline arm: a catalog name or a "
+                              "scenario-spec file (default traditional)")
     _add_execution_options(compare)
 
     figures = sub.add_parser("figures", help="regenerate Figs. 1-4 as text")
@@ -112,18 +119,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser("sweep",
                            help="sweep hackathon cadence or session length")
-    sweep.add_argument("--parameter", choices=("cadence", "session-hours"),
+    sweep.add_argument("--parameter", choices=CATALOG.sweep_names(),
                        default="cadence")
     sweep.add_argument("--seeds", type=int, default=2)
+    sweep.add_argument("--scenario", default=None, metavar="SPEC",
+                       help="base scenario for sweeps that support one "
+                            "(a catalog name or a scenario-spec file)")
     _add_execution_options(sweep)
 
     export = sub.add_parser("export",
                             help="run a timeline and export the history")
-    export.add_argument("--timeline", choices=sorted(TIMELINES),
+    export.add_argument("--timeline", choices=timelines,
                         default="hackathon")
     export.add_argument("--seed", type=int, default=0)
     export.add_argument("--json", metavar="PATH", required=True)
     export.add_argument("--trajectory-csv", metavar="PATH", default=None)
+
+    scenarios = sub.add_parser(
+        "scenarios", help="list, show or validate scenario specs")
+    scenarios_sub = scenarios.add_subparsers(dest="scenarios_action",
+                                             required=True)
+    scenarios_sub.add_parser("list", help="list every catalog entry")
+    show = scenarios_sub.add_parser(
+        "show", help="describe one scenario (name or spec file)")
+    show.add_argument("spec", metavar="NAME_OR_PATH")
+    validate = scenarios_sub.add_parser(
+        "validate", help="check scenario-spec files without running them")
+    validate.add_argument("specs", metavar="PATH", nargs="+")
 
     cache = sub.add_parser("cache",
                            help="inspect or maintain the run store")
@@ -181,7 +203,7 @@ def _add_execution_options(sub_parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    scenario = TIMELINES[args.timeline](args.seed)
+    scenario = CATALOG.resolve(args.timeline, seed=args.seed)
     history = LongitudinalRunner(scenario).run()
     rows = [
         [r.spec.name, r.spec.kind, len(r.meeting.attendee_ids),
@@ -222,20 +244,34 @@ def _print_trace_summary(args: argparse.Namespace) -> None:
         print(f"\ntrace written to {args.trace}")
 
 
+def _arm_label(spec: str, scenario) -> str:
+    """Column label for a compare arm: the name as the user typed it,
+    or the resolved scenario name when the spec was a file path."""
+    from repro.registry import looks_like_spec_path
+
+    return scenario.name if looks_like_spec_path(spec) else spec
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     _check_execution_options(args)
+    # Both arms resolve through the catalog: registered names (builtin
+    # or plugin) and scenario-spec files are interchangeable here.
+    scenario_a = resolve_scenario(args.scenario)
+    scenario_b = resolve_scenario(args.baseline)
+    label_a = _arm_label(args.scenario, scenario_a)
+    label_b = _arm_label(args.baseline, scenario_b)
     cache: Optional[RunCache] = None
     with _trace_context(args):
         if args.cache:
             cache = RunCache(args.cache_dir)
             result = cache.compare_scenarios(
-                megamart_timeline(), baseline_timeline(),
+                scenario_a, scenario_b,
                 seeds=range(args.seeds), workers=args.workers,
                 backend=args.backend,
             )
         else:
             result = compare_scenarios(
-                megamart_timeline(), baseline_timeline(),
+                scenario_a, scenario_b,
                 seeds=range(args.seeds), workers=args.workers,
                 backend=args.backend,
             )
@@ -250,8 +286,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             round(comparison.test.p_value, 4),
         ])
     print(ascii_table(
-        ["KPI", "hackathon", "traditional", "ratio", "p (MWU)"],
-        rows, title=f"hackathon vs traditional over {args.seeds} seeds",
+        ["KPI", label_a, label_b, "ratio", "p (MWU)"],
+        rows, title=f"{label_a} vs {label_b} over {args.seeds} seeds",
     ))
     _print_cache_summary(cache)
     _print_trace_summary(args)
@@ -319,7 +355,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     _check_execution_options(args)
     # The sweepable parameters live in one registry shared with the
     # HTTP service, so CLI sweeps and served sweeps stay identical.
-    values, factory, label_fn = sweep_plan(args.parameter)
+    values, factory, label_fn = sweep_plan(
+        args.parameter, base=args.scenario
+    )
     cache: Optional[RunCache] = None
     with _trace_context(args):
         if args.cache:
@@ -348,13 +386,65 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
-    scenario = TIMELINES[args.timeline](args.seed)
+    scenario = CATALOG.resolve(args.timeline, seed=args.seed)
     history = LongitudinalRunner(scenario).run()
     path = export_history_json(history, args.json)
     print(f"history written to {path}")
     if args.trajectory_csv:
         csv_path = export_trajectory_csv(history, args.trajectory_csv)
         print(f"trajectory written to {csv_path}")
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    if args.scenarios_action == "list":
+        listing = CATALOG.describe()
+        print(ascii_table(
+            ["scenario", "plugin", "source", "plenaries", "hackathons"],
+            [[s["name"], s["plugin"], s["source"], s["plenaries"],
+              s["hackathons"]] for s in listing["scenarios"]],
+            title="scenario catalog",
+        ))
+        print()
+        print(ascii_table(
+            ["sweep parameter", "plugin", "default grid", "base?"],
+            [[p["name"], p["plugin"],
+              ", ".join(p["labels"]), "yes" if p["supports_base"] else "no"]
+             for p in listing["sweep_parameters"]],
+            title="sweepable parameters",
+        ))
+        return 0
+    if args.scenarios_action == "show":
+        from repro.registry import looks_like_spec_path
+
+        if looks_like_spec_path(args.spec):
+            entry = load_spec_file(args.spec)
+        else:
+            entry = CATALOG.scenario(args.spec)
+        info = entry.describe()
+        scenario = entry.build()
+        for key in ("name", "plugin", "spec_version", "source",
+                    "description"):
+            print(f"{key}: {info[key]}")
+        print(f"scenario name: {scenario.name}")
+        print(f"plenaries ({len(scenario.plenaries)}):")
+        for spec in scenario.plenaries:
+            lane = (f", remote_share={spec.remote_share:g}"
+                    if spec.remote_share is not None else "")
+            print(f"  month {spec.month:>5.1f}  {spec.kind:<12} "
+                  f"{spec.mode}{lane}  — {spec.name}")
+        if scenario.uses_plugin_modifiers():
+            print("modifiers: runs on the scalar engine "
+                  "(batch_fallback_total{reason=\"plugin\"})")
+        return 0
+    # validate: parse every file, fail on the first malformed one with
+    # the usual one-line exit-2 error.
+    for path in args.specs:
+        entry = load_spec_file(path)
+        scenario = entry.build()
+        print(f"ok: {path} -> {scenario.name!r} "
+              f"(plugin {entry.plugin}, {len(scenario.plenaries)} "
+              f"plenaries)")
     return 0
 
 
@@ -389,7 +479,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    # Imported here so the seven offline subcommands never pay for the
+    # Imported here so the offline subcommands never pay for the
     # service stack.
     from repro.service.server import build_server
 
@@ -406,8 +496,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"(workers={args.workers}, queue-depth={args.queue_depth}, "
           f"cache={args.cache_dir})")
     print("endpoints: POST /v1/jobs  GET /v1/jobs/{id}[/result]  "
-          "DELETE /v1/jobs/{id}  GET /v1/cache/stats  GET /v1/metrics  "
-          "GET /healthz")
+          "DELETE /v1/jobs/{id}  GET /v1/scenarios  GET /v1/cache/stats  "
+          "GET /v1/metrics  GET /healthz")
     try:
         with _trace_context(args):
             server.serve_forever()
@@ -438,6 +528,7 @@ _COMMANDS = {
     "hackathon": _cmd_hackathon,
     "sweep": _cmd_sweep,
     "export": _cmd_export,
+    "scenarios": _cmd_scenarios,
     "cache": _cmd_cache,
     "serve": _cmd_serve,
     "metrics": _cmd_metrics,

@@ -64,6 +64,9 @@ class MeetingResult:
     #: member — the paper's "notably between tool providers and use
     #: case owners" observation, now reported per meeting.
     new_provider_owner_ties: List[Tuple[str, str]] = field(default_factory=list)
+    #: Attendees who joined through the remote lane of a hybrid plenary
+    #: with per-participant lanes (empty otherwise).
+    remote_attendee_ids: List[str] = field(default_factory=list)
 
     def engagement_by_item(self) -> Dict[str, float]:
         return EngagementModel.by_item(self.engagement_records)
@@ -97,12 +100,14 @@ class MeetingSession:
         meeting_name: str,
         hackathon_handler: Optional[HackathonHandler],
         mode: MeetingMode,
+        effects: Optional[ModeEffects] = None,
+        remote_share: Optional[float] = None,
     ) -> None:
         self.meeting = meeting
         self.agenda = agenda
         self.hackathon_handler = hackathon_handler
         self.mode = mode
-        self.effects = MODE_EFFECTS[mode]
+        self.effects = effects if effects is not None else MODE_EFFECTS[mode]
         self._before = meeting.network.snapshot()
         delegations = meeting.attendance.delegations(
             meeting.consortium, agenda,
@@ -122,6 +127,41 @@ class MeetingSession:
             ),
             mode=mode,
         )
+        # Hybrid per-participant lanes: each attendee is dealt into the
+        # remote or on-site lane from a dedicated substream, so enabling
+        # lanes never perturbs any classic stream.  Remote members carry
+        # the virtual mode's engagement/intensity depth, on-site members
+        # the face-to-face reference; a cross-lane interaction runs at
+        # the mean of its two endpoints' depths.
+        self.lane_engagement: Dict[str, float] = {}
+        self.lane_intensity: Dict[str, float] = {}
+        if remote_share is not None:
+            virtual = MODE_EFFECTS[MeetingMode.VIRTUAL]
+            rng = meeting._hub.stream("hybrid_lanes")
+            draws = rng.random(len(self.attendees))
+            remote_ids = []
+            for member, draw in zip(self.attendees, draws.tolist()):
+                if draw < remote_share:
+                    remote_ids.append(member.member_id)
+                    self.lane_engagement[member.member_id] = (
+                        virtual.engagement_factor
+                    )
+                    self.lane_intensity[member.member_id] = (
+                        virtual.intensity_factor
+                    )
+            self.result.remote_attendee_ids = remote_ids
+        # Per-member depth factors: lane factors (above) combined with
+        # the meeting's free-rider factors.  Empty for classic runs, so
+        # the hot path below stays byte-identical.
+        self._member_engagement: Dict[str, float] = dict(self.lane_engagement)
+        self._member_intensity: Dict[str, float] = dict(self.lane_intensity)
+        for mid, factor in meeting.member_factors.items():
+            self._member_engagement[mid] = (
+                self._member_engagement.get(mid, 1.0) * factor
+            )
+            self._member_intensity[mid] = (
+                self._member_intensity.get(mid, 1.0) * factor
+            )
 
     def prepare_item(self, item: AgendaItem) -> List[Interaction]:
         """Sample engagement and interactions for one item (pre-exchange)."""
@@ -132,6 +172,19 @@ class MeetingSession:
             records = EngagementModel.scale_many(
                 records, effects.engagement_factor
             )
+        if self._member_engagement:
+            member_engagement = self._member_engagement
+            records = [
+                EngagementRecord(
+                    member_id=r.member_id,
+                    item_title=r.item_title,
+                    format=r.format,
+                    engagement=(
+                        r.engagement * member_engagement.get(r.member_id, 1.0)
+                    ),
+                )
+                for r in records
+            ]
         self.result.engagement_records.extend(records)
 
         if (
@@ -152,6 +205,20 @@ class MeetingSession:
                     member_a=i.member_a,
                     member_b=i.member_b,
                     intensity=i.intensity * effects.intensity_factor,
+                    context=i.context,
+                )
+                for i in interactions
+            ]
+        if self._member_intensity:
+            member_intensity = self._member_intensity
+            interactions = [
+                Interaction(
+                    member_a=i.member_a,
+                    member_b=i.member_b,
+                    intensity=i.intensity * 0.5 * (
+                        member_intensity.get(i.member_a, 1.0)
+                        + member_intensity.get(i.member_b, 1.0)
+                    ),
                     context=i.context,
                 )
                 for i in interactions
@@ -193,6 +260,8 @@ class PlenaryMeeting:
         dynamics: Optional[TieDynamics] = None,
         learning: Optional[LearningModel] = None,
         culture: Optional[CulturalDistanceModel] = None,
+        member_factors: Optional[Dict[str, float]] = None,
+        outbound_factors: Optional[Dict[str, float]] = None,
     ) -> None:
         self.consortium = consortium
         self.network = network
@@ -203,6 +272,12 @@ class PlenaryMeeting:
         self.dynamics = dynamics or TieDynamics()
         self.learning = learning or LearningModel()
         self.culture = culture or CulturalDistanceModel()
+        #: member_id -> engagement/intensity depth factor (free-riders);
+        #: member_id -> outbound transfer factor (knowledge withholding).
+        #: Both empty for classic runs — the kernels below special-case
+        #: the empty dicts so default arithmetic is untouched.
+        self.member_factors: Dict[str, float] = dict(member_factors or {})
+        self.outbound_factors: Dict[str, float] = dict(outbound_factors or {})
         # Make sure every member has a network node.
         for member in consortium.members:
             network.add_member(member.member_id, member.org_id)
@@ -241,9 +316,20 @@ class PlenaryMeeting:
         meeting_name: str = "plenary",
         hackathon_handler: Optional[HackathonHandler] = None,
         mode: MeetingMode = MeetingMode.FACE_TO_FACE,
+        effects: Optional[ModeEffects] = None,
+        remote_share: Optional[float] = None,
     ) -> MeetingSession:
-        """Open a steppable session (attendance is sampled here)."""
-        return MeetingSession(self, agenda, meeting_name, hackathon_handler, mode)
+        """Open a steppable session (attendance is sampled here).
+
+        ``effects`` overrides the mode's default attenuation factors
+        (scenario plugins compose mode defaults with their own scales);
+        ``remote_share`` switches a hybrid plenary to per-participant
+        face-to-face/remote lanes.
+        """
+        return MeetingSession(
+            self, agenda, meeting_name, hackathon_handler, mode,
+            effects=effects, remote_share=remote_share,
+        )
 
     # -- internals ----------------------------------------------------------
 
@@ -290,6 +376,7 @@ class PlenaryMeeting:
         culture_distance = self.culture.distance
         cultural_factor: Dict[Tuple[str, str], float] = {}
         pair_intensity: Dict[Tuple[str, str], float] = {}
+        outbound = self.outbound_factors
         exp = math.exp
         for interaction in interactions:
             id_a, id_b = interaction.member_a, interaction.member_b
@@ -326,12 +413,20 @@ class PlenaryMeeting:
                 continue
             # Mutual absorb toward the domain-wise max (KnowledgeVector
             # .absorb): a' = a + rate*max(b-a, 0), b' = b + rate*max(a-b, 0).
+            # A withholding participant caps what *others* absorb from
+            # them: the rate toward a is scaled by b's outbound factor
+            # and vice versa.  ``rate_a is rate`` on the classic path,
+            # so default arithmetic is bitwise untouched.
+            rate_a = rate_b = rate
+            if outbound:
+                rate_a = rate * outbound.get(id_b, 1.0)
+                rate_b = rate * outbound.get(id_a, 1.0)
             for j, x in enumerate(row_a):
                 y = row_b[j]
                 if y > x:
-                    row_a[j] = x + rate * (y - x)
+                    row_a[j] = x + rate_a * (y - x)
                 elif x > y:
-                    row_b[j] = y + rate * (x - y)
+                    row_b[j] = y + rate_b * (x - y)
             sq = 0.0
             for x in row_a:
                 sq += x * x

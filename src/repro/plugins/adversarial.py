@@ -1,0 +1,139 @@
+"""Adversarial participants: free-riders and knowledge withholders.
+
+Hackathon studies assume everyone plays along; large funded consortia
+cannot.  Two misbehaviour archetypes matter for the paper's KPIs:
+
+* **Free-riders** attend but barely participate — their engagement and
+  interaction depth drop to ``free_rider_factor`` of normal, which
+  drags down everything they touch (tie formation, transfer, demos).
+* **Knowledge withholders** participate energetically but guard their
+  expertise: others absorb from them at only ``withholding_factor`` of
+  the normal transfer rate, while they keep absorbing at full rate —
+  an asymmetry invisible in engagement metrics but corrosive to
+  knowledge transfer.
+
+Both rosters are drawn per scenario from dedicated RNG substreams
+(``free_riders`` / ``withholding``), so the classic streams — and with
+them every pre-existing scenario's KPIs — are untouched.  The headline
+shape: either archetype strictly reduces total knowledge transfer
+against the clean timeline, and withholding does so while engagement
+stays essentially intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, Optional
+
+from repro.registry import register_scenario, register_sweep_parameter
+from repro.simulation.scenario import Scenario, megamart_timeline
+
+__all__ = [
+    "PLUGIN_NAME",
+    "HEADLINE_KPI",
+    "free_rider_timeline",
+    "withholding_timeline",
+    "headline_check",
+]
+
+PLUGIN_NAME = "adversarial-participants"
+HEADLINE_KPI = "knowledge_transferred"
+
+
+def free_rider_timeline(
+    seed: int = 0, share: float = 0.2, factor: float = 0.35
+) -> Scenario:
+    """The paper's timeline with a seeded share of free-riders."""
+    base = megamart_timeline(seed=seed)
+    return replace(
+        base,
+        name=f"{base.name}-freeride{share:g}",
+        free_rider_share=share,
+        free_rider_factor=factor,
+    )
+
+
+def withholding_timeline(
+    seed: int = 0, share: float = 0.2, factor: float = 0.2
+) -> Scenario:
+    """The paper's timeline with a seeded share of withholders."""
+    base = megamart_timeline(seed=seed)
+    return replace(
+        base,
+        name=f"{base.name}-withhold{share:g}",
+        withholding_share=share,
+        withholding_factor=factor,
+    )
+
+
+@register_scenario(
+    "free-riders", plugin=PLUGIN_NAME,
+    description="Paper timeline with 20% free-riders: present but "
+                "disengaged, interacting at a fraction of normal depth",
+)
+def free_riders(seed: int = 0) -> Scenario:
+    return free_rider_timeline(seed=seed)
+
+
+@register_scenario(
+    "knowledge-withholding", plugin=PLUGIN_NAME,
+    description="Paper timeline with 20% knowledge withholders: engaged "
+                "participants others can barely learn from",
+)
+def knowledge_withholding(seed: int = 0) -> Scenario:
+    return withholding_timeline(seed=seed)
+
+
+@register_sweep_parameter(
+    "free-rider-share", (0.0, 0.1, 0.2, 0.4),
+    label=lambda v: f"{100 * v:g}% free-riders",
+    plugin=PLUGIN_NAME, supports_base=True,
+    description="Sweep the fraction of the roster free-riding through "
+                "every plenary",
+)
+def free_rider_sweep(
+    value: float, seed: int, base: Optional[Scenario] = None
+) -> Scenario:
+    scenario = (
+        base.with_seed(seed) if base is not None
+        else megamart_timeline(seed=seed)
+    )
+    return replace(
+        scenario,
+        name=f"{scenario.name}-freeride{value:g}",
+        free_rider_share=value,
+        plugin=PLUGIN_NAME,
+    )
+
+
+def headline_check(seed: int = 0) -> Dict[str, Any]:
+    """Both archetypes strictly reduce total knowledge transfer.
+
+    ``ok`` additionally requires the withholding signature: its mean
+    meeting engagement stays within 5% of the clean timeline even as
+    transfer drops — misbehaviour that engagement dashboards miss.
+    """
+    from repro.simulation.runner import LongitudinalRunner
+
+    clean = LongitudinalRunner(megamart_timeline(seed=seed)).run().totals
+    riding = LongitudinalRunner(free_rider_timeline(seed=seed)).run().totals
+    holding = LongitudinalRunner(
+        withholding_timeline(seed=seed)
+    ).run().totals
+    engagement_intact = (
+        abs(holding["mean_meeting_engagement"]
+            - clean["mean_meeting_engagement"])
+        <= 0.05 * clean["mean_meeting_engagement"]
+    )
+    return {
+        "plugin": PLUGIN_NAME,
+        "kpi": HEADLINE_KPI,
+        "reference_value": clean[HEADLINE_KPI],
+        "free_rider_value": riding[HEADLINE_KPI],
+        "plugin_value": holding[HEADLINE_KPI],
+        "ok": (
+            riding[HEADLINE_KPI] < clean[HEADLINE_KPI]
+            and holding[HEADLINE_KPI] < clean[HEADLINE_KPI]
+            and engagement_intact
+        ),
+    }

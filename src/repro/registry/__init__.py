@@ -1,0 +1,44 @@
+"""Declarative scenario plugin system.
+
+One catalog, many sources: builtin timelines, ``@register_scenario``
+plugins (bundled under :mod:`repro.plugins`, installed via the
+``repro.plugins`` entry-point group, or pointed at with the
+``REPRO_PLUGINS`` environment variable) and ``scenario-spec/v1``
+JSON/TOML files.  The CLI, the HTTP service and :mod:`repro.api` all
+resolve scenario names through :data:`CATALOG`, so registering a
+scenario once makes it usable everywhere.
+
+>>> from repro.registry import CATALOG
+>>> CATALOG.resolve("hackathon").name
+'megamart-hackathon'
+"""
+
+from repro.registry.catalog import (
+    CATALOG,
+    ScenarioCatalog,
+    ScenarioEntry,
+    SweepEntry,
+    register_scenario,
+    register_sweep_parameter,
+)
+from repro.registry.discovery import ensure_loaded
+from repro.registry.specfile import (
+    SPEC_KIND,
+    load_spec_file,
+    looks_like_spec_path,
+    scenario_from_spec_mapping,
+)
+
+__all__ = [
+    "CATALOG",
+    "ScenarioCatalog",
+    "ScenarioEntry",
+    "SweepEntry",
+    "register_scenario",
+    "register_sweep_parameter",
+    "ensure_loaded",
+    "SPEC_KIND",
+    "load_spec_file",
+    "looks_like_spec_path",
+    "scenario_from_spec_mapping",
+]

@@ -1,0 +1,101 @@
+"""Builtin catalog entries: the paper's timelines and classic sweeps.
+
+These are the names the CLI and HTTP service accepted before the
+registry existed — ``hackathon``, ``traditional``, ``interleaved``,
+``virtual`` plus the ``hackathon-everywhere`` stress timeline — now
+registered through the same decorators plugins use.  Their factories
+are untouched (:mod:`repro.simulation.scenario`), and their provenance
+is the ``builtin``/``"1"`` Scenario defaults, so every fingerprint and
+KPI stays bit-identical to the pre-registry code paths.
+"""
+
+from __future__ import annotations
+
+from repro.registry.catalog import (
+    register_scenario,
+    register_sweep_parameter,
+)
+from repro.simulation.scenario import (
+    PlenarySpec,
+    Scenario,
+    baseline_timeline,
+    hackathon_everywhere_timeline,
+    interleaved_timeline,
+    megamart_timeline,
+    virtual_timeline,
+)
+
+__all__ = []  # everything registers via side effect
+
+
+@register_scenario(
+    "hackathon", source="builtin",
+    description="The paper's observed timeline: Rome traditional, then "
+                "Helsinki and Paris hackathon plenaries",
+)
+def _hackathon(seed: int = 0) -> Scenario:
+    return megamart_timeline(seed=seed)
+
+
+@register_scenario(
+    "traditional", source="builtin",
+    description="Counterfactual baseline: every plenary stays traditional",
+)
+def _traditional(seed: int = 0) -> Scenario:
+    return baseline_timeline(seed=seed)
+
+
+@register_scenario(
+    "interleaved", source="builtin",
+    description="The paper's proposed evolution: hackathon sessions "
+                "interleaved with coordination blocks",
+)
+def _interleaved(seed: int = 0) -> Scenario:
+    return interleaved_timeline(seed=seed)
+
+
+@register_scenario(
+    "virtual", source="builtin",
+    description="Hackathon timeline delivered over video calls "
+                "(uniform virtual mode)",
+)
+def _virtual(seed: int = 0) -> Scenario:
+    return virtual_timeline(seed=seed)
+
+
+@register_scenario(
+    "hackathon-everywhere", source="builtin",
+    description="Stress timeline: a hackathon every month for a year "
+                "(the paper's burnout warning)",
+)
+def _hackathon_everywhere(seed: int = 0) -> Scenario:
+    return hackathon_everywhere_timeline(seed=seed)
+
+
+@register_sweep_parameter(
+    "cadence", (1.0, 2.0, 6.0),
+    label=lambda v: f"every {v:g} months",
+    description="Months between hackathons in a six-event timeline",
+)
+def _cadence_timeline(interval: float, seed: int) -> Scenario:
+    return hackathon_everywhere_timeline(
+        seed=seed, interval_months=interval, count=6
+    )
+
+
+@register_sweep_parameter(
+    "session-hours", (2.0, 4.0, 8.0),
+    label=lambda v: f"2 x {v:g} h",
+    description="Length of each hackathon session on the paper's timeline",
+)
+def _session_hours_timeline(hours: float, seed: int) -> Scenario:
+    return Scenario(
+        name=f"session-{hours}",
+        seed=seed,
+        plenaries=(
+            PlenarySpec("Rome", 0.0, "traditional"),
+            PlenarySpec("Helsinki", 6.0, "hackathon", session_hours=hours),
+            PlenarySpec("Paris", 12.0, "hackathon", session_hours=hours),
+        ),
+        horizon_months=18.0,
+    )

@@ -1,0 +1,121 @@
+"""Plugin discovery: how scenario definitions reach the catalog.
+
+Three sources load, in order, the first time anything asks the catalog
+a question:
+
+1. **Builtins** — the paper's timelines and the bundled plugin families
+   under :mod:`repro.plugins`, imported directly so a plain checkout
+   works with no packaging metadata.
+2. **Entry points** — any installed distribution advertising a module
+   in the ``repro.plugins`` entry-point group gets imported; the module
+   registers itself via the :func:`~repro.registry.register_scenario`
+   decorators at import time.
+3. **``REPRO_PLUGINS``** — an ``os.pathsep``-separated list of extra
+   sources for ad-hoc use without packaging: each item is either an
+   importable module name or a path to a ``scenario-spec/v1``
+   JSON/TOML file (registered under ``source="file"``).
+
+Loading is idempotent and thread-safe; a plugin that fails to import
+raises :class:`ConfigurationError` naming the offending source, so a
+typo in ``REPRO_PLUGINS`` surfaces as a one-line CLI error instead of a
+traceback.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import threading
+from typing import List
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BUILTIN_PLUGIN_MODULES", "ensure_loaded", "reset_for_tests"]
+
+#: Modules imported unconditionally — each registers its scenarios and
+#: sweep parameters at import time.
+BUILTIN_PLUGIN_MODULES = (
+    "repro.registry.builtin",
+    "repro.plugins.virtual",
+    "repro.plugins.hybrid",
+    "repro.plugins.adversarial",
+)
+
+ENTRY_POINT_GROUP = "repro.plugins"
+ENV_VAR = "REPRO_PLUGINS"
+
+_lock = threading.RLock()
+_loaded = False
+
+
+def _import_plugin(module_name: str, origin: str) -> None:
+    try:
+        importlib.import_module(module_name)
+    except ConfigurationError:
+        raise
+    except ImportError as exc:
+        raise ConfigurationError(
+            f"cannot import scenario plugin {module_name!r} "
+            f"(from {origin}): {exc}"
+        )
+
+
+def _load_entry_points() -> None:
+    from importlib import metadata
+
+    try:
+        points = metadata.entry_points(group=ENTRY_POINT_GROUP)
+    except TypeError:  # pragma: no cover - pre-3.10 selection API
+        points = metadata.entry_points().get(ENTRY_POINT_GROUP, [])
+    for point in points:
+        _import_plugin(point.value, f"entry point {point.name!r}")
+
+
+def _load_env_hook() -> None:
+    from repro.registry.catalog import CATALOG
+    from repro.registry.specfile import load_spec_file, looks_like_spec_path
+
+    raw = os.environ.get(ENV_VAR, "").strip()
+    if not raw:
+        return
+    for item in raw.split(os.pathsep):
+        item = item.strip()
+        if not item:
+            continue
+        if looks_like_spec_path(item):
+            CATALOG.add_scenario(load_spec_file(item))
+        else:
+            _import_plugin(item, f"{ENV_VAR} environment variable")
+
+
+def ensure_loaded() -> None:
+    """Import every plugin source exactly once per process."""
+    global _loaded
+    if _loaded:
+        return
+    with _lock:
+        if _loaded:
+            return
+        # Mark first: registrations triggered *during* loading must not
+        # recurse back into discovery.
+        _loaded = True
+        try:
+            for module_name in BUILTIN_PLUGIN_MODULES:
+                _import_plugin(module_name, "builtin plugin list")
+            _load_entry_points()
+            _load_env_hook()
+        except BaseException:
+            _loaded = False
+            raise
+
+
+def reset_for_tests() -> List[str]:
+    """Force the next catalog access to re-run discovery (tests only).
+
+    Returns the list of builtin modules so a test can assert they
+    re-register idempotently.
+    """
+    global _loaded
+    with _lock:
+        _loaded = False
+    return list(BUILTIN_PLUGIN_MODULES)

@@ -95,6 +95,11 @@ class ServiceClient:
     def cache_stats(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/cache/stats")
 
+    def scenarios(self) -> Dict[str, Any]:
+        """The server's scenario catalog: registered scenarios and
+        sweepable parameters, plugins included."""
+        return self._request("GET", "/v1/scenarios")
+
     def metrics_text(self) -> str:
         """The server's ``/v1/metrics`` page (Prometheus text format)."""
         request = urllib.request.Request(

@@ -13,6 +13,7 @@ GET       ``/v1/jobs/{id}``           job state + per-cell progress
 GET       ``/v1/jobs/{id}/result``    result payload once ``done``
 DELETE    ``/v1/jobs/{id}``           cancel (queued: instant; running: coop)
 GET       ``/v1/cache/stats``         run-store counters
+GET       ``/v1/scenarios``           the scenario catalog (plugins incl.)
 GET       ``/v1/metrics``             Prometheus text exposition
 GET       ``/healthz``                liveness + job counts
 ========  ==========================  =======================================
@@ -150,6 +151,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._cache_stats()
         elif parts == ["v1", "metrics"]:
             self._metrics()
+        elif parts == ["v1", "scenarios"]:
+            self._scenarios()
         elif parts[:2] == ["v1", "jobs"] and len(parts) == 3:
             self._job_status(parts[2])
         elif (parts[:2] == ["v1", "jobs"] and len(parts) == 4
@@ -200,6 +203,11 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _scenarios(self) -> None:
+        from repro.registry import CATALOG
+
+        self._send(200, CATALOG.describe())
 
     def _job_status(self, job_id: str) -> None:
         try:

@@ -23,29 +23,21 @@ timeline name vs. its inline expansion) still deduplicate to one job.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
+from repro.registry import CATALOG
 from repro.simulation.experiment import (
     ComparisonResult,
     comparison_from_metrics,
 )
-from repro.simulation.scenario import (
-    PlenarySpec,
-    Scenario,
-    baseline_timeline,
-    hackathon_everywhere_timeline,
-    interleaved_timeline,
-    megamart_timeline,
-    virtual_timeline,
-)
+from repro.simulation.scenario import Scenario
 from repro.simulation.sweep import SweepResult, sweep_from_metrics
 from repro.store.fingerprint import canonical_json, scenario_fingerprint
 
 __all__ = [
-    "TIMELINES",
-    "SWEEP_PARAMETERS",
+    "CATALOG",
     "JobPlan",
     "resolve_scenario",
     "resolve_seeds",
@@ -55,97 +47,19 @@ __all__ = [
     "sweep_from_payload",
 ]
 
-#: name -> Scenario factory taking ``seed=``
-TIMELINES: Dict[str, Callable[..., Scenario]] = {
-    "hackathon": megamart_timeline,
-    "traditional": baseline_timeline,
-    "interleaved": interleaved_timeline,
-    "virtual": virtual_timeline,
-}
-
-
-def _session_hours_timeline(hours: float, seed: int) -> Scenario:
-    return Scenario(
-        name=f"session-{hours}",
-        seed=seed,
-        plenaries=(
-            PlenarySpec("Rome", 0.0, "traditional"),
-            PlenarySpec("Helsinki", 6.0, "hackathon", session_hours=hours),
-            PlenarySpec("Paris", 12.0, "hackathon", session_hours=hours),
-        ),
-        horizon_months=18.0,
-    )
-
-
-def _cadence_timeline(interval: float, seed: int) -> Scenario:
-    return hackathon_everywhere_timeline(
-        seed=seed, interval_months=interval, count=6
-    )
-
-
-#: sweepable parameter -> (default values, factory(value, seed), label_fn)
-SWEEP_PARAMETERS: Dict[str, tuple] = {
-    "cadence": (
-        [1.0, 2.0, 6.0],
-        _cadence_timeline,
-        lambda v: f"every {v:g} months",
-    ),
-    "session-hours": (
-        [2.0, 4.0, 8.0],
-        _session_hours_timeline,
-        lambda v: f"2 x {v:g} h",
-    ),
-}
-
-_PLENARY_FIELDS = {f.name for f in fields(PlenarySpec)}
-_SCENARIO_FIELDS = {f.name for f in fields(Scenario)}
-
 
 def resolve_scenario(spec: Union[str, Dict[str, Any]]) -> Scenario:
     """Build a :class:`Scenario` from a JSON scenario spec.
 
-    A string names a registered timeline (``hackathon``,
-    ``traditional``, ``interleaved``, ``virtual``); a mapping is an
-    inline scenario with ``plenaries`` given as a list of plenary
-    mappings.  Anything else — unknown names, unknown keys, invalid
-    plenary values — raises :class:`ConfigurationError`.
+    Every spelling resolves through the shared scenario catalog
+    (:data:`repro.registry.CATALOG`): a registered name (builtin
+    timeline or plugin scenario), a path to a ``scenario-spec/v1``
+    JSON/TOML file, a spec mapping (``{"kind": "scenario-spec/v1",
+    ...}``) or an inline scenario mapping with a ``plenaries`` list.
+    Anything else — unknown names, unknown keys, invalid plenary
+    values — raises :class:`ConfigurationError`.
     """
-    if isinstance(spec, str):
-        factory = TIMELINES.get(spec)
-        if factory is None:
-            raise ConfigurationError(
-                f"unknown timeline {spec!r}; known: "
-                f"{', '.join(sorted(TIMELINES))}"
-            )
-        return factory()
-    if not isinstance(spec, dict):
-        raise ConfigurationError(
-            f"scenario spec must be a timeline name or a mapping, "
-            f"got {type(spec).__name__}"
-        )
-    payload = dict(spec)
-    plenaries_raw = payload.pop("plenaries", None)
-    if not isinstance(plenaries_raw, list) or not plenaries_raw:
-        raise ConfigurationError(
-            "inline scenario needs a non-empty 'plenaries' list"
-        )
-    unknown = set(payload) - _SCENARIO_FIELDS
-    if unknown:
-        raise ConfigurationError(
-            f"unknown scenario field(s): {', '.join(sorted(unknown))}"
-        )
-    plenaries = []
-    for entry in plenaries_raw:
-        if not isinstance(entry, dict):
-            raise ConfigurationError("each plenary must be a mapping")
-        bad = set(entry) - _PLENARY_FIELDS
-        if bad:
-            raise ConfigurationError(
-                f"unknown plenary field(s): {', '.join(sorted(bad))}"
-            )
-        plenaries.append(PlenarySpec(**entry))
-    payload.setdefault("name", "inline-scenario")
-    return Scenario(plenaries=tuple(plenaries), **payload)
+    return CATALOG.resolve(spec)
 
 
 def resolve_seeds(raw: Any) -> List[int]:
@@ -166,16 +80,20 @@ def resolve_seeds(raw: Any) -> List[int]:
 
 
 def sweep_plan(
-    parameter: str, values: Optional[Sequence[Any]] = None
+    parameter: str,
+    values: Optional[Sequence[Any]] = None,
+    base: Optional[Union[str, Dict[str, Any]]] = None,
 ) -> tuple:
-    """``(values, factory, label_fn)`` for a sweepable parameter."""
-    if parameter not in SWEEP_PARAMETERS:
-        raise ConfigurationError(
-            f"unknown sweep parameter {parameter!r}; known: "
-            f"{', '.join(sorted(SWEEP_PARAMETERS))}"
-        )
-    defaults, factory, label_fn = SWEEP_PARAMETERS[parameter]
-    chosen = list(values) if values is not None else list(defaults)
+    """``(values, factory, label_fn)`` for a sweepable parameter.
+
+    ``parameter`` is looked up in the shared catalog, so plugin sweeps
+    (``remote-share``, ``free-rider-share``, ...) work everywhere the
+    classic ``cadence``/``session-hours`` did.  ``base`` optionally
+    names a scenario spec to sweep over — only parameters registered
+    with ``supports_base=True`` accept it.
+    """
+    entry = CATALOG.sweep_parameter(parameter)
+    chosen = list(values) if values is not None else list(entry.defaults)
     if not chosen:
         raise ConfigurationError("sweep needs at least one parameter value")
     for value in chosen:
@@ -183,7 +101,19 @@ def sweep_plan(
             raise ConfigurationError(
                 f"sweep values must be numbers, got {value!r}"
             )
-    return chosen, factory, label_fn
+    factory: Callable[..., Scenario] = entry.factory
+    if base is not None:
+        if not entry.supports_base:
+            raise ConfigurationError(
+                f"sweep parameter {parameter!r} does not accept a base "
+                f"scenario"
+            )
+        base_scenario = resolve_scenario(base)
+
+        def factory(value: Any, seed: int) -> Scenario:
+            return entry.factory(value, seed, base=base_scenario)
+
+    return chosen, factory, entry.label
 
 
 @dataclass
@@ -258,9 +188,11 @@ def _compare_plan(params: Dict[str, Any]) -> JobPlan:
 
 
 def _sweep_plan(params: Dict[str, Any]) -> JobPlan:
-    _require(params, ("parameter", "values", "seeds"))
+    _require(params, ("parameter", "values", "seeds", "scenario"))
     parameter = params.get("parameter", "cadence")
-    values, factory, label_fn = sweep_plan(parameter, params.get("values"))
+    values, factory, label_fn = sweep_plan(
+        parameter, params.get("values"), base=params.get("scenario")
+    )
     seeds = resolve_seeds(params.get("seeds", 2))
     seeded = [factory(value, seed) for value in values for seed in seeds]
     labels = [label_fn(v) for v in values]

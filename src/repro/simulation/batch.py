@@ -106,6 +106,11 @@ def batchable(
         return "runner_factory"
     if len(scenarios) < 2:
         return "single_run"
+    if any(s.uses_plugin_modifiers() for s in scenarios):
+        # Plugin scenarios (per-member factors, hybrid lanes,
+        # withholding) change the exchange arithmetic the stacked kernel
+        # reproduces; they run scalar by design.
+        return "plugin"
     families = {scenario_family(s) for s in scenarios}
     if len(families) > 1:
         return "mixed_scenarios"

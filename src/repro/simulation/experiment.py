@@ -163,6 +163,10 @@ def _run_batched(scenarios: Sequence[Scenario]) -> List[ProjectHistory]:
         if len(indices) == 1:
             record_fallback("singleton_family")
             out[indices[0]] = _run_history(scenarios[indices[0]], None)
+        elif scenarios[indices[0]].uses_plugin_modifiers():
+            record_fallback("plugin")
+            for i in indices:
+                out[i] = _run_history(scenarios[i], None)
         else:
             histories = BatchRunner(
                 [scenarios[i] for i in indices]

@@ -12,7 +12,7 @@ vs. traditional plenaries).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analytics.knowledge_flow import KnowledgeFlowTracker
 from repro.analytics.trajectory import Trajectory, TrajectoryPoint
@@ -48,7 +48,7 @@ from repro.meetings.agenda import (
     interleaved_agenda,
     traditional_agenda,
 )
-from repro.meetings.mode import MODE_EFFECTS, MeetingMode
+from repro.meetings.mode import MODE_EFFECTS, MeetingMode, ModeEffects
 from repro.meetings.plenary import MeetingResult, MeetingSession, PlenaryMeeting
 from repro.cognition.learning import LearningModel
 from repro.network.dynamics import TieDynamics
@@ -59,9 +59,15 @@ from repro.network.metrics import NetworkMetrics, compute_metrics
 from repro.obs import REGISTRY, span
 from repro.simulation.engine import Engine
 from repro.simulation.scenario import PlenarySpec, Scenario
-from repro.rng import RngHub
+from repro.rng import RngHub, choice_without_replacement
 
-__all__ = ["PlenaryRecord", "ProjectHistory", "LongitudinalRunner"]
+__all__ = [
+    "PlenaryRecord",
+    "ProjectHistory",
+    "LongitudinalRunner",
+    "adversarial_factors",
+    "effective_mode_effects",
+]
 
 _SIM_RUNS = REGISTRY.counter(
     "sim_runs_total",
@@ -77,6 +83,75 @@ _POLICIES: Dict[str, Callable[[], TeamFormationPolicy]] = {
     "balanced": BalancedFormation,
     "random": RandomFormation,
 }
+
+
+def effective_mode_effects(
+    scenario: Scenario, spec: PlenarySpec
+) -> ModeEffects:
+    """Compose the plenary's mode defaults with the scenario's scales.
+
+    Classic scenarios (all scales at the identity, no per-participant
+    lanes) get the exact ``MODE_EFFECTS`` object back, so nothing in the
+    default arithmetic can drift.  With ``spec.remote_share`` set, the
+    engagement/intensity attenuation moves to the per-participant lanes
+    (see :class:`~repro.meetings.plenary.MeetingSession`); the session
+    keeps a *blended* mixing/travel-relief/productivity profile — the
+    share-weighted interpolation between the face-to-face reference and
+    the virtual lane.
+    """
+    effects = MODE_EFFECTS[MeetingMode(spec.mode)]
+    if spec.remote_share is not None:
+        virtual = MODE_EFFECTS[MeetingMode.VIRTUAL]
+        share = spec.remote_share
+        effects = ModeEffects(
+            mixing_factor=1.0 - share * (1.0 - virtual.mixing_factor),
+            # Engagement/intensity are applied per participant by the
+            # hybrid lanes, not uniformly by the session.
+            intensity_factor=1.0,
+            engagement_factor=1.0,
+            attendance_cost_relief=share * virtual.attendance_cost_relief,
+            productivity_factor=(
+                1.0 - share * (1.0 - virtual.productivity_factor)
+            ),
+        )
+    if scenario.mixing_scale != 1.0 or scenario.engagement_scale != 1.0:
+        effects = ModeEffects(
+            mixing_factor=effects.mixing_factor * scenario.mixing_scale,
+            intensity_factor=effects.intensity_factor,
+            engagement_factor=(
+                effects.engagement_factor * scenario.engagement_scale
+            ),
+            attendance_cost_relief=effects.attendance_cost_relief,
+            productivity_factor=effects.productivity_factor,
+        )
+    return effects
+
+
+def adversarial_factors(
+    scenario: Scenario, consortium: Consortium, hub: RngHub
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Seeded per-member factor maps for adversarial participants.
+
+    Free-riders and knowledge-withholding members are drawn without
+    replacement from dedicated substreams, so classic scenarios (both
+    shares at zero) consume no randomness and return empty maps.
+    """
+    member_factors: Dict[str, float] = {}
+    outbound_factors: Dict[str, float] = {}
+    member_ids = [m.member_id for m in consortium.members]
+    if scenario.free_rider_share > 0.0:
+        k = int(round(scenario.free_rider_share * len(member_ids)))
+        for mid in choice_without_replacement(
+            hub.stream("free_riders"), member_ids, k
+        ):
+            member_factors[mid] = scenario.free_rider_factor
+    if scenario.withholding_share > 0.0:
+        k = int(round(scenario.withholding_share * len(member_ids)))
+        for mid in choice_without_replacement(
+            hub.stream("withholding"), member_ids, k
+        ):
+            outbound_factors[mid] = scenario.withholding_factor
+    return member_factors, outbound_factors
 
 
 @dataclass
@@ -175,12 +250,17 @@ class LongitudinalRunner:
             self.burnout = BurnoutModel(
                 recovery_per_month=scenario.recovery_per_month
             )
+            member_factors, outbound_factors = adversarial_factors(
+                scenario, self.consortium, self.hub
+            )
             self.meeting = PlenaryMeeting(
                 self.consortium,
                 self.network,
                 self.hub,
                 dynamics=dynamics,
                 learning=learning,
+                member_factors=member_factors,
+                outbound_factors=outbound_factors,
             )
             self.survey = PlenarySurvey(self.hub)
             self.comment_generator = CommentGenerator(self.hub)
@@ -259,7 +339,9 @@ class LongitudinalRunner:
             hackathon = self._build_hackathon(spec)
             handler = hackathon.as_handler()
         session = self.meeting.begin(
-            agenda, spec.name, handler, mode=MeetingMode(spec.mode)
+            agenda, spec.name, handler, mode=MeetingMode(spec.mode),
+            effects=effective_mode_effects(self.scenario, spec),
+            remote_share=spec.remote_share,
         )
         return _PlenaryContext(spec=spec, hackathon=hackathon, session=session)
 
@@ -357,8 +439,9 @@ class LongitudinalRunner:
         )
         policy = _POLICIES[self.scenario.team_policy]()
         # A virtual/hybrid plenary slows down team work: scale the work
-        # session's base productivity by the mode's factor.
-        effects = MODE_EFFECTS[MeetingMode(spec.mode)]
+        # session's base productivity by the (possibly plugin-composed)
+        # mode factor.
+        effects = effective_mode_effects(self.scenario, spec)
         work_session = WorkSession(self.hub)
         if effects.productivity_factor < 1.0:
             work_session = WorkSession(

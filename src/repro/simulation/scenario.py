@@ -44,6 +44,12 @@ class PlenarySpec:
     session_hours: float = 4.0
     sessions: int = 2
     mode: str = "face_to_face"  # "face_to_face" | "virtual" | "hybrid"
+    #: Fraction of attendees joining through the remote lane of a hybrid
+    #: plenary.  ``None`` keeps the classic uniform-mode behaviour; a
+    #: value splits the roster per participant: remote members engage
+    #: and interact at virtual-lane depth, on-site members at
+    #: face-to-face depth, and cross-lane interactions land in between.
+    remote_share: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("traditional", "hackathon", "interleaved"):
@@ -65,6 +71,17 @@ class PlenarySpec:
                 f"{self.name}: invalid session plan "
                 f"({self.sessions} x {self.session_hours} h)"
             )
+        if self.remote_share is not None:
+            if not 0.0 <= self.remote_share <= 1.0:
+                raise ConfigurationError(
+                    f"{self.name}: remote_share must be in [0,1], "
+                    f"got {self.remote_share}"
+                )
+            if self.mode != "hybrid":
+                raise ConfigurationError(
+                    f"{self.name}: remote_share needs mode='hybrid', "
+                    f"got mode={self.mode!r}"
+                )
 
     @property
     def is_hackathon(self) -> bool:
@@ -84,6 +101,32 @@ class Scenario:
     per_owner_challenges: int = 1
     recovery_per_month: float = 0.25
     horizon_months: Optional[float] = None
+    #: Global modifiers a scenario plugin can turn on.  All of them
+    #: default to the identity, so classic scenarios keep bit-identical
+    #: KPIs; any non-identity value below routes the scenario through
+    #: the scalar engine (``batch_fallback_total{reason="plugin"}``).
+    #:
+    #: ``engagement_scale`` / ``mixing_scale`` attenuate session
+    #: engagement and spontaneous mixing on top of the meeting mode —
+    #: the socio-technical constraints of online events (Mendes et al.
+    #: 2022) that the plain virtual mode does not capture.
+    engagement_scale: float = 1.0
+    mixing_scale: float = 1.0
+    #: Adversarial participants: a seeded ``free_rider_share`` of the
+    #: roster engages and interacts at ``free_rider_factor`` depth; a
+    #: seeded ``withholding_share`` still absorbs knowledge but lets
+    #: others absorb from *them* only at ``withholding_factor`` of the
+    #: normal transfer rate.
+    free_rider_share: float = 0.0
+    free_rider_factor: float = 0.35
+    withholding_share: float = 0.0
+    withholding_factor: float = 0.2
+    #: Registry provenance: which plugin (or spec file) defined the
+    #: scenario, and under which spec-schema version.  Part of the
+    #: store fingerprint, so cached KPIs never alias across plugins or
+    #: plugin versions that happen to reuse a scenario name.
+    plugin: str = "builtin"
+    spec_version: str = "1"
 
     def __post_init__(self) -> None:
         if not self.plenaries:
@@ -106,6 +149,27 @@ class Scenario:
             raise ConfigurationError(
                 f"per_owner_challenges must be >= 1, got {self.per_owner_challenges}"
             )
+        for knob in ("engagement_scale", "mixing_scale", "free_rider_factor"):
+            value = getattr(self, knob)
+            if not 0.0 < value <= 1.0:
+                raise ConfigurationError(
+                    f"{knob} must be in (0,1], got {value}"
+                )
+        if not 0.0 <= self.withholding_factor <= 1.0:
+            raise ConfigurationError(
+                f"withholding_factor must be in [0,1], "
+                f"got {self.withholding_factor}"
+            )
+        for knob in ("free_rider_share", "withholding_share"):
+            value = getattr(self, knob)
+            if not 0.0 <= value < 1.0:
+                raise ConfigurationError(
+                    f"{knob} must be in [0,1), got {value}"
+                )
+        if not self.plugin:
+            raise ConfigurationError("plugin provenance must be non-empty")
+        if not self.spec_version:
+            raise ConfigurationError("spec_version must be non-empty")
 
     @property
     def end_month(self) -> float:
@@ -119,6 +183,23 @@ class Scenario:
 
     def hackathon_count(self) -> int:
         return sum(1 for p in self.plenaries if p.is_hackathon)
+
+    def uses_plugin_modifiers(self) -> bool:
+        """True when any plugin-facing knob departs from the identity.
+
+        Such scenarios run on the scalar engine: the batched exchange
+        kernel reproduces the *classic* arithmetic bit-for-bit, and
+        modifier scenarios (per-member factors, hybrid lanes,
+        withholding) deliberately change that arithmetic.  The batch
+        backend counts them under ``batch_fallback_total{reason="plugin"}``.
+        """
+        return (
+            self.engagement_scale != 1.0
+            or self.mixing_scale != 1.0
+            or self.free_rider_share > 0.0
+            or self.withholding_share > 0.0
+            or any(p.remote_share is not None for p in self.plenaries)
+        )
 
 
 def megamart_timeline(

@@ -80,5 +80,7 @@ def scenario_summary(scenario: Scenario) -> Dict[str, Any]:
         "hackathons": scenario.hackathon_count(),
         "team_policy": scenario.team_policy,
         "end_month": scenario.end_month,
+        "plugin": scenario.plugin,
+        "spec_version": scenario.spec_version,
         "model_version": _model_version(),
     }

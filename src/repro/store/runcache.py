@@ -418,6 +418,13 @@ class RunCache:
                 i, scenario = members[0]
                 store(i, _run_history(scenario, None))
                 continue
+            if members[0][1].uses_plugin_modifiers():
+                record_fallback("plugin")
+                for i, scenario in members:
+                    if cancelled():
+                        raise RunCancelled("cancelled mid-computation")
+                    store(i, _run_history(scenario, None))
+                continue
             histories = BatchRunner([s for _, s in members]).run()
             for (i, _), history in zip(members, histories):
                 store(i, history)

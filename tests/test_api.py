@@ -50,7 +50,8 @@ class TestExposure:
 
     def test_public_names(self):
         assert set(api.__all__) == {
-            "replicate", "compare", "sweep", "submit_job"
+            "CATALOG", "replicate", "compare", "sweep", "scenarios",
+            "submit_job",
         }
 
 
