@@ -23,7 +23,12 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["KnowledgeVector", "DomainRegistry", "DEFAULT_DOMAINS"]
+__all__ = [
+    "KnowledgeVector",
+    "DomainRegistry",
+    "DEFAULT_DOMAINS",
+    "registered_domains",
+]
 
 #: Knowledge domains used by the MegaM@Rt2 preset.  They mirror the
 #: project's technical scope (Sec. II): scalable model-based methods,
@@ -88,6 +93,19 @@ class DomainRegistry:
 #: The process-wide registry.  Seeding it with the default domains means
 #: almost every vector is born at full width, so binary ops rarely pad.
 _REGISTRY = DomainRegistry(DEFAULT_DOMAINS)
+
+
+def registered_domains() -> Tuple[str, ...]:
+    """Snapshot of the process-wide domain intern order.
+
+    Every vector is dense over this registry, so scalar reductions like
+    :meth:`KnowledgeVector.total` depend on its current width (NumPy's
+    pairwise summation groups differently as the array grows).  Code
+    that caches derived floats across registry growth — notably the
+    batch engine's world templates — includes this snapshot in its
+    cache key.
+    """
+    return tuple(_REGISTRY._names)
 
 
 def _validate_level(domain: str, level: float) -> None:

@@ -35,7 +35,12 @@ from repro.core.teams import (
     TeamFormationPolicy,
 )
 from repro.errors import ConfigurationError, SimulationError
-from repro.evaluation.voting import MAX_SCORE, Criterion, VotingSystem
+from repro.evaluation.voting import (
+    MAX_SCORE,
+    ChallengeScore,
+    Criterion,
+    VotingSystem,
+)
 from repro.framework.catalog import FrameworkModel
 from repro.framework.integration import AdoptionState
 from repro.meetings.agenda import AgendaItem
@@ -99,6 +104,7 @@ class HackathonEvent:
         work_session: Optional[WorkSession] = None,
         followups: Optional[FollowUpRegistry] = None,
         checker: Optional[PrerequisiteChecker] = None,
+        fast_paths: bool = False,
     ) -> None:
         self.consortium = consortium
         self.framework = framework
@@ -109,6 +115,9 @@ class HackathonEvent:
         self.work_session = work_session or WorkSession(hub)
         self.followups = followups if followups is not None else FollowUpRegistry()
         self.checker = checker or PrerequisiteChecker()
+        # Batch lanes opt into the stacked session/voting kernels; the
+        # per-team / per-voter reference loops stay the scalar default.
+        self._fast_paths = fast_paths
 
         self.call: Optional[ChallengeCall] = None
         self.book: Optional[SubscriptionBook] = None
@@ -179,8 +188,11 @@ class HackathonEvent:
             raise SimulationError("form_teams() must run before sessions")
         hours = hours if hours is not None else self.config.time_box_hours
         interactions: List[Interaction] = []
-        for team in self.teams:
-            result = self.work_session.run(team, hours)
+        if self._fast_paths and self.teams:
+            results = self.work_session.run_many(self.teams, hours)
+        else:
+            results = [self.work_session.run(team, hours) for team in self.teams]
+        for team, result in zip(self.teams, results):
             self._sessions_by_team[team.challenge.challenge_id].append(result)
             interactions.extend(result.interactions)
         self._rounds_run += 1
@@ -211,11 +223,14 @@ class HackathonEvent:
                 outcome.interactions.extend(result.interactions)
 
         if demos:
-            voting = self._run_voting(demos, voters)
-            outcome.scores = voting.ranking()
+            if self._fast_paths:
+                ranking = self._tally_votes_fast(demos, voters)
+            else:
+                ranking = self._run_voting(demos, voters).ranking()
+            outcome.scores = ranking
             outcome.showcase_ids = [
                 s.challenge_id
-                for s in voting.winners(min(self.config.showcase_count, len(demos)))
+                for s in ranking[: min(self.config.showcase_count, len(demos))]
             ]
 
         self._apply_framework_progress(outcome)
@@ -332,6 +347,57 @@ class HackathonEvent:
                     dict(zip(criteria, row)),
                 )
         return voting
+
+    def _tally_votes_fast(
+        self, demos: Sequence[Demo], voters: Sequence[Member]
+    ) -> List[ChallengeScore]:
+        """Every ballot sheet in one stacked draw (batch lanes only).
+
+        Bit-equal to ``_run_voting(...).ranking()``: a ``(V, D, C)``
+        normal draw consumes the event stream exactly as V sequential
+        ``(D, C)`` draws would, the integer score sheets are tallied as
+        exact integer sums, and each criterion mean is the same single
+        ``total / ballots`` division the ballot box performs on its
+        sum of int scores.  The ballot-box path stays as the reference
+        (and handles the one-ballot-per-voter bookkeeping the anonymous
+        simulation ballots never violate).
+        """
+        criteria = list(Criterion)
+        base = np.array(
+            [
+                [demo.quality(criterion) * 5.0 for criterion in criteria]
+                for demo in demos
+            ]
+        )
+        votes = len(voters)
+        if votes:
+            raw = self._rng.normal(
+                0.0, self.config.vote_noise_sd, size=(votes,) + base.shape
+            )
+            raw += base
+            np.rint(raw, out=raw)
+            np.clip(raw, 0, MAX_SCORE, out=raw)
+            totals = raw.astype(int).sum(axis=0).tolist()
+        else:
+            totals = None
+        row_of = {demo.challenge_id: i for i, demo in enumerate(demos)}
+        scores = []
+        for challenge_id in sorted(row_of):
+            if totals is None:
+                means = {criterion: 0.0 for criterion in criteria}
+            else:
+                row = totals[row_of[challenge_id]]
+                means = {
+                    criterion: row[index] / votes
+                    for index, criterion in enumerate(criteria)
+                }
+            scores.append(
+                ChallengeScore(
+                    challenge_id=challenge_id, ballots=votes, means=means
+                )
+            )
+        scores.sort(key=lambda s: (-s.overall, s.challenge_id))
+        return scores
 
     def _apply_framework_progress(self, outcome: HackathonOutcome) -> None:
         """Demos advance the tool/case matrix, requirements and TRLs."""

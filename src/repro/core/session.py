@@ -158,6 +158,90 @@ class WorkSession:
             interactions=interactions,
         )
 
+    def run_many(self, teams: List[Team], hours: float) -> List[SessionResult]:
+        """Batch-lane fast path: one session round for every team.
+
+        Bit-equal to ``[self.run(team, hours) for team in teams]``:
+
+        * the per-team progress noise is drawn as one vector — the
+          generator consumes ``normal(size=T)`` exactly as T sequential
+          scalar draws, and the hour loops between those draws touch no
+          RNG at all;
+        * :meth:`_run_fast` replays the scalar hour loop's arithmetic
+          (same left-associated productivity product, same Python-sum
+          mean energy, same post-drain pair energies) on a local energy
+          list instead of round-tripping every read and drain through
+          the member objects.
+        """
+        if hours <= 0:
+            raise ConfigurationError(f"session hours must be > 0, got {hours}")
+        noises = self._rng.normal(0.0, self.noise_sd, size=len(teams))
+        return [
+            self._run_fast(team, hours, float(noise))
+            for team, noise in zip(teams, noises)
+        ]
+
+    def _run_fast(
+        self, team: Team, hours: float, noise_value: float
+    ) -> SessionResult:
+        """One team's session with the noise draw supplied by the caller."""
+        members = team.members
+        count = len(members)
+        energies = [m.energy for m in members]
+        ids = [m.member_id for m in members]
+        coverage = team.coverage()
+        diversity_value = self.learning.learning_value(team.diversity())
+        # Identical grouping to _hourly_productivity's product chain:
+        # the first four (hour-invariant) factors fold into a prefix,
+        # the remaining multiplies keep the scalar's left association.
+        prefix = (
+            self.productivity_per_hour
+            * (0.3 + 0.7 * coverage)
+            * (0.5 + 0.5 * diversity_value)
+            * team.challenge.preparedness
+        )
+        difficulty_factor = 1.0 - 0.5 * team.challenge.difficulty
+        halflife = self.fatigue_halflife_hours
+        context = f"hackathon:{team.challenge.challenge_id}"
+        progress = 0.0
+        interactions: List[Interaction] = []
+        append = interactions.append
+        for hour in range(int(math.ceil(hours))):
+            slice_hours = min(1.0, hours - hour)
+            fatigue = 0.5 ** (hour / halflife)
+            energy = sum(energies) / count
+            progress += (
+                prefix * fatigue * energy * difficulty_factor
+            ) * slice_hours
+            drain = self.energy_drain_per_hour * slice_hours
+            energies = [max(0.0, e - drain) for e in energies]
+            for i in range(count - 1):
+                energy_i = energies[i]
+                id_i = ids[i]
+                for j in range(i + 1, count):
+                    pair_energy = 0.5 * (energy_i + energies[j])
+                    append(
+                        Interaction(
+                            member_a=id_i,
+                            member_b=ids[j],
+                            intensity=slice_hours * (0.5 + 0.5 * pair_energy),
+                            context=context,
+                        )
+                    )
+        for member, energy in zip(members, energies):
+            member.energy = energy
+        noise = 1.0 + noise_value
+        progress = max(0.0, min(1.0, progress * max(0.1, noise)))
+        return SessionResult(
+            challenge_id=team.challenge.challenge_id,
+            hours=hours,
+            progress=progress,
+            coverage=coverage,
+            diversity_value=diversity_value,
+            mean_energy_after=sum(energies) / count,
+            interactions=interactions,
+        )
+
     def _team_interactions(self, team: Team, hours: float) -> List[Interaction]:
         """Every pair of teammates interacts intensely while hacking."""
         out: List[Interaction] = []

@@ -9,11 +9,12 @@ tool providers" — i.e. new and stronger inter-organisation ties.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
 from repro.errors import ConfigurationError
+from repro.network.incremental import IncrementalMetrics
 
 __all__ = ["CollaborationNetwork"]
 
@@ -43,6 +44,12 @@ class CollaborationNetwork:
         self._ties_generation = -1
         self._inter_org_cache: List[Tuple[str, str, float]] = []
         self._inter_org_generation = -1
+        self._org_pairs_cache: frozenset = frozenset()
+        # Incremental tie-graph shape tracker (components, triangles).
+        # None until the first metrics snapshot asks for it; from then
+        # on strengthen/weaken_all keep it current, so snapshots never
+        # rebuild the graph structure from scratch again.
+        self._tracker: Optional[IncrementalMetrics] = None
 
     # -- construction -----------------------------------------------------
 
@@ -57,6 +64,8 @@ class CollaborationNetwork:
                 )
             return
         self._graph.add_node(member_id, org=org_id)
+        if self._tracker is not None:
+            self._tracker.add_node(member_id)
 
     def add_members(self, pairs: Iterable[Tuple[str, str]]) -> None:
         for member_id, org_id in pairs:
@@ -74,10 +83,20 @@ class CollaborationNetwork:
         for node in (a, b):
             if node not in self._graph:
                 raise ConfigurationError(f"unknown member {node!r}")
-        data = self._graph._adj[a].get(b)
-        new = (data["weight"] if data is not None else 0.0) + amount
-        self._graph.add_edge(a, b, weight=new)
+        # Direct adjacency update — same structure nx.Graph.add_edge
+        # builds (one attr dict shared by both directions), minus its
+        # node bookkeeping, which add_member already guaranteed.
+        adj = self._graph._adj
+        data = adj[a].get(b)
+        old = data["weight"] if data is not None else 0.0
+        new = old + amount
+        if data is not None:
+            data["weight"] = new
+        else:
+            adj[a][b] = adj[b][a] = {"weight": new}
         self._generation += 1
+        if self._tracker is not None and old < self.tie_threshold <= new:
+            self._tracker.tie_added(a, b)
         return new
 
     def weaken_all(self, factor: float, floor: float = 1e-3) -> int:
@@ -89,19 +108,41 @@ class CollaborationNetwork:
         if not 0.0 <= factor <= 1.0:
             raise ConfigurationError(f"decay factor must be in [0,1], got {factor}")
         to_drop = []
+        tracker = self._tracker
+        threshold = self.tie_threshold
         # Raw adjacency iteration: an undirected edge appears once per
         # endpoint, so the a < b guard visits (and decays) it exactly once.
         for a, nbrs in self._graph._adj.items():
             for b, data in nbrs.items():
                 if a < b:
-                    data["weight"] *= factor
-                    if data["weight"] < floor:
+                    old = data["weight"]
+                    new = old * factor
+                    data["weight"] = new
+                    dropped = new < floor
+                    if dropped:
                         to_drop.append((a, b))
+                    if (
+                        tracker is not None
+                        and old >= threshold
+                        and (new < threshold or dropped)
+                    ):
+                        tracker.tie_removed(a, b)
         self._graph.remove_edges_from(to_drop)
         self._generation += 1
         return len(to_drop)
 
     # -- queries ----------------------------------------------------------
+
+    def metrics_tracker(self) -> IncrementalMetrics:
+        """The incremental tie-graph tracker, created on first use.
+
+        Once created it is fed by every subsequent ``strengthen`` /
+        ``weaken_all`` threshold crossing, so metric snapshots read
+        maintained state instead of rebuilding the graph.
+        """
+        if self._tracker is None:
+            self._tracker = IncrementalMetrics(self._graph.nodes, self.ties())
+        return self._tracker
 
     def strength(self, a: str, b: str) -> float:
         nbrs = self._graph._adj.get(a)
@@ -153,26 +194,28 @@ class CollaborationNetwork:
         """
         if self._inter_org_generation != self._generation:
             nodes = self._graph._node
-            self._inter_org_cache = [
-                (a, b, w)
-                for a, b, w in self.ties()
-                if nodes[a]["org"] != nodes[b]["org"]
-            ]
+            rows = []
+            pairs = set()
+            for a, b, w in self.ties():
+                oa = nodes[a]["org"]
+                ob = nodes[b]["org"]
+                if oa != ob:
+                    rows.append((a, b, w))
+                    pairs.add((oa, ob) if oa < ob else (ob, oa))
+            self._inter_org_cache = rows
+            self._org_pairs_cache = frozenset(pairs)
             self._inter_org_generation = self._generation
         return self._inter_org_cache
 
     def org_tie_pairs(self) -> frozenset:
         """Unordered organisation pairs connected by at least one tie.
 
-        One O(ties) pass; use this instead of repeated
-        :meth:`ties_between_roles` scans when checking many org pairs.
+        Derived in the same cached pass as :meth:`inter_org_ties`, so
+        the monthly work-plan advance and the trajectory point share
+        one scan per decay generation.
         """
-        pairs = set()
-        for a, b, _ in self.ties():
-            oa, ob = self.org_of(a), self.org_of(b)
-            if oa != ob:
-                pairs.add((min(oa, ob), max(oa, ob)))
-        return frozenset(pairs)
+        self.inter_org_ties()
+        return self._org_pairs_cache
 
     def ties_between_roles(
         self, orgs_a: Iterable[str], orgs_b: Iterable[str]

@@ -4,18 +4,25 @@ The paper's "distance" story has a graph reading: in a huge consortium
 the network starts as disconnected organisational clusters, and the
 hackathon's job is to create *bridging* inter-organisation ties.  These
 metrics quantify that.
+
+:func:`compute_metrics` reads the incrementally maintained tie-graph
+state (:mod:`repro.network.incremental`) and derives every float with
+the exact operation sequence of the networkx implementation, which is
+kept verbatim as :func:`compute_metrics_oracle` — the property tests in
+``tests/test_incremental_metrics.py`` pin the two bit-equal under
+randomized tie add/decay histories.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 import networkx as nx
 
 from repro.network.graph import CollaborationNetwork
 
-__all__ = ["NetworkMetrics", "compute_metrics"]
+__all__ = ["NetworkMetrics", "compute_metrics", "compute_metrics_oracle"]
 
 
 @dataclass(frozen=True)
@@ -46,20 +53,69 @@ class NetworkMetrics:
         }
 
 
-def _tie_graph(network: CollaborationNetwork) -> nx.Graph:
-    """Graph restricted to edges at/above the tie threshold."""
+def _tie_graph(
+    network: CollaborationNetwork,
+    ties: Optional[List[Tuple[str, str, float]]] = None,
+) -> nx.Graph:
+    """Graph restricted to edges at/above the tie threshold.
+
+    Callers that already hold the tie list pass it in so the network's
+    cached view is computed exactly once per snapshot.
+    """
+    if ties is None:
+        ties = network.ties()
     g = nx.Graph()
     g.add_nodes_from(network.member_ids)
-    for a, b, w in network.ties():
+    for a, b, w in ties:
         g.add_edge(a, b, weight=w)
     return g
 
 
 def compute_metrics(network: CollaborationNetwork) -> NetworkMetrics:
-    """Compute the standard metric snapshot of ``network``."""
-    g = _tie_graph(network)
-    n = g.number_of_nodes()
+    """Compute the standard metric snapshot of ``network``.
+
+    Bit-equal to :func:`compute_metrics_oracle`: the integer state
+    (degrees, triangles, components) comes from the maintained tracker,
+    and each float replicates the networkx formula — including
+    ``nx.density``'s ``(m / (n * (n - 1))) * 2`` grouping, its integer
+    ``0`` for edgeless graphs, and ``nx.average_clustering``'s
+    per-node ``t / (d * (d - 1))`` terms summed in node-insertion
+    (= sorted member) order.
+    """
     ties = network.ties()
+    inter = network.inter_org_ties()
+    member_ids = network.member_ids
+    n = len(member_ids)
+    m = len(ties)
+    tracker = network.metrics_tracker()
+    if n:
+        components, largest = tracker.component_stats()
+    else:
+        components, largest = 0, 0
+    if n > 1:
+        density = 0 if m == 0 else (m / (n * (n - 1))) * 2
+    else:
+        density = 0.0
+    return NetworkMetrics(
+        members=n,
+        ties=m,
+        inter_org_ties=len(inter),
+        density=density,
+        components=components,
+        largest_component_fraction=(largest / n) if n else 0.0,
+        mean_tie_strength=(
+            sum(w for _, _, w in ties) / len(ties) if ties else 0.0
+        ),
+        inter_org_fraction=(len(inter) / len(ties)) if ties else 0.0,
+        clustering=(tracker.clustering_sum(member_ids) / n) if n else 0.0,
+    )
+
+
+def compute_metrics_oracle(network: CollaborationNetwork) -> NetworkMetrics:
+    """The original networkx implementation, kept as the test oracle."""
+    ties = network.ties()
+    g = _tie_graph(network, ties)
+    n = g.number_of_nodes()
     inter = network.inter_org_ties()
     components = list(nx.connected_components(g)) if n else []
     largest = max((len(c) for c in components), default=0)
@@ -96,7 +152,8 @@ def bridge_members(network: CollaborationNetwork) -> List[str]:
 
     These are the paper's informal "key people" through whom entire
     organisations stay connected; a healthy post-hackathon network has
-    fewer single points of failure.
+    fewer single points of failure.  Stays networkx-backed: articulation
+    points are queried far too rarely to justify incremental upkeep.
     """
     g = _tie_graph(network)
     # Only consider nodes that have ties at all.

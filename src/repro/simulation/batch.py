@@ -52,6 +52,7 @@ from repro.network.dynamics import Interaction
 from repro.obs import REGISTRY, span
 from repro.simulation.runner import LongitudinalRunner, ProjectHistory
 from repro.simulation.scenario import PlenarySpec, Scenario
+from repro.simulation.template import template_runner
 
 __all__ = [
     "BatchRunner",
@@ -374,18 +375,23 @@ def apply_interactions_batch(
 # ---------------------------------------------------------------------------
 
 
-def _recover_batch(runners: Sequence[LongitudinalRunner], months: float) -> None:
+def _recover_batch(
+    runners: Sequence[LongitudinalRunner], months: float
+) -> List[List[float]]:
     """Stacked energy recovery across every lane's roster.
 
     One clamped array add replaces per-member ``recover_energy`` calls;
-    ``min(1.0, e + amount)`` and ``np.minimum`` agree bitwise.
+    ``min(1.0, e + amount)`` and ``np.minimum`` agree bitwise.  Returns
+    each lane's post-recovery energies (roster order) so the trajectory
+    point can reuse the stacked result instead of re-reading every
+    member object.
     """
     if months < 0:
         raise ConfigurationError(f"months must be >= 0, got {months}")
     rosters = [runner.consortium.members for runner in runners]
     flat = [member for roster in rosters for member in roster]
     if not flat:
-        return
+        return [[] for _ in runners]
     energies = np.fromiter(
         (member.energy for member in flat), dtype=float, count=len(flat)
     )
@@ -396,9 +402,15 @@ def _recover_batch(runners: Sequence[LongitudinalRunner], months: float) -> None
             runner.burnout.recovery_per_month * months
         )
         position += len(roster)
-    energies = np.minimum(1.0, energies + amounts)
-    for member, energy in zip(flat, energies.tolist()):
+    energies = np.minimum(1.0, energies + amounts).tolist()
+    for member, energy in zip(flat, energies):
         member.energy = energy
+    lanes: List[List[float]] = []
+    position = 0
+    for roster in rosters:
+        lanes.append(energies[position:position + len(roster)])
+        position += len(roster)
+    return lanes
 
 
 def _age_worlds(runners: Sequence[LongitudinalRunner], now: float) -> None:
@@ -433,15 +445,23 @@ def _age_worlds(runners: Sequence[LongitudinalRunner], now: float) -> None:
                     ),
                     step,
                 )
-                _recover_batch(runners, step)
+                lane_energies = _recover_batch(runners, step)
                 remaining -= step
                 current += step
-                for runner in runners:
+                for runner, energies in zip(runners, lane_energies):
                     runner.followups.advance(step)
                     runner.workplan.advance_month(
                         current, runner.consortium, runner.network
                     )
-                    runner._record_trajectory_point(current)
+                    # Energies are untouched between recovery and the
+                    # trajectory point, so the stacked result IS the
+                    # roster state BurnoutModel.mean_energy would read.
+                    runner._record_trajectory_point(
+                        current,
+                        mean_energy=(
+                            sum(energies) / len(energies) if energies else 0.0
+                        ),
+                    )
     for runner in runners:
         runner._last_event_month = now
 
@@ -480,7 +500,9 @@ class BatchRunner:
         with span("sim.batch", scenario=scenario.name, lanes=lanes):
             with _BATCH_RUN_SECONDS.time():
                 _BATCH_LANES.observe(lanes)
-                runners = [LongitudinalRunner(s) for s in self.scenarios]
+                runners = [template_runner(s) for s in self.scenarios]
+                for runner in runners:
+                    runner._fast_paths = True
                 # The scalar engine fires plenaries in (month, insertion)
                 # order, then the horizon event; a stable sort replays
                 # the identical sequence.

@@ -282,6 +282,11 @@ class LongitudinalRunner:
             self._history.workplan = self.workplan
             self._last_event_month = 0.0
             self._events_run = 0
+            # Batch lanes flip this on to route hackathon sessions,
+            # voting and surveys through their stacked fast paths
+            # (bit-equal by construction; pinned by the equivalence
+            # tests).  The scalar path keeps the reference kernels.
+            self._fast_paths = False
 
     # -- public -----------------------------------------------------------
 
@@ -356,7 +361,12 @@ class LongitudinalRunner:
             )
 
         with span("sim.plenary.observe", plenary=spec.name):
-            survey = self.survey.collect(result)
+            with span("sim.plenary.survey", plenary=spec.name):
+                survey = (
+                    self.survey.collect_fast(result)
+                    if self._fast_paths
+                    else self.survey.collect(result)
+                )
             questionnaire_result = self._collect_questionnaire(result)
             comments = self.comment_generator.generate_all(
                 self._comment_engagements(result, spec), context=spec.name
@@ -368,6 +378,8 @@ class LongitudinalRunner:
                 self.dissemination.publish_everywhere(showcase.showcase_id)
 
         members = self.consortium.members
+        with span("sim.plenary.metrics", plenary=spec.name):
+            network_metrics = compute_metrics(self.network)
         record = PlenaryRecord(
             spec=spec,
             meeting=result,
@@ -375,7 +387,7 @@ class LongitudinalRunner:
             survey=survey,
             comments=comments,
             sentiment=sentiment_histogram(comments),
-            network_metrics=compute_metrics(self.network),
+            network_metrics=network_metrics,
             provider_owner_ties=self._provider_owner_tie_count(),
             burnout_rate=BurnoutModel.burnout_rate(members),
             mean_energy=BurnoutModel.mean_energy(members),
@@ -459,6 +471,7 @@ class LongitudinalRunner:
             team_policy=policy,
             work_session=work_session,
             followups=self.followups,
+            fast_paths=self._fast_paths,
         )
 
     def _apply_inter_event_period(self, now: float) -> None:
@@ -492,17 +505,29 @@ class LongitudinalRunner:
             self._record_trajectory_point(current)
 
     def _record_trajectory_point(
-        self, month: float, event: Optional[str] = None
+        self,
+        month: float,
+        event: Optional[str] = None,
+        mean_energy: Optional[float] = None,
     ) -> None:
-        self._history.trajectory.record(
-            TrajectoryPoint(
-                month=month,
-                inter_org_ties=len(self.network.inter_org_ties()),
-                total_tie_strength=self.network.total_strength(),
-                mean_energy=BurnoutModel.mean_energy(self.consortium.members),
-                event=event,
+        """Append one trajectory sample.
+
+        The batched ageing loop passes ``mean_energy`` computed from
+        its stacked recovery arrays (same values, same sum order); the
+        scalar path reads the roster.
+        """
+        if mean_energy is None:
+            mean_energy = BurnoutModel.mean_energy(self.consortium.members)
+        with span("sim.trajectory", month=month):
+            self._history.trajectory.record(
+                TrajectoryPoint(
+                    month=month,
+                    inter_org_ties=len(self.network.inter_org_ties()),
+                    total_tie_strength=self.network.total_strength(),
+                    mean_energy=mean_energy,
+                    event=event,
+                )
             )
-        )
 
     def _collect_questionnaire(
         self, result: MeetingResult
