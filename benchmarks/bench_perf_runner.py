@@ -234,7 +234,7 @@ def _service_timings():
             for _ in range(SERVICE_JOBS):
                 t0 = time.perf_counter()
                 job = client.submit("compare", params)["job"]
-                client.wait(job["id"], timeout=30, interval=0.002)
+                client._await(job["id"], timeout=30)
                 latencies.append(time.perf_counter() - t0)
             elapsed = time.perf_counter() - t_start
             # Served KPIs must equal the in-process cached ones.

@@ -187,20 +187,27 @@ def submit_job(
     url: str,
     priority: int = 0,
     wait: bool = True,
+    stream: bool = False,
     timeout: float = 120.0,
-) -> Dict[str, Any]:
+) -> Union[Dict[str, Any], Iterator[Dict[str, Any]]]:
     """Submit a job to a running ``repro-sim serve`` endpoint.
 
-    With ``wait=True`` (the default) blocks until the job is terminal
-    and returns its result payload; with ``wait=False`` returns the job
-    snapshot immediately (poll it via
-    :class:`~repro.service.client.ServiceClient`).
+    With ``stream=True`` returns an iterator over the job's live
+    events (``state`` / ``cell`` / ``retry`` / ``detach`` dicts from
+    ``GET /v1/jobs/{id}/events``), ending when the job is terminal —
+    fetch the result afterwards via
+    :meth:`~repro.service.client.ServiceClient.result`.  With
+    ``wait=True`` (the default) blocks until the job is terminal —
+    internally by streaming, not polling — and returns its result
+    payload; with ``wait=False`` returns the job snapshot immediately.
     """
     if not isinstance(kind, str) or not kind:
         raise ConfigurationError("submit_job needs a job kind string")
     client = ServiceClient(url, timeout=timeout)
     job = client.submit(kind, params or {}, priority=priority)["job"]
+    if stream:
+        return client.watch_job(job["id"], timeout=timeout)
     if not wait:
         return job
-    client.wait(job["id"], timeout=timeout)
+    client._await(job["id"], timeout=timeout)
     return client.result(job["id"])

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands, all seeded and deterministic:
+Eleven subcommands, all seeded and deterministic:
 
 * ``repro-sim run`` — run one timeline and print the per-plenary table.
 * ``repro-sim compare`` — hackathon vs traditional over N seeds.
@@ -10,7 +10,10 @@ Ten subcommands, all seeded and deterministic:
 * ``repro-sim export`` — run a timeline and export the full history.
 * ``repro-sim scenarios`` — list, show or validate scenario specs.
 * ``repro-sim cache`` — inspect, garbage-collect or clear the run store.
-* ``repro-sim serve`` — serve compare/sweep/replicate jobs over HTTP.
+* ``repro-sim serve`` — serve compare/sweep/replicate jobs over HTTP
+  (asyncio front end by default; ``--legacy`` for the threaded one).
+* ``repro-sim job`` — watch a served job's live event stream or page
+  through the server's job table.
 * ``repro-sim metrics`` — print metrics (local or scraped off a server).
 
 Scenario names resolve through the shared plugin catalog
@@ -169,9 +172,43 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max queued jobs before 429s (default 64)")
     serve.add_argument("--max-retries", type=int, default=2,
                        help="retries after a worker crash (default 2)")
+    transport = serve.add_mutually_exclusive_group()
+    transport.add_argument(
+        "--async", dest="use_async", action="store_true", default=True,
+        help="asyncio front end: thousands of keep-alive connections "
+             "and live SSE/JSONL streams on one event loop (default)")
+    transport.add_argument(
+        "--legacy", dest="use_async", action="store_false",
+        help="threaded front end: one OS thread per connection "
+             "(same v1 API, streams cost a thread each)")
     serve.add_argument("--trace", metavar="PATH", default=None,
                        help="write served jobs' span trees as JSONL on "
                             "shutdown")
+
+    job = sub.add_parser(
+        "job", help="watch or list jobs on a running serve endpoint")
+    job_sub = job.add_subparsers(dest="job_action", required=True)
+    watch = job_sub.add_parser(
+        "watch", help="stream one job's live events (SSE-equivalent)")
+    watch.add_argument("job_id", metavar="JOB_ID")
+    watch.add_argument("--url", metavar="URL",
+                       default="http://127.0.0.1:8347",
+                       help="serve endpoint (default "
+                            "http://127.0.0.1:8347)")
+    watch.add_argument("--after", type=int, default=0,
+                       help="resume after this event seq (default 0)")
+    listing = job_sub.add_parser(
+        "list", help="page through the server's job table")
+    listing.add_argument("--url", metavar="URL",
+                         default="http://127.0.0.1:8347",
+                         help="serve endpoint (default "
+                              "http://127.0.0.1:8347)")
+    listing.add_argument("--state", default=None,
+                         choices=("queued", "running", "done", "failed",
+                                  "cancelled"),
+                         help="only jobs in this state")
+    listing.add_argument("--limit", type=int, default=50,
+                         help="page size (default 50)")
 
     metrics = sub.add_parser(
         "metrics", help="print metrics in Prometheus text format")
@@ -481,26 +518,42 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     # Imported here so the offline subcommands never pay for the
     # service stack.
-    from repro.service.server import build_server
+    if args.use_async:
+        from repro.service.asyncserver import build_async_server
 
-    server = build_server(
-        host=args.host,
-        port=args.port,
-        cache_dir=args.cache_dir,
-        workers=args.workers,
-        queue_depth=args.queue_depth,
-        max_retries=args.max_retries,
-    )
-    host, port = server.server_address[:2]
-    print(f"repro-sim service on http://{host}:{port} "
-          f"(workers={args.workers}, queue-depth={args.queue_depth}, "
-          f"cache={args.cache_dir})")
-    print("endpoints: POST /v1/jobs  GET /v1/jobs/{id}[/result]  "
-          "DELETE /v1/jobs/{id}  GET /v1/scenarios  GET /v1/cache/stats  "
-          "GET /v1/metrics  GET /healthz")
+        server = build_async_server(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            max_retries=args.max_retries,
+        )
+        thread = server.start()
+        transport = "asyncio"
+    else:
+        from repro.service.server import build_server, serve
+
+        server = build_server(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            max_retries=args.max_retries,
+        )
+        thread = serve(server)
+        transport = "threaded"
+    print(f"repro-sim service on http://{args.host}:{server.server_port} "
+          f"({transport}, workers={args.workers}, "
+          f"queue-depth={args.queue_depth}, cache={args.cache_dir})")
+    print("endpoints: POST/GET /v1/jobs  GET /v1/jobs/{id}[/result]  "
+          "GET /v1/jobs/{id}/events (SSE|JSONL)  DELETE /v1/jobs/{id}  "
+          "GET /v1/scenarios  GET /v1/cache/stats  GET /v1/metrics  "
+          "GET /healthz")
     try:
         with _trace_context(args):
-            server.serve_forever()
+            thread.join()
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
@@ -508,6 +561,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.server_close()
         _print_trace_summary(args)
     return 0
+
+
+def _cmd_job(args: argparse.Namespace) -> int:
+    # Imported here so the offline path never pays for the client.
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.job_action == "watch":
+        for event in client.watch_job(args.job_id, after=args.after):
+            line = (f"[{event['seq']:>4}] {event['event']:<7}"
+                    f" {_event_detail(event)}")
+            print(line, flush=True)
+        return 0
+    # list
+    page = client.jobs(state=args.state, limit=args.limit)
+    rows = [
+        [j["id"], j["kind"], j["state"],
+         f"{j['progress']['cells_done']}/{j['progress']['cells_total']}",
+         j["attempts"], j["waiters"]]
+        for j in page["jobs"]
+    ]
+    print(ascii_table(
+        ["job", "kind", "state", "cells", "attempts", "waiters"],
+        rows, title=f"{page['count']} job(s) on {args.url}",
+    ))
+    if page["next_cursor"]:
+        print(f"more: --limit {args.limit} "
+              f"(next cursor {page['next_cursor']})")
+    return 0
+
+
+def _event_detail(event: dict) -> str:
+    """One-line human rendering of a job event's payload."""
+    etype = event["event"]
+    if etype == "state":
+        detail = event["state"]
+        if event.get("error"):
+            detail += f" — {event['error']}"
+        return detail
+    if etype == "cell":
+        source = "cache" if event.get("cached") else "computed"
+        return (f"{event['done']}/{event['total']} ({source}, "
+                f"attempt {event['attempt']})")
+    if etype == "retry":
+        return f"attempt {event['attempt']} — {event.get('error', '')}"
+    if etype == "detach":
+        return f"{event['waiters']} waiter(s) remain"
+    return ""
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -531,6 +632,7 @@ _COMMANDS = {
     "scenarios": _cmd_scenarios,
     "cache": _cmd_cache,
     "serve": _cmd_serve,
+    "job": _cmd_job,
     "metrics": _cmd_metrics,
 }
 

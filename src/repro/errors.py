@@ -89,10 +89,46 @@ class WorkerCrashError(ReproError):
 class ServiceError(ReproError):
     """An HTTP request to the serving layer failed.
 
-    Raised client-side with the status code the server answered with
-    (``429`` maps to :class:`QueueFullError`-style backpressure).
+    Raised client-side from the server's error envelope
+    ``{"error": {"code", "message", "detail"}}``.  The subclasses below
+    give each envelope code a type, so callers can catch exactly the
+    failure they care about; catching :class:`ServiceError` and
+    checking ``.status`` keeps working as before.
     """
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str,
+                 code: str = "error", detail=None) -> None:
         self.status = status
+        self.code = code
+        self.detail = detail
         super().__init__(f"HTTP {status}: {message}")
+
+
+class BadRequestError(ServiceError):
+    """The server rejected the request as malformed (HTTP 400)."""
+
+
+class JobNotFoundError(ServiceError):
+    """The job id (or endpoint) does not exist server-side (HTTP 404)."""
+
+
+class JobNotReadyError(ServiceError):
+    """A result was requested before the job reached ``done`` (HTTP 409)."""
+
+
+class JobFailedError(ServiceError):
+    """A result was requested of a job that ended ``failed`` (HTTP 409)."""
+
+
+class BackpressureError(ServiceError):
+    """The scheduler's queue refused the submission (HTTP 429).
+
+    ``retry_after_s`` carries the server's suggested backoff.
+    """
+
+    def __init__(self, status: int, message: str,
+                 code: str = "queue_full", detail=None) -> None:
+        super().__init__(status, message, code=code, detail=detail)
+        self.retry_after_s = float(
+            (detail or {}).get("retry_after_s", 0.5)
+        ) if isinstance(detail, dict) else 0.5

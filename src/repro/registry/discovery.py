@@ -46,6 +46,7 @@ ENV_VAR = "REPRO_PLUGINS"
 
 _lock = threading.RLock()
 _loaded = False
+_loading = threading.local()
 
 
 def _import_plugin(module_name: str, origin: str) -> None:
@@ -93,20 +94,27 @@ def ensure_loaded() -> None:
     global _loaded
     if _loaded:
         return
+    if getattr(_loading, "active", False):
+        # A catalog query made *by* a plugin while it is being imported
+        # must not recurse into loading; the import is already running
+        # on this thread.
+        return
     with _lock:
         if _loaded:
             return
-        # Mark first: registrations triggered *during* loading must not
-        # recurse back into discovery.
-        _loaded = True
+        # Only the loading thread may skip the lock (via the marker
+        # above); everyone else blocks here until the catalog is fully
+        # populated, so a concurrent first query can never observe a
+        # half-loaded (or empty) catalog.
+        _loading.active = True
         try:
             for module_name in BUILTIN_PLUGIN_MODULES:
                 _import_plugin(module_name, "builtin plugin list")
             _load_entry_points()
             _load_env_hook()
-        except BaseException:
-            _loaded = False
-            raise
+        finally:
+            _loading.active = False
+        _loaded = True
 
 
 def reset_for_tests() -> List[str]:

@@ -9,23 +9,40 @@ drive over HTTP — the serving-stack counterpart to the run store:
   coalescing, backpressure, cancellation and crash retry.
 * :mod:`repro.service.workers` — process-pool bridge streaming finished
   cells into the store so partial results survive crashes.
-* :mod:`repro.service.server` — stdlib ``ThreadingHTTPServer`` JSON API.
-* :mod:`repro.service.client` — thin urllib client.
+* :mod:`repro.service.events` — per-job sequence-numbered event logs.
+* :mod:`repro.service.wire` — the v1 API surface (envelope, routing,
+  content negotiation) shared by both HTTP transports.
+* :mod:`repro.service.server` — threaded stdlib HTTP transport.
+* :mod:`repro.service.asyncserver` — asyncio transport: thousands of
+  keep-alive connections and live SSE/JSONL streams on one loop.
+* :mod:`repro.service.client` — thin urllib client with streaming
+  ``watch_job`` and typed error exceptions.
+* :mod:`repro.service.chaos` — fault injection for the load harness.
 
 Quick use::
 
-    from repro.service import build_server, serve, ServiceClient
+    from repro.service import build_async_server, serve_async
+    from repro.service import ServiceClient
 
-    server = build_server(cache_dir=".repro-cache", workers=4)
-    serve(server)
+    server = build_async_server(cache_dir=".repro-cache", workers=4)
+    serve_async(server)
     client = ServiceClient(f"http://127.0.0.1:{server.server_port}")
     result = client.compare("hackathon", "traditional", seeds=5)
+    for event in client.watch_job(job_id):  # live progress
+        print(event["event"], event.get("state"))
 
-Or from a shell: ``repro-sim serve --workers 4`` and point any HTTP
-client at ``POST /v1/jobs``.
+Or from a shell: ``repro-sim serve --workers 4`` then
+``repro-sim job watch <id>`` — or plain ``curl -N`` on
+``GET /v1/jobs/{id}/events``.
 """
 
+from repro.service.asyncserver import (
+    AsyncReproServiceServer,
+    build_async_server,
+    serve_async,
+)
 from repro.service.client import ServiceClient
+from repro.service.events import EventHub, JobEventLog
 from repro.service.jobs import (
     CANCELLED,
     DONE,
@@ -45,13 +62,17 @@ from repro.service.specs import (
     resolve_scenario,
     sweep_from_payload,
 )
+from repro.service.wire import ServiceAPI
 from repro.service.workers import execute_plan
 
 __all__ = [
+    "AsyncReproServiceServer",
     "CANCELLED",
     "DONE",
+    "EventHub",
     "FAILED",
     "JOB_KINDS",
+    "JobEventLog",
     "QUEUED",
     "RUNNING",
     "Job",
@@ -59,12 +80,15 @@ __all__ = [
     "JobProgress",
     "ReproServiceServer",
     "Scheduler",
+    "ServiceAPI",
     "ServiceClient",
+    "build_async_server",
     "build_plan",
     "build_server",
     "comparison_from_payload",
     "execute_plan",
     "resolve_scenario",
     "serve",
+    "serve_async",
     "sweep_from_payload",
 ]

@@ -1,12 +1,23 @@
 """Thin urllib client for the simulation service.
 
-:class:`ServiceClient` wraps the JSON API in plain method calls and
-maps non-2xx answers to :class:`~repro.errors.ServiceError` carrying
-the HTTP status, so callers can distinguish backpressure (429) from
-bad requests (400) from unknown jobs (404) without parsing bodies.
+:class:`ServiceClient` wraps the v1 JSON API in plain method calls and
+maps the server's error envelope ``{"error": {"code", "message",
+"detail"}}`` to typed exceptions — :class:`~repro.errors.BackpressureError`
+for 429, :class:`~repro.errors.JobNotFoundError` for 404,
+:class:`~repro.errors.JobNotReadyError` / :class:`~repro.errors.JobFailedError`
+for the two 409s, :class:`~repro.errors.BadRequestError` for 400 — all
+subclasses of :class:`~repro.errors.ServiceError`, so existing
+``except ServiceError as e: e.status`` code keeps working.
+
+Progress is consumed by *streaming*, not polling: :meth:`watch_job`
+iterates the server's JSONL event stream (``GET /v1/jobs/{id}/events``)
+and yields each ``state`` / ``cell`` / ``retry`` / ``detach`` event as
+it happens, reconnecting with ``after=<last seq>`` if the connection
+drops.  The poll-based :meth:`wait` still works but is deprecated —
+see the README's migration table.
 
 The convenience wrappers :meth:`compare` and :meth:`sweep` submit,
-poll to completion and rebuild the exact in-process result objects
+stream to completion and rebuild the exact in-process result objects
 (:class:`~repro.simulation.experiment.ComparisonResult`,
 :class:`~repro.simulation.sweep.SweepResult`) from the payload —
 bit-identical KPIs included, since JSON floats round-trip exactly.
@@ -17,15 +28,61 @@ from __future__ import annotations
 import json
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
-from typing import Any, Dict, Optional, Sequence, Union
+import warnings
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
-from repro.errors import ReproError, ServiceError
+from repro.errors import (
+    BackpressureError,
+    BadRequestError,
+    JobFailedError,
+    JobNotFoundError,
+    JobNotReadyError,
+    ReproError,
+    ServiceError,
+)
 from repro.service.specs import comparison_from_payload, sweep_from_payload
 from repro.simulation.experiment import ComparisonResult
 from repro.simulation.sweep import SweepResult
 
 __all__ = ["ServiceClient"]
+
+_TERMINAL = ("done", "failed", "cancelled")
+
+#: envelope code -> exception type; anything else falls back by status.
+_CODE_ERRORS = {
+    "bad_request": BadRequestError,
+    "not_found": JobNotFoundError,
+    "unknown_job": JobNotFoundError,
+    "not_ready": JobNotReadyError,
+    "job_failed": JobFailedError,
+    "queue_full": BackpressureError,
+}
+_STATUS_ERRORS = {
+    400: BadRequestError,
+    404: JobNotFoundError,
+    429: BackpressureError,
+}
+
+
+def _raise_from_envelope(status: int, body: bytes,
+                         fallback: str) -> "ServiceError":
+    """Build the typed exception for one error response (not raised)."""
+    code, message, detail = "error", fallback, None
+    try:
+        envelope = json.loads(body.decode("utf-8")).get("error")
+        if isinstance(envelope, dict):
+            code = envelope.get("code", code)
+            message = envelope.get("message", message)
+            detail = envelope.get("detail")
+        elif isinstance(envelope, str):  # pre-v1 servers
+            message = envelope
+    except Exception:
+        pass
+    exc_type = _CODE_ERRORS.get(code, _STATUS_ERRORS.get(status,
+                                                         ServiceError))
+    return exc_type(status, message, code=code, detail=detail)
 
 
 class ServiceClient:
@@ -57,13 +114,9 @@ class ServiceClient:
             ) as response:
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
-            try:
-                message = json.loads(exc.read().decode("utf-8")).get(
-                    "error", exc.reason
-                )
-            except Exception:
-                message = str(exc.reason)
-            raise ServiceError(exc.code, message) from None
+            raise _raise_from_envelope(
+                exc.code, exc.read(), str(exc.reason)
+            ) from None
         except urllib.error.URLError as exc:
             raise ServiceError(0, f"cannot reach {self.base_url}: "
                                   f"{exc.reason}") from None
@@ -86,11 +139,47 @@ class ServiceClient:
     def job(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/v1/jobs/{job_id}")["job"]
 
+    def jobs(
+        self,
+        state: Optional[str] = None,
+        limit: int = 100,
+        cursor: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """One page of ``GET /v1/jobs``: ``{"jobs", "count",
+        "next_cursor"}``."""
+        query = {"limit": str(limit)}
+        if state is not None:
+            query["state"] = state
+        if cursor is not None:
+            query["cursor"] = cursor
+        return self._request(
+            "GET", "/v1/jobs?" + urllib.parse.urlencode(query)
+        )
+
+    def iter_jobs(self, state: Optional[str] = None,
+                  page_size: int = 100) -> Iterator[Dict[str, Any]]:
+        """Every job snapshot, walking the cursor across pages."""
+        cursor: Optional[str] = None
+        while True:
+            page = self.jobs(state=state, limit=page_size, cursor=cursor)
+            for snapshot in page["jobs"]:
+                yield snapshot
+            cursor = page["next_cursor"]
+            if cursor is None:
+                return
+
     def result(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/v1/jobs/{job_id}/result")["result"]
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
+        """``DELETE``: detach this waiter (cancel when last); job view."""
         return self._request("DELETE", f"/v1/jobs/{job_id}")["job"]
+
+    def release(self, job_id: str) -> Dict[str, Any]:
+        """Like :meth:`cancel`, but returns the full ``{"job",
+        "detached"}`` payload so callers can see whether the shared
+        computation kept running for other waiters."""
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
 
     def cache_stats(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/cache/stats")
@@ -113,7 +202,9 @@ class ServiceClient:
             ) as response:
                 return response.read().decode("utf-8")
         except urllib.error.HTTPError as exc:
-            raise ServiceError(exc.code, str(exc.reason)) from None
+            raise _raise_from_envelope(
+                exc.code, exc.read(), str(exc.reason)
+            ) from None
         except urllib.error.URLError as exc:
             raise ServiceError(0, f"cannot reach {self.base_url}: "
                                   f"{exc.reason}") from None
@@ -121,7 +212,84 @@ class ServiceClient:
     def health(self) -> Dict[str, Any]:
         return self._request("GET", "/healthz")
 
-    # -- polling ----------------------------------------------------------
+    # -- streaming --------------------------------------------------------
+
+    def watch_job(
+        self,
+        job_id: str,
+        after: int = 0,
+        reconnect: bool = True,
+        timeout: Optional[float] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield the job's events live until its log closes.
+
+        Consumes the JSONL stream (``?format=jsonl``); each yielded
+        dict carries contiguous ``seq`` numbers starting at
+        ``after + 1``, so a consumer can assert exactly-once delivery.
+        On a dropped connection the stream resumes from the last seen
+        ``seq`` (when ``reconnect``).  The iterator ends when the
+        server closes the stream *and* the job is terminal.
+        """
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        while True:
+            url = (f"{self.base_url}/v1/jobs/{job_id}/events"
+                   f"?format=jsonl&after={after}")
+            request = urllib.request.Request(
+                url, headers={"Accept": "application/x-ndjson"},
+                method="GET",
+            )
+            per_read = self.timeout
+            if deadline is not None:
+                per_read = min(per_read, max(0.05,
+                                             deadline - time.monotonic()))
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=per_read
+                ) as response:
+                    for line in response:
+                        text = line.strip()
+                        if not text:  # heartbeat
+                            continue
+                        event = json.loads(text.decode("utf-8"))
+                        after = event.get("seq", after)
+                        yield event
+            except urllib.error.HTTPError as exc:
+                raise _raise_from_envelope(
+                    exc.code, exc.read(), str(exc.reason)
+                ) from None
+            except (urllib.error.URLError, OSError,
+                    json.JSONDecodeError):
+                if not reconnect:
+                    return
+            # The server ends the stream when the log closes; confirm
+            # the job is really terminal before stopping (a dropped
+            # connection mid-job reconnects from the last seq).
+            snapshot = self.job(job_id)
+            if snapshot["state"] in _TERMINAL:
+                return
+            if not reconnect:
+                return
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ReproError(
+                    f"job {job_id} still {snapshot['state']} after "
+                    f"{timeout:g}s of streaming"
+                )
+
+    def _await(self, job_id: str, timeout: float = 60.0) -> Dict[str, Any]:
+        """Stream events until terminal; raise on failure/timeout."""
+        for event in self.watch_job(job_id, timeout=timeout):
+            if (event.get("event") == "state"
+                    and event.get("state") in _TERMINAL):
+                if event["state"] == "failed":
+                    raise JobFailedError(
+                        409, f"job {job_id} failed: {event.get('error')}",
+                        code="job_failed", detail=event,
+                    )
+                break
+        return self.job(job_id)
+
+    # -- polling (deprecated) ---------------------------------------------
 
     def wait(
         self,
@@ -129,11 +297,23 @@ class ServiceClient:
         timeout: float = 60.0,
         interval: float = 0.02,
     ) -> Dict[str, Any]:
-        """Poll until the job is terminal; raise on failure/timeout."""
+        """Poll until the job is terminal; raise on failure/timeout.
+
+        .. deprecated::
+            Polling burns a request per ``interval``; stream instead:
+            ``for event in client.watch_job(job_id): ...`` or use
+            the streaming-based :meth:`compare` / :meth:`sweep`.
+        """
+        warnings.warn(
+            "ServiceClient.wait() polls; use watch_job() to stream "
+            "job events instead (see README: 'Migrating off polling')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         deadline = time.monotonic() + timeout
         while True:
             snapshot = self.job(job_id)
-            if snapshot["state"] in ("done", "failed", "cancelled"):
+            if snapshot["state"] in _TERMINAL:
                 if snapshot["state"] == "failed":
                     raise ReproError(
                         f"job {job_id} failed: {snapshot['error']}"
@@ -155,12 +335,12 @@ class ServiceClient:
         seeds: Union[int, Sequence[int]] = 3,
         timeout: float = 120.0,
     ) -> ComparisonResult:
-        """Submit a compare job, poll to done, rebuild the result."""
+        """Submit a compare job, stream to done, rebuild the result."""
         seeds_param = seeds if isinstance(seeds, int) else list(seeds)
         job = self.submit(
             "compare", {"a": a, "b": b, "seeds": seeds_param}
         )["job"]
-        self.wait(job["id"], timeout=timeout)
+        self._await(job["id"], timeout=timeout)
         return comparison_from_payload(self.result(job["id"]))
 
     def sweep(
@@ -170,11 +350,11 @@ class ServiceClient:
         seeds: Union[int, Sequence[int]] = 2,
         timeout: float = 240.0,
     ) -> SweepResult:
-        """Submit a sweep job, poll to done, rebuild the result."""
+        """Submit a sweep job, stream to done, rebuild the result."""
         params: Dict[str, Any] = {"parameter": parameter}
         if values is not None:
             params["values"] = list(values)
         params["seeds"] = seeds if isinstance(seeds, int) else list(seeds)
         job = self.submit("sweep", params)["job"]
-        self.wait(job["id"], timeout=timeout)
+        self._await(job["id"], timeout=timeout)
         return sweep_from_payload(self.result(job["id"]))

@@ -1,0 +1,194 @@
+"""Per-job event streams: the scheduler's progress firehose.
+
+Polling ``GET /v1/jobs/{id}`` tells a client *that* progress happened;
+this module tells it *when*.  Every job owns one append-only
+:class:`JobEventLog` — a sequence-numbered list of JSON-safe event
+dictionaries — fed by the scheduler as the job moves through its
+lifecycle:
+
+========  ==========================================================
+event     payload (beyond ``seq``/``ts``/``job_id``)
+========  ==========================================================
+state     ``state`` (queued/running/done/failed/cancelled), plus
+          ``error`` when failed and ``result_ready`` when terminal
+cell      ``index`` into the plan's cell list, ``cached`` (served
+          from the store vs computed), running ``done``/``total``
+          counters and the ``attempt`` the cell resolved on
+retry     ``attempt`` number and the worker-crash ``error`` that
+          triggered it
+detach    a coalesced waiter cancelled; ``waiters`` still attached
+========  ==========================================================
+
+Sequence numbers are per-job, contiguous and start at 1, so a
+consumer can detect gaps, resume after a disconnect (``after=seq``,
+or SSE ``Last-Event-ID``) and assert exactly-once delivery.  The log
+closes when the terminal ``state`` event lands; late appends are
+dropped (they would have no consumer, and a terminal job emits
+nothing further by construction).
+
+Two kinds of consumer block on a log concurrently:
+
+* **threads** (the legacy ``ThreadingHTTPServer`` stream pump, the
+  blocking client) wait on a ``threading.Condition`` via
+  :meth:`JobEventLog.wait_events` / :meth:`JobEventLog.subscribe`;
+* **asyncio tasks** (the async front end's stream writers) register a
+  ``(loop, asyncio.Event)`` pair; appends wake them with
+  ``loop.call_soon_threadsafe`` — no thread per stream, which is what
+  lets one process hold thousands of open SSE connections.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.obs import REGISTRY
+
+__all__ = ["EVENT_STATE", "EVENT_CELL", "EVENT_RETRY", "EVENT_DETACH",
+           "JobEventLog", "EventHub"]
+
+EVENT_STATE = "state"
+EVENT_CELL = "cell"
+EVENT_RETRY = "retry"
+EVENT_DETACH = "detach"
+
+
+def _emitted_counter(etype: str):
+    return REGISTRY.counter(
+        "service_events_emitted_total",
+        help="Job lifecycle events appended to per-job event logs",
+        type=etype,
+    )
+
+
+class JobEventLog:
+    """Append-only, sequence-numbered event list for one job."""
+
+    def __init__(self, job_id: str) -> None:
+        self.job_id = job_id
+        self._events: List[Dict[str, Any]] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        # Asyncio subscribers parked on this log: each append sets
+        # their event on their own loop, thread-safely.
+        self._async_waiters: Set[Tuple[Any, Any]] = set()
+
+    # -- producer side ----------------------------------------------------
+
+    def append(self, etype: str, close: bool = False,
+               **data: Any) -> Optional[Dict[str, Any]]:
+        """Append one event; returns it (or None if already closed)."""
+        with self._cond:
+            if self._closed:
+                return None
+            event: Dict[str, Any] = {
+                "seq": len(self._events) + 1,
+                "ts": round(time.time(), 6),
+                "event": etype,
+                "job_id": self.job_id,
+            }
+            event.update(data)
+            self._events.append(event)
+            if close:
+                self._closed = True
+            self._cond.notify_all()
+            waiters = list(self._async_waiters)
+        _emitted_counter(etype).inc()
+        for loop, async_event in waiters:
+            try:
+                loop.call_soon_threadsafe(async_event.set)
+            except RuntimeError:
+                pass  # subscriber's loop already closed; it unregisters
+        return event
+
+    # -- consumer side ----------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def snapshot(self, after: int = 0) -> Tuple[List[Dict[str, Any]], bool]:
+        """``(events with seq > after, closed)`` — non-blocking."""
+        with self._cond:
+            return self._events[after:], self._closed
+
+    def wait_events(self, after: int = 0,
+                    timeout: float = 15.0) -> Tuple[List[Dict[str, Any]],
+                                                    bool]:
+        """Block up to ``timeout`` for events past ``after``.
+
+        Returns the same shape as :meth:`snapshot`; an empty event list
+        with ``closed=False`` means the timeout passed (heartbeat time).
+        """
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while len(self._events) <= after and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            return self._events[after:], self._closed
+
+    def subscribe(self, after: int = 0,
+                  heartbeat: float = 15.0) -> Iterator[Dict[str, Any]]:
+        """Blocking iterator over events until the log closes.
+
+        Yields ``None`` at heartbeat intervals so a streaming caller
+        can keep its transport alive; filter those out if unwanted.
+        """
+        while True:
+            events, closed = self.wait_events(after, timeout=heartbeat)
+            for event in events:
+                after = event["seq"]
+                yield event
+            if closed and not events:
+                return
+            if closed:
+                # Drain once more in case the close raced the yield.
+                events, _ = self.snapshot(after)
+                for event in events:
+                    after = event["seq"]
+                    yield event
+                return
+            if not events:
+                yield None  # heartbeat tick
+
+    # -- asyncio bridge ---------------------------------------------------
+
+    def register_async(self, loop: Any, async_event: Any) -> None:
+        """Wake ``async_event`` (on ``loop``) at the next append."""
+        with self._cond:
+            self._async_waiters.add((loop, async_event))
+
+    def unregister_async(self, loop: Any, async_event: Any) -> None:
+        with self._cond:
+            self._async_waiters.discard((loop, async_event))
+
+
+class EventHub:
+    """All per-job event logs of one scheduler, keyed by job id."""
+
+    def __init__(self) -> None:
+        self._logs: Dict[str, JobEventLog] = {}
+        self._lock = threading.Lock()
+
+    def create(self, job_id: str) -> JobEventLog:
+        with self._lock:
+            log = self._logs.get(job_id)
+            if log is None:
+                log = JobEventLog(job_id)
+                self._logs[job_id] = log
+            return log
+
+    def get(self, job_id: str) -> Optional[JobEventLog]:
+        with self._lock:
+            return self._logs.get(job_id)
+
+    def emit(self, job_id: str, etype: str, close: bool = False,
+             **data: Any) -> None:
+        """Append to ``job_id``'s log; silently ignores unknown jobs."""
+        log = self.get(job_id)
+        if log is not None:
+            log.append(etype, close=close, **data)

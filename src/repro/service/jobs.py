@@ -86,6 +86,7 @@ class Job:
     progress: JobProgress = field(default_factory=JobProgress)
     attempts: int = 0  # retries consumed so far (0 = first try pending)
     coalesced: int = 0  # duplicate submissions folded into this job
+    waiters: int = 1  # clients attached (1 + coalesced - detached)
     error: Optional[str] = None
     result: Optional[Dict[str, Any]] = None
     created_ts: float = field(default_factory=time.time)
@@ -140,6 +141,7 @@ class Job:
             "progress": self.progress.to_dict(),
             "attempts": self.attempts,
             "coalesced": self.coalesced,
+            "waiters": self.waiters,
             "error": self.error,
             "result_ready": self.state == DONE,
             "created_ts": self.created_ts,

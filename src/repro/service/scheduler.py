@@ -17,10 +17,20 @@ component rather than a work loop:
   ``retry_backoff_s * 2**attempt``; cells persisted before the crash
   are hits on the next attempt, so retries only recompute the tail.
 * **Cancellation** — queued jobs cancel immediately; running jobs are
-  cancelled cooperatively between cells.
+  cancelled cooperatively between cells.  A coalesced job counts its
+  attached *waiters*: :meth:`release` (what ``DELETE /v1/jobs/{id}``
+  calls) detaches one waiter and only cancels the shared computation
+  when the last one lets go, so one client's cancel never kills
+  another client's result.
 
 Everything mutating a job or the queue happens under one lock, so the
 HTTP threads can poll and cancel while the dispatcher executes.
+
+Progress is also *pushed*, not just polled: every job owns a
+sequence-numbered :class:`~repro.service.events.JobEventLog` on the
+scheduler's :attr:`Scheduler.events` hub, fed with ``state`` /
+``cell`` / ``retry`` / ``detach`` events as execution proceeds.  The
+HTTP layers stream these as SSE/JSONL so clients stop polling.
 """
 
 from __future__ import annotations
@@ -39,6 +49,13 @@ from repro.errors import (
 )
 from repro.errors import WorkerCrashError
 from repro.obs import REGISTRY
+from repro.service.events import (
+    EVENT_CELL,
+    EVENT_DETACH,
+    EVENT_RETRY,
+    EVENT_STATE,
+    EventHub,
+)
 from repro.service.jobs import (
     CANCELLED,
     DONE,
@@ -63,12 +80,17 @@ _COALESCED = REGISTRY.counter(
     help="Submissions folded onto an already in-flight job",
 )
 _RETRIES = REGISTRY.counter(
-    "service_job_retries_total",
+    "scheduler_retries_total",
     help="Job re-executions after a worker-process crash",
 )
 _QUEUE_DEPTH = REGISTRY.gauge(
     "service_queue_depth",
     help="Jobs currently waiting in the priority queue",
+)
+_DETACHES = REGISTRY.counter(
+    "service_waiter_detaches_total",
+    help="Cancellations that detached one coalesced waiter without "
+         "cancelling the shared job",
 )
 _LATENCY = REGISTRY.histogram(
     "service_job_latency_seconds",
@@ -110,6 +132,8 @@ class Scheduler:
         )
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
+        #: Per-job event logs; the streaming endpoints subscribe here.
+        self.events = EventHub()
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._heap: List[Tuple[int, int, str]] = []  # (-priority, seq, id)
@@ -144,6 +168,7 @@ class Scheduler:
                 existing = self._jobs[existing_id]
                 if not existing.is_terminal:
                     existing.coalesced += 1
+                    existing.waiters += 1
                     _COALESCED.inc()
                     return existing, False
             if self._queued_count >= self.queue_depth:
@@ -166,6 +191,9 @@ class Scheduler:
             self._queued_count += 1
             _SUBMITTED.inc()
             _QUEUE_DEPTH.set(self._queued_count)
+            self.events.create(job.id).append(
+                EVENT_STATE, state=QUEUED, kind=job.kind
+            )
             self._wakeup.notify_all()
             return job, True
 
@@ -193,25 +221,54 @@ class Scheduler:
             return job.result
 
     def cancel(self, job_id: str) -> Job:
-        """Cancel a job; terminal jobs are left untouched.
+        """Force-cancel a job; terminal jobs are left untouched.
 
         A queued job flips to ``cancelled`` immediately; a running job
         gets its cancel event set and transitions when the executor
-        notices (between cells).
+        notices (between cells).  This cancels the underlying
+        computation regardless of how many waiters coalesced onto it —
+        see :meth:`release` for the per-waiter semantics the HTTP
+        ``DELETE`` endpoint uses.
         """
         with self._lock:
             job = self._jobs.get(job_id)
             if job is None:
                 raise UnknownJobError(job_id)
-            if job.state == QUEUED:
-                job.mark_cancelled()
-                self._forget_key(job)
-                self._queued_count -= 1
-                _QUEUE_DEPTH.set(self._queued_count)
-                self._observe_terminal(job)
-            elif job.state == RUNNING:
-                job.cancel_event.set()
+            self._cancel_locked(job)
             return job
+
+    def _cancel_locked(self, job: Job) -> None:
+        if job.state == QUEUED:
+            job.mark_cancelled()
+            self._forget_key(job)
+            self._queued_count -= 1
+            _QUEUE_DEPTH.set(self._queued_count)
+            self._observe_terminal(job)
+        elif job.state == RUNNING:
+            job.cancel_event.set()
+
+    def release(self, job_id: str) -> Tuple[Job, bool]:
+        """Detach one waiter; cancel only when the last one lets go.
+
+        Returns ``(job, detached)``: ``detached`` is True when other
+        waiters remain attached and the shared computation keeps
+        running — the regression the coalescing layer needs so one
+        client's ``DELETE`` cannot kill another client's result.
+        On the last waiter (or a terminal job) this degenerates to
+        :meth:`cancel`.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(job_id)
+            if not job.is_terminal and job.waiters > 1:
+                job.waiters -= 1
+                _DETACHES.inc()
+                self.events.emit(job.id, EVENT_DETACH,
+                                 waiters=job.waiters)
+                return job, True
+            self._cancel_locked(job)
+            return job, False
 
     def wait(self, job_id: str, timeout: float = 30.0) -> Job:
         """Poll until ``job_id`` is terminal (or the timeout passes)."""
@@ -221,6 +278,42 @@ class Scheduler:
             if job.is_terminal or time.monotonic() >= end:
                 return job
             time.sleep(0.005)
+
+    def list_jobs(
+        self,
+        state: Optional[str] = None,
+        cursor: Optional[str] = None,
+        limit: int = 100,
+    ) -> Tuple[List[Dict[str, Any]], Optional[str]]:
+        """Page through job snapshots in id (= submission) order.
+
+        ``state`` filters to one lifecycle state; ``cursor`` is the
+        opaque id returned by the previous page (exclusive); ``limit``
+        caps the page size.  Returns ``(snapshots, next_cursor)`` with
+        ``next_cursor=None`` on the final page.
+        """
+        if state is not None and state not in (QUEUED, RUNNING, DONE,
+                                               FAILED, CANCELLED):
+            raise ConfigurationError(
+                f"unknown state filter {state!r}; known: queued, "
+                f"running, done, failed, cancelled"
+            )
+        if limit < 1:
+            raise ConfigurationError(f"limit must be >= 1, got {limit}")
+        with self._lock:
+            # Job ids are zero-padded and monotonically assigned, so
+            # lexicographic order is submission order and the id
+            # itself works as a stable pagination cursor.
+            matching = sorted(
+                (job for job in self._jobs.values()
+                 if state is None or job.state == state),
+                key=lambda job: job.id,
+            )
+            if cursor is not None:
+                matching = [job for job in matching if job.id > cursor]
+            page = matching[:limit]
+            next_cursor = page[-1].id if len(matching) > limit else None
+            return [job.to_dict() for job in page], next_cursor
 
     def stats(self) -> Dict[str, int]:
         """Job counts by state plus queue headroom."""
@@ -262,6 +355,10 @@ class Scheduler:
         ).inc()
         if job.finished_ts is not None:
             _LATENCY.observe(job.finished_ts - job.created_ts)
+        self.events.emit(
+            job.id, EVENT_STATE, close=True, state=job.state,
+            error=job.error, result_ready=job.state == DONE,
+        )
 
     def _next_job(self) -> Optional[Job]:
         """Pop the highest-priority queued job; None when stopping."""
@@ -274,6 +371,8 @@ class Scheduler:
                         job.mark_running()
                         self._queued_count -= 1
                         _QUEUE_DEPTH.set(self._queued_count)
+                        self.events.emit(job.id, EVENT_STATE,
+                                         state=RUNNING)
                         return job
                     # cancelled while queued: already terminal, skip
                 if self._stopping:
@@ -292,11 +391,20 @@ class Scheduler:
     def _execute(self, job: Job) -> None:
         plan = self._plans[job.id]
 
-        def on_progress(from_cache: bool) -> None:
+        def on_progress(index: int, from_cache: bool) -> None:
             with self._lock:
                 job.progress.cells_done += 1
                 if from_cache:
                     job.progress.cells_cached += 1
+                done = job.progress.cells_done
+                cached = job.progress.cells_cached
+                total = job.progress.cells_total
+                attempt = job.attempts
+            self.events.emit(
+                job.id, EVENT_CELL, index=index, cached=from_cache,
+                done=done, cached_count=cached, total=total,
+                attempt=attempt,
+            )
 
         while True:
             with self._lock:
@@ -332,6 +440,8 @@ class Scheduler:
                         return
                     job.attempts += 1  # stays RUNNING; retried inline
                     _RETRIES.inc()
+                self.events.emit(job.id, EVENT_RETRY,
+                                 attempt=job.attempts, error=str(exc))
                 delay = self.retry_backoff_s * (2 ** (job.attempts - 1))
                 # Cancel-aware backoff: a cancel during the wait aborts
                 # the retry instead of sleeping through it.

@@ -1,53 +1,54 @@
-"""Stdlib HTTP serving layer for the job scheduler.
+"""Threaded HTTP front end for the job scheduler (legacy transport).
 
-A :class:`ThreadingHTTPServer` exposes the scheduler as a small JSON
-API — one thread per connection, all of them funnelling into the one
-shared :class:`~repro.service.scheduler.Scheduler` and its
-:class:`~repro.store.RunCache`:
+A :class:`ThreadingHTTPServer` — one thread per connection — exposes
+the v1 API implemented once in :mod:`repro.service.wire`; the asyncio
+front end (:mod:`repro.service.asyncserver`) serves the *same*
+:class:`~repro.service.wire.ServiceAPI`, so routes, status codes and
+the error envelope are identical across both transports:
 
-========  ==========================  =======================================
-method    path                        meaning
-========  ==========================  =======================================
-POST      ``/v1/jobs``                submit ``{"kind", "params", "priority"}``
-GET       ``/v1/jobs/{id}``           job state + per-cell progress
-GET       ``/v1/jobs/{id}/result``    result payload once ``done``
-DELETE    ``/v1/jobs/{id}``           cancel (queued: instant; running: coop)
-GET       ``/v1/cache/stats``         run-store counters
-GET       ``/v1/scenarios``           the scenario catalog (plugins incl.)
-GET       ``/v1/metrics``             Prometheus text exposition
-GET       ``/healthz``                liveness + job counts
-========  ==========================  =======================================
+========  ============================  ===================================
+method    path                          meaning
+========  ============================  ===================================
+POST      ``/v1/jobs``                  submit ``{"kind","params","priority"}``
+GET       ``/v1/jobs``                  list jobs (state filter, cursor)
+GET       ``/v1/jobs/{id}``             job state + per-cell progress
+GET       ``/v1/jobs/{id}/result``      result payload once ``done``
+GET       ``/v1/jobs/{id}/events``      live SSE/JSONL progress stream
+DELETE    ``/v1/jobs/{id}``             detach one waiter / cancel
+GET       ``/v1/cache/stats``           run-store counters
+GET       ``/v1/scenarios``             the scenario catalog (plugins incl.)
+GET       ``/v1/metrics``               Prometheus text exposition
+GET       ``/healthz``                  liveness + job counts
+========  ============================  ===================================
 
-Status codes carry the scheduler's semantics: ``201`` created, ``200``
-coalesced onto an in-flight job, ``429`` queue full (backpressure),
-``400`` malformed parameters, ``404`` unknown job, ``409`` result not
-ready.  Bodies are always JSON, except ``/v1/metrics`` which speaks
-the Prometheus text format (version 0.0.4) so any scraper — or plain
-``curl`` — can read the process-wide metrics registry.
+Streaming on this transport costs one thread per open stream (the
+pump blocks on the job's event log); that is fine for a handful of
+watchers and is exactly the limitation the asyncio front end removes.
+Streams are served ``Connection: close`` because their length is
+unknown up front and this handler does not chunk.
 """
 
 from __future__ import annotations
 
 import json
 import threading
-import time
-from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Optional, Tuple
 
-from repro.errors import (
-    ConfigurationError,
-    QueueFullError,
-    UnknownJobError,
-)
-from repro.obs import REGISTRY
-from repro.service.jobs import DONE, FAILED
 from repro.service.scheduler import Scheduler
+from repro.service.wire import (
+    MAX_BODY_BYTES,
+    Response,
+    ServiceAPI,
+    StreamHandle,
+    error_payload,
+    stream_frames,
+)
 from repro.store.runcache import RunCache
 
 __all__ = ["ReproServiceServer", "build_server", "serve"]
 
-_MAX_BODY_BYTES = 1 << 20  # 1 MiB of JSON is plenty for any job spec
+_MAX_BODY_BYTES = MAX_BODY_BYTES  # back-compat alias
 
 
 class ReproServiceServer(ThreadingHTTPServer):
@@ -58,7 +59,8 @@ class ReproServiceServer(ThreadingHTTPServer):
     def __init__(self, address: Tuple[str, int], scheduler: Scheduler):
         super().__init__(address, _Handler)
         self.scheduler = scheduler
-        self.started_ts = time.time()
+        self.api = ServiceAPI(scheduler)
+        self.started_ts = self.api.started_ts
 
     def shutdown(self) -> None:  # stop HTTP first, then the dispatcher
         super().shutdown()
@@ -66,7 +68,7 @@ class ReproServiceServer(ThreadingHTTPServer):
 
 
 class _Handler(BaseHTTPRequestHandler):
-    server_version = "repro-service/1.0"
+    server_version = "repro-service/2.0"
     protocol_version = "HTTP/1.1"
 
     # The default handler logs every request to stderr; the service is
@@ -75,167 +77,78 @@ class _Handler(BaseHTTPRequestHandler):
         pass
 
     @property
-    def scheduler(self) -> Scheduler:
-        return self.server.scheduler  # type: ignore[attr-defined]
+    def api(self) -> ServiceAPI:
+        return self.server.api  # type: ignore[attr-defined]
 
     # -- plumbing ---------------------------------------------------------
 
-    def _send(self, status: int, payload: Dict[str, Any]) -> None:
-        body = json.dumps(payload).encode("ascii")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _error(self, status: int, message: str) -> None:
-        self._send(status, {"error": message})
-
-    def _read_json(self) -> Optional[Dict[str, Any]]:
+    def _read_body(self) -> Optional[bytes]:
+        """The request body, or None after answering 400 for a bad one."""
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
             length = -1
-        if length < 0 or length > _MAX_BODY_BYTES:
-            self._error(400, "invalid or oversized Content-Length")
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._write_response(Response(
+                400,
+                json.dumps(error_payload(
+                    "bad_request", "invalid or oversized Content-Length"
+                )).encode("utf-8"),
+            ))
             return None
-        raw = self.rfile.read(length) if length else b""
-        try:
-            payload = json.loads(raw.decode("utf-8") or "{}")
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            self._error(400, "request body is not valid JSON")
-            return None
-        if not isinstance(payload, dict):
-            self._error(400, "request body must be a JSON object")
-            return None
-        return payload
+        return self.rfile.read(length) if length else b""
 
-    # -- routing ----------------------------------------------------------
+    def _write_response(self, response: Response) -> None:
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(response.body)
+
+    def _write_stream(self, handle: StreamHandle) -> None:
+        """Pump one SSE/JSONL stream; blocks this thread until close.
+
+        No Content-Length is knowable, so the stream is served with
+        ``Connection: close`` and the socket ends the body.
+        """
+        self.send_response(200)
+        self.send_header("Content-Type", handle.content_type)
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        try:
+            for frame in stream_frames(handle, heartbeat=10.0):
+                self.wfile.write(frame)
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # client went away; the pump's finally decs the gauge
+
+    def _handle(self, method: str) -> None:
+        body = b""
+        if method == "POST":
+            maybe = self._read_body()
+            if maybe is None:
+                return
+            body = maybe
+        outcome = self.api.dispatch(method, self.path, self.headers, body)
+        if isinstance(outcome, StreamHandle):
+            self._write_stream(outcome)
+        else:
+            self._write_response(outcome)
+
+    # -- verbs ------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
-        if self.path.rstrip("/") != "/v1/jobs":
-            self._error(404, f"no such endpoint: POST {self.path}")
-            return
-        body = self._read_json()
-        if body is None:
-            return
-        kind = body.get("kind")
-        params = body.get("params", {})
-        priority = body.get("priority", 0)
-        if not isinstance(kind, str):
-            self._error(400, "missing or non-string 'kind'")
-            return
-        if not isinstance(priority, int) or isinstance(priority, bool):
-            self._error(400, "'priority' must be an integer")
-            return
-        try:
-            job, created = self.scheduler.submit(
-                kind, params, priority=priority
-            )
-        except QueueFullError as exc:
-            self._send(429, {"error": str(exc), "retry_after_s": 0.5})
-            return
-        except ConfigurationError as exc:
-            self._error(400, str(exc))
-            return
-        self._send(
-            201 if created else 200,
-            {"job": self.scheduler.describe(job.id), "created": created},
-        )
+        self._handle("POST")
 
     def do_GET(self) -> None:  # noqa: N802
-        parts = [p for p in self.path.split("/") if p]
-        if self.path.rstrip("/") == "/healthz":
-            self._healthz()
-        elif parts[:2] == ["v1", "cache"] and parts[2:] == ["stats"]:
-            self._cache_stats()
-        elif parts == ["v1", "metrics"]:
-            self._metrics()
-        elif parts == ["v1", "scenarios"]:
-            self._scenarios()
-        elif parts[:2] == ["v1", "jobs"] and len(parts) == 3:
-            self._job_status(parts[2])
-        elif (parts[:2] == ["v1", "jobs"] and len(parts) == 4
-              and parts[3] == "result"):
-            self._job_result(parts[2])
-        else:
-            self._error(404, f"no such endpoint: GET {self.path}")
+        self._handle("GET")
 
     def do_DELETE(self) -> None:  # noqa: N802
-        parts = [p for p in self.path.split("/") if p]
-        if parts[:2] != ["v1", "jobs"] or len(parts) != 3:
-            self._error(404, f"no such endpoint: DELETE {self.path}")
-            return
-        try:
-            job = self.scheduler.cancel(parts[2])
-        except UnknownJobError as exc:
-            self._error(404, str(exc))
-            return
-        self._send(200, {"job": self.scheduler.describe(job.id)})
-
-    # -- endpoints --------------------------------------------------------
-
-    def _healthz(self) -> None:
-        server: ReproServiceServer = self.server  # type: ignore[assignment]
-        self._send(200, {
-            "status": "ok",
-            "uptime_s": round(time.time() - server.started_ts, 3),
-            "jobs": self.scheduler.stats(),
-        })
-
-    def _cache_stats(self) -> None:
-        cache = self.scheduler.cache
-        stats = cache.stats()
-        payload = asdict(stats)
-        payload["hit_ratio"] = round(stats.hit_ratio, 6)
-        payload["session_hits"] = cache.session_hits
-        payload["session_misses"] = cache.session_misses
-        payload["session_waits"] = cache.session_waits
-        payload["session_bytes_served"] = cache.session_bytes_served
-        self._send(200, payload)
-
-    def _metrics(self) -> None:
-        body = REGISTRY.render_prometheus().encode("ascii")
-        self.send_response(200)
-        self.send_header(
-            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
-        )
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _scenarios(self) -> None:
-        from repro.registry import CATALOG
-
-        self._send(200, CATALOG.describe())
-
-    def _job_status(self, job_id: str) -> None:
-        try:
-            self._send(200, {"job": self.scheduler.describe(job_id)})
-        except UnknownJobError as exc:
-            self._error(404, str(exc))
-
-    def _job_result(self, job_id: str) -> None:
-        try:
-            snapshot = self.scheduler.describe(job_id)
-        except UnknownJobError as exc:
-            self._error(404, str(exc))
-            return
-        if snapshot["state"] == DONE:
-            self._send(200, {
-                "job_id": job_id,
-                "result": self.scheduler.result(job_id),
-            })
-        elif snapshot["state"] == FAILED:
-            self._send(409, {
-                "error": f"job {job_id} failed: {snapshot['error']}",
-                "state": snapshot["state"],
-            })
-        else:
-            self._send(409, {
-                "error": f"job {job_id} is {snapshot['state']}, not done",
-                "state": snapshot["state"],
-            })
+        self._handle("DELETE")
 
 
 def build_server(

@@ -32,9 +32,13 @@ def execute_plan(
     cache: RunCache,
     workers: int = 1,
     cancel_event: Optional[threading.Event] = None,
-    on_progress: Optional[Callable[[bool], None]] = None,
+    on_progress: Optional[Callable[[int, bool], None]] = None,
 ) -> Dict[str, Any]:
     """Run one attempt of ``plan`` and return its JSON result payload.
+
+    ``on_progress(index, from_cache)`` fires once per resolved cell,
+    in completion order — the scheduler forwards it to the job's event
+    log, which is what the SSE/JSONL endpoints stream.
 
     Raises
     ------
@@ -45,9 +49,9 @@ def execute_plan(
         ``cancel_event`` was set between cells.
     """
 
-    def on_cell(_index: int, from_cache: bool) -> None:
+    def on_cell(index: int, from_cache: bool) -> None:
         if on_progress is not None:
-            on_progress(from_cache)
+            on_progress(index, from_cache)
 
     def should_cancel() -> bool:
         return cancel_event is not None and cancel_event.is_set()

@@ -79,7 +79,7 @@ class TestParser:
         assert documented == set(sub_actions[0].choices)
         count_words = {1: "One", 2: "Two", 3: "Three", 4: "Four", 5: "Five",
                        6: "Six", 7: "Seven", 8: "Eight", 9: "Nine",
-                       10: "Ten"}
+                       10: "Ten", 11: "Eleven", 12: "Twelve"}
         assert cli_module.__doc__.splitlines()[2].startswith(
             f"{count_words[len(documented)]} subcommands"
         )

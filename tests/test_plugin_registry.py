@@ -345,6 +345,33 @@ class TestEnvHook:
             discovery.reset_for_tests()
             CATALOG.scenario_names()  # discovery recovers
 
+    def test_concurrent_first_query_never_sees_empty_catalog(self):
+        """Many threads racing the first catalog query must all block
+        until discovery finishes — none may resolve against a
+        half-loaded catalog (the async server's dispatcher pool hits
+        exactly this on its first burst of requests)."""
+        import threading
+
+        from repro.registry import discovery
+
+        discovery.reset_for_tests()
+        barrier = threading.Barrier(8)
+        failures = []
+
+        def query():
+            barrier.wait()
+            try:
+                CATALOG.resolve("hackathon", seed=0)
+            except Exception as exc:  # noqa: BLE001 - recorded below
+                failures.append(exc)
+
+        threads = [threading.Thread(target=query) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not failures, failures
+
 
 # ---------------------------------------------------------------------------
 # provenance in fingerprints and the run store
